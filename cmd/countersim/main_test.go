@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"ctree over n=81", "bottleneck", "lower bound", "histogram", "checks: counting semantics ok"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "central") || !strings.Contains(b.String(), "ctree") {
+		t.Fatalf("list output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunOrders(t *testing.T) {
+	for _, order := range []string{"sequential", "reverse", "random"} {
+		var b strings.Builder
+		if err := run([]string{"-algo", "central", "-n", "8", "-order", order}, &b); err != nil {
+			t.Fatalf("%s: %v", order, err)
+		}
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algo", "nope"}, &b); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunUnknownOrder(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-order", "zigzag", "-n", "8"}, &b); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

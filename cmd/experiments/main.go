@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's figures and theorem-level
+// measurements (experiments E1..E14; see EXPERIMENTS.md for the index and
+// DESIGN.md for the mapping to modules).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp E4
+//	experiments -all
+//	experiments -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"distcount/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "", "experiment id to run (E1..E14)")
+		all   = fs.Bool("all", false, "run every experiment")
+		quick = fs.Bool("quick", false, "reduced problem sizes")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-4s %-70s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return nil
+	case *all:
+		report, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report)
+		return nil
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		report, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "=== %s: %s (%s) ===\n%s", e.ID, e.Title, e.Artifact, report)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -exp, -all, or -list")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E5", "E11"} {
+		if !strings.Contains(b.String(), id) {
+			t.Fatalf("list missing %s:\n%s", id, b.String())
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "E3", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "=== E3:") {
+		t.Fatalf("experiment header missing:\n%s", b.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "E42"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNoAction(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	var b strings.Builder
+	if err := run([]string{"-all", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "=== E11:") {
+		t.Fatalf("RunAll output incomplete")
+	}
+}

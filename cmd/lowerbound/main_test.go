@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoundTable(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"279936", "134217728", "k·k^k"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Fatalf("table missing %q:\n%s", frag, b.String())
+		}
+	}
+}
+
+func TestBoundForN(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "1000000"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k(1000000) = 6") {
+		t.Fatalf("wrong bound output:\n%s", b.String())
+	}
+}
+
+func TestAdversaryRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-adversary", "-algo", "central", "-n", "8", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"adversary vs central", "proof structure verified", "potential function", "step   1"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAdversarySampled(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-adversary", "-algo", "central", "-n", "16", "-sample", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "proof structure verified") {
+		t.Fatal("sampled run claimed full proof verification")
+	}
+}
+
+func TestAdversaryWithScheduleExploration(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-adversary", "-algo", "ctree", "-n", "8", "-schedules", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "proof structure verified") {
+		t.Fatalf("proof checks missing:\n%s", b.String())
+	}
+}
+
+func TestAdversaryUnknownAlgo(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-adversary", "-algo", "nope"}, &b); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algo", "ctree", "-n", "8", "-proc", "4", "-warmup", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"inc by p4", "communication DAG", "Graphviz", "communication list"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTraceFormats(t *testing.T) {
+	for _, format := range []string{"ascii", "dot", "list"} {
+		var b strings.Builder
+		if err := run([]string{"-algo", "central", "-n", "4", "-proc", "2", "-format", format}, &b); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+}
+
+func TestTraceWarmupAppliesOps(t *testing.T) {
+	// Warmed-up run must return the warmup count as the traced op's value.
+	var b strings.Builder
+	if err := run([]string{"-algo", "central", "-n", "4", "-proc", "2", "-warmup", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "returned 3") {
+		t.Fatalf("warmup not applied:\n%s", b.String())
+	}
+}
+
+func TestTraceInvalidProc(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "8", "-proc", "9"}, &b); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+}
+
+func TestTraceUnknownAlgo(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algo", "nope"}, &b); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

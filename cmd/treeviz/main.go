@@ -1,0 +1,98 @@
+// Command treeviz prints the structure of the paper's communication tree —
+// Figure 4 — for a given arity k: levels, node counts, the initial
+// processor-identifier scheme P(i,j) = (i-1)·k^k + j·k^(k-i) + 1, and the
+// replacement pools. With -run it executes the canonical workload and
+// annotates the structure with observed retirements and the final load
+// profile.
+//
+// Usage:
+//
+//	treeviz -k 2
+//	treeviz -k 3 -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"distcount/internal/core"
+	"distcount/internal/counter"
+	"distcount/internal/loadstat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("treeviz", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 2, "tree arity (2..6 practical)")
+		doRun   = fs.Bool("run", false, "run the canonical workload and annotate")
+		maxShow = fs.Int("show", 16, "max nodes to print per level")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := core.New(*k)
+	n := c.N()
+	fmt.Fprintf(out, "communication tree, k=%d: n = k·k^k = %d processors; root pool 1..%d; retirement threshold %d\n\n",
+		*k, n, core.SizeForK(*k)/(*k), c.RetireAge())
+
+	nodes := c.Nodes()
+	byLevel := make(map[int][]core.NodeInfo)
+	for _, nd := range nodes {
+		byLevel[nd.Level] = append(byLevel[nd.Level], nd)
+	}
+	for level := 0; level <= *k; level++ {
+		lst := byLevel[level]
+		fmt.Fprintf(out, "level %d: %d node(s), pool size %d\n", level, len(lst), lst[0].PoolSize)
+		for i, nd := range lst {
+			if i >= *maxShow {
+				fmt.Fprintf(out, "  ... %d more\n", len(lst)-i)
+				break
+			}
+			fmt.Fprintf(out, "  node (%d,%d): processor %d, pool [%d..%d]\n",
+				nd.Level, nd.Pos, nd.Cur, nd.PoolStart, int(nd.PoolStart)+nd.PoolSize-1)
+		}
+	}
+	fmt.Fprintf(out, "leaves: processors 1..%d on level %d\n", n, *k+1)
+
+	if !*doRun {
+		return nil
+	}
+	if _, err := counter.RunSequence(c, counter.SequentialOrder(n)); err != nil {
+		return err
+	}
+	s := loadstat.SummarizeLoads(c.Net().Loads())
+	fmt.Fprintf(out, "\nafter the canonical workload (%d ops):\n", n)
+	fmt.Fprintf(out, "  retirements: %d total, forwarded (handshake) messages: %d\n",
+		c.Stats().Retirements, c.Stats().Forwarded)
+	fmt.Fprintf(out, "  bottleneck: p%d with load %d (= %.1f·k); mean load %.2f; gini %.3f\n",
+		s.Bottleneck, s.MaxLoad, float64(s.MaxLoad)/float64(*k), s.Mean, s.Gini)
+	if v, count := c.Violations(); count > 0 {
+		fmt.Fprintf(out, "  LEMMA VIOLATIONS (%d): %v\n", count, v)
+	} else {
+		fmt.Fprintln(out, "  all Section 4 lemmas verified: no violations")
+	}
+	for level := 0; level <= *k; level++ {
+		total, max := 0, 0
+		for _, nd := range c.Nodes() {
+			if nd.Level != level {
+				continue
+			}
+			total += nd.Retired
+			if nd.Retired > max {
+				max = nd.Retired
+			}
+		}
+		fmt.Fprintf(out, "  level %d: %d retirements (max per node %d)\n", level, total, max)
+	}
+	return nil
+}

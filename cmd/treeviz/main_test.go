@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStructureOnly(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-k", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"k=2", "level 0: 1 node(s)", "level 2: 4 node(s)", "leaves: processors 1..8"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "after the canonical workload") {
+		t.Fatal("ran workload without -run")
+	}
+}
+
+func TestWithRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-k", "2", "-run"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"after the canonical workload (8 ops)", "retirements", "all Section 4 lemmas verified"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShowLimit(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-k", "3", "-show", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "... 25 more") {
+		t.Fatalf("show limit not applied:\n%s", b.String())
+	}
+}

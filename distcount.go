@@ -1,0 +1,161 @@
+package distcount
+
+import (
+	"distcount/internal/adversary"
+	"distcount/internal/bound"
+	"distcount/internal/core"
+	"distcount/internal/counter"
+	"distcount/internal/experiments"
+	"distcount/internal/ext/distpq"
+	"distcount/internal/ext/flipbit"
+	"distcount/internal/loadstat"
+	"distcount/internal/registry"
+	"distcount/internal/sim"
+	"distcount/internal/verify"
+)
+
+// Re-exported core types. Aliases let callers outside this module use the
+// internal implementations through a stable public surface.
+type (
+	// Counter is a distributed counter bound to a simulated network: Inc(p)
+	// performs one test-and-increment initiated by processor p and returns
+	// the pre-increment value.
+	Counter = counter.Counter
+	// Cloneable is a Counter whose full state (network + protocol) can be
+	// deep-copied; required by the lower-bound adversary.
+	Cloneable = counter.Cloneable
+	// TreeCounter is the paper's communication-tree counter with processor
+	// retirement (the matching O(k) upper bound).
+	TreeCounter = core.Counter
+	// ProcID identifies a processor (1..n).
+	ProcID = sim.ProcID
+	// Network is the simulated asynchronous message-passing system.
+	Network = sim.Network
+	// RunResult records the values and operation ids of an executed
+	// operation sequence.
+	RunResult = counter.RunResult
+	// LoadSummary summarizes per-processor message loads: bottleneck,
+	// mean, median, Gini coefficient.
+	LoadSummary = loadstat.Summary
+	// AdversaryResult is the outcome of the lower-bound adversary,
+	// including the proof trace in full mode.
+	AdversaryResult = adversary.Result
+	// Experiment is one reproducible paper artifact (figure or theorem
+	// measurement).
+	Experiment = experiments.Experiment
+	// FlipBit is a distributed test-and-flip bit served by the paper's
+	// communication tree — the first of the two data structures the paper
+	// names when extending its lower bound beyond counters.
+	FlipBit = flipbit.Bit
+	// PriorityQueue is a distributed priority queue served by the paper's
+	// communication tree — the second extension example.
+	PriorityQueue = distpq.Queue
+)
+
+// NewTreeCounter returns the paper's counter for the communication tree of
+// arity k >= 2, spanning exactly n = k·k^k processors with the default
+// retirement threshold 4k.
+func NewTreeCounter(k int) *TreeCounter { return core.New(k) }
+
+// NewTreeCounterForSize returns the paper's counter for at least n
+// processors, rounding n up to the next admissible size k·k^k.
+func NewTreeCounterForSize(n int) *TreeCounter { return core.NewForSize(n) }
+
+// NewFlipBit returns a distributed test-and-flip bit over the communication
+// tree of arity k (n = k·k^k processors). Like the counter, every
+// processor's message load stays O(k).
+func NewFlipBit(k int) *FlipBit { return flipbit.New(k) }
+
+// NewPriorityQueue returns a distributed priority queue over the
+// communication tree of arity k. Insert and delete-min both depend on the
+// preceding operation, so the paper's lower bound covers them; the tree
+// delivers the matching O(k).
+func NewPriorityQueue(k int) *PriorityQueue { return distpq.New(k) }
+
+// Algorithms lists the registered counter algorithms usable with
+// NewCounter: central, tokenring, ctree, combining, cnet, cnet-periodic,
+// difftree, and quorum-{singleton,majority,grid,tree,wall}.
+func Algorithms() []string { return registry.Names() }
+
+// NewCounter builds the named counter over (at least) n processors.
+func NewCounter(algorithm string, n int) (Counter, error) {
+	return registry.New(algorithm, n)
+}
+
+// NewTracedCounter is NewCounter with communication-DAG tracing enabled,
+// as required by RunAdversary and the Hot Spot checks.
+func NewTracedCounter(algorithm string, n int) (Counter, error) {
+	return registry.New(algorithm, n, sim.WithTracing())
+}
+
+// RunSequence executes the operations in order, each running to quiescence
+// before the next starts (the paper's sequential model).
+func RunSequence(c Counter, order []ProcID) (*RunResult, error) {
+	return counter.RunSequence(c, order)
+}
+
+// SequentialOrder returns the canonical workload order 1..n (each processor
+// increments exactly once).
+func SequentialOrder(n int) []ProcID { return counter.SequentialOrder(n) }
+
+// RandomOrder returns a seeded random permutation of 1..n.
+func RandomOrder(n int, seed uint64) []ProcID { return counter.RandomOrder(n, seed) }
+
+// Loads summarizes the per-processor message loads m_p accumulated by the
+// counter's network so far.
+func Loads(c Counter) LoadSummary {
+	return loadstat.Summarize(c.Net().Sent(), c.Net().Recv())
+}
+
+// VerifyCounter runs the given workload on a fresh counter and checks
+// test-and-increment semantics plus the Hot Spot Lemma. The counter must
+// have been built with tracing or default op tracking.
+func VerifyCounter(c Counter, order []ProcID) error {
+	return verify.Counter(c, order)
+}
+
+// SolveK returns the paper's bound parameter: the largest k with
+// k·k^k <= n. The Lower Bound Theorem guarantees a bottleneck processor
+// with message load Ω(k) over the canonical workload.
+func SolveK(n int) int { return bound.SolveK(n) }
+
+// SizeFor returns n(k) = k·k^k, the workload size whose bound parameter is
+// exactly k.
+func SizeFor(k int) int { return bound.SizeFor(k) }
+
+// KReal solves x^(x+1) = n over the reals, the smooth version of SolveK.
+func KReal(n float64) float64 { return bound.KReal(n) }
+
+// RunAdversary executes the Lower Bound Theorem's constructive workload
+// against a cloneable, traced counter: at each step the not-yet-chosen
+// processor with the longest communication list increments. The result
+// carries the proof trace; VerifyAdversary checks it.
+func RunAdversary(c Cloneable) (*AdversaryResult, error) {
+	return adversary.Run(c)
+}
+
+// VerifyAdversary checks the structural facts of the lower-bound proof on a
+// full-mode adversary result, including that the measured bottleneck meets
+// the k(n) bound.
+func VerifyAdversary(r *AdversaryResult) error {
+	return adversary.VerifyProofStructure(r)
+}
+
+// Experiments returns the paper-reproduction experiments E1..E14.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by id ("E1".."E14") and returns its
+// rendered report. Quick mode shrinks problem sizes to test scale.
+func RunExperiment(id string, quick bool) (string, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return "", errUnknownExperiment(id)
+	}
+	return e.Run(experiments.Config{Quick: quick})
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "distcount: unknown experiment " + string(e)
+}

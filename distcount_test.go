@@ -1,0 +1,98 @@
+package distcount_test
+
+import (
+	"strings"
+	"testing"
+
+	"distcount"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c := distcount.NewTreeCounter(2)
+	if c.N() != 8 {
+		t.Fatalf("n = %d, want 8", c.N())
+	}
+	res, err := distcount.RunSequence(c, distcount.RandomOrder(c.N(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 8 {
+		t.Fatalf("values = %v", res.Values)
+	}
+	sum := distcount.Loads(c)
+	if sum.Bottleneck < 1 || sum.MaxLoad == 0 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+}
+
+func TestNewTreeCounterForSize(t *testing.T) {
+	c := distcount.NewTreeCounterForSize(100)
+	if c.K() != 4 || c.N() != 1024 {
+		t.Fatalf("k=%d n=%d, want 4/1024", c.K(), c.N())
+	}
+}
+
+func TestAlgorithmsAndNewCounter(t *testing.T) {
+	algos := distcount.Algorithms()
+	if len(algos) != 12 {
+		t.Fatalf("algorithms = %v", algos)
+	}
+	for _, a := range algos {
+		c, err := distcount.NewCounter(a, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := distcount.VerifyCounter(c, distcount.SequentialOrder(c.N())); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+	}
+	if _, err := distcount.NewCounter("bogus", 8); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if distcount.SolveK(81) != 3 || distcount.SizeFor(3) != 81 {
+		t.Fatal("bound arithmetic broken")
+	}
+	if k := distcount.KReal(81); k < 2.99 || k > 3.01 {
+		t.Fatalf("KReal(81) = %v", k)
+	}
+}
+
+func TestAdversaryThroughFacade(t *testing.T) {
+	c, err := distcount.NewTracedCounter("central", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, ok := c.(distcount.Cloneable)
+	if !ok {
+		t.Fatal("central not cloneable")
+	}
+	res, err := distcount.RunAdversary(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distcount.VerifyAdversary(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MaxLoad < int64(res.BoundK) {
+		t.Fatalf("bottleneck %d below bound %d", res.Summary.MaxLoad, res.BoundK)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if got := len(distcount.Experiments()); got != 14 {
+		t.Fatalf("experiments = %d, want 14", got)
+	}
+	out, err := distcount.RunExperiment("E3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "level 0") {
+		t.Fatalf("E3 output unexpected:\n%s", out)
+	}
+	if _, err := distcount.RunExperiment("E99", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

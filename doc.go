@@ -1,0 +1,41 @@
+// Package distcount is a library-grade reproduction of
+//
+//	Roger Wattenhofer, Peter Widmayer.
+//	"An Inherent Bottleneck in Distributed Counting." PODC 1997.
+//
+// A distributed counter lets each processor of an asynchronous
+// message-passing network read-and-increment a shared integer. The paper
+// proves that over any sequence of n increments spread over n processors,
+// SOME processor must send or receive Ω(k) messages, where k·k^k = n — no
+// matter how clever the algorithm — and gives a matching counter built on a
+// communication tree whose inner nodes retire their processor after Θ(k)
+// messages, so every processor handles only O(k).
+//
+// The package exposes:
+//
+//   - the paper's communication-tree counter (NewTreeCounter) and eleven
+//     baseline counters from the surrounding literature (NewCounter):
+//     centralized, token ring, combining tree, bitonic and periodic
+//     counting networks, diffracting tree, and quorum-replicated counters
+//     over five quorum systems;
+//   - the discrete-event simulator substrate they run on, with per-processor
+//     message-load accounting and communication-DAG tracing;
+//   - the lower-bound machinery: SolveK/SizeFor/KReal for the k·k^k = n
+//     arithmetic and RunAdversary for the proof's constructive
+//     longest-communication-list workload;
+//   - the experiment harness (Experiments, RunExperiment) that regenerates
+//     every figure and theorem-level claim of the paper; see EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	c := distcount.NewTreeCounter(3)        // n = 3·3³ = 81 processors
+//	order := distcount.RandomOrder(c.N(), 1)
+//	res, err := distcount.RunSequence(c, order)
+//	// res.Values is a permutation of 0..80; the busiest processor
+//	// handled only O(k)=O(3) messages:
+//	sum := distcount.Loads(c)
+//	fmt.Println(sum.MaxLoad, "messages at processor", sum.Bottleneck)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package distcount

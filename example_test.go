@@ -1,0 +1,92 @@
+package distcount_test
+
+import (
+	"fmt"
+
+	"distcount"
+)
+
+// The headline use: build the paper's counter, run the canonical workload,
+// inspect the bottleneck.
+func Example() {
+	c := distcount.NewTreeCounter(2) // k=2: n = 2·2² = 8 processors
+	res, err := distcount.RunSequence(c, distcount.SequentialOrder(c.N()))
+	if err != nil {
+		panic(err)
+	}
+	sum := distcount.Loads(c)
+	fmt.Println("values:", res.Values)
+	fmt.Println("bottleneck load:", sum.MaxLoad)
+	fmt.Println("lower bound k:", distcount.SolveK(c.N()))
+	// Output:
+	// values: [0 1 2 3 4 5 6 7]
+	// bottleneck load: 35
+	// lower bound k: 2
+}
+
+// SolveK computes the paper's bound parameter k(n) with k·k^k = n.
+func ExampleSolveK() {
+	for _, n := range []int{8, 81, 1024, 279936} {
+		fmt.Printf("k(%d) = %d\n", n, distcount.SolveK(n))
+	}
+	// Output:
+	// k(8) = 2
+	// k(81) = 3
+	// k(1024) = 4
+	// k(279936) = 6
+}
+
+// NewCounter builds any of the eleven implemented counters by name.
+func ExampleNewCounter() {
+	c, err := distcount.NewCounter("central", 4)
+	if err != nil {
+		panic(err)
+	}
+	v1, _ := c.Inc(2)
+	v2, _ := c.Inc(3)
+	fmt.Println(v1, v2)
+	fmt.Println("messages:", c.Net().MessagesTotal())
+	// Output:
+	// 0 1
+	// messages: 4
+}
+
+// RunAdversary executes the Lower Bound Theorem's constructive workload.
+func ExampleRunAdversary() {
+	c, err := distcount.NewTracedCounter("central", 8)
+	if err != nil {
+		panic(err)
+	}
+	res, err := distcount.RunAdversary(c.(distcount.Cloneable))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bound k:", res.BoundK)
+	fmt.Println("bottleneck meets bound:", res.Summary.MaxLoad >= int64(res.BoundK))
+	fmt.Println("proof checks:", distcount.VerifyAdversary(res) == nil)
+	// Output:
+	// bound k: 2
+	// bottleneck meets bound: true
+	// proof checks: true
+}
+
+// NewFlipBit serves the paper's first extension data structure.
+func ExampleNewFlipBit() {
+	bit := distcount.NewFlipBit(2)
+	before, _ := bit.Flip(3) // test-and-flip by processor 3
+	after, _ := bit.Read(7)  // read by processor 7 sees the flip
+	fmt.Println(before, after)
+	// Output:
+	// false true
+}
+
+// NewPriorityQueue serves the paper's second extension data structure.
+func ExampleNewPriorityQueue() {
+	pq := distcount.NewPriorityQueue(2)
+	_ = pq.Insert(1, 42)
+	_ = pq.Insert(2, 7)
+	min, ok, _ := pq.DelMin(3)
+	fmt.Println(min, ok)
+	// Output:
+	// 7 true
+}

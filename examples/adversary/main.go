@@ -1,0 +1,46 @@
+// Adversary runs the constructive workload from the paper's Lower Bound
+// Theorem proof against two counters — the centralized baseline and the
+// paper's communication tree — and prints the proof trace: at every step
+// the adversary executes the not-yet-chosen processor whose hypothetical
+// communication list is longest, and a potential function over the last
+// processor's lists forces a bottleneck of Ω(k), k·k^k = n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcount"
+)
+
+func main() {
+	const n = 81
+	for _, algo := range []string{"central", "ctree"} {
+		c, err := distcount.NewTracedCounter(algo, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, ok := c.(distcount.Cloneable)
+		if !ok {
+			log.Fatalf("%s: not cloneable", algo)
+		}
+		res, err := distcount.RunAdversary(cl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := distcount.VerifyAdversary(res); err != nil {
+			log.Fatalf("%s: proof structure: %v", algo, err)
+		}
+
+		fmt.Printf("=== adversary vs %s (n=%d) ===\n", algo, c.N())
+		fmt.Printf("executed list lengths L_i (first 10): ")
+		for i := 0; i < 10 && i < len(res.Steps); i++ {
+			fmt.Printf("%d ", res.Steps[i].ListLen)
+		}
+		fmt.Printf("\nlast processor q = p%d; avg msgs/op L = %.2f\n", res.Last, res.AvgExecutedLen())
+		fmt.Printf("bottleneck: p%d with m_b = %d  >=  lower bound k = %d\n",
+			res.Summary.Bottleneck, res.Summary.MaxLoad, res.BoundK)
+		fmt.Printf("proof checks: greedy rule (l_i <= L_i), q-list hot-spot hits, bound — all verified\n\n")
+	}
+	fmt.Println("both met the bound; the tree counter just met it with a bottleneck ~n/k times smaller.")
+}

@@ -1,0 +1,96 @@
+// Datastructures demonstrates the paper's extension claim: "the argument in
+// the Hot Spot Lemma can be made for the family of all distributed data
+// structures in which an operation depends on the operation that
+// immediately precedes it. Examples for such data structures are a bit that
+// can be accessed and flipped and a priority queue."
+//
+// Both structures run on the same communication tree as the counter, so the
+// Ω(k) lower bound applies — and the tree's retirement machinery delivers
+// the matching O(k) bottleneck for them too.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcount"
+)
+
+func main() {
+	const k = 3
+	demoFlipBit(k)
+	demoPriorityQueue(k)
+}
+
+func demoFlipBit(k int) {
+	bit := distcount.NewFlipBit(k)
+	n := bit.N()
+	fmt.Printf("=== distributed test-and-flip bit (k=%d, n=%d) ===\n", k, n)
+
+	// Canonical workload: every processor flips once.
+	for p := 1; p <= n; p++ {
+		if _, err := bit.Flip(distcount.ProcID(p)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, err := bit.Read(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d flips the bit is %v (n odd: %v)\n", n, v, n%2 == 1)
+
+	net := bit.Tree().Net()
+	var max int64
+	for p := 1; p <= n; p++ {
+		if l := net.Load(distcount.ProcID(p)); l > max {
+			max = l
+		}
+	}
+	fmt.Printf("bottleneck load: %d messages = %.1f × k (lower bound k = %d)\n\n",
+		max, float64(max)/float64(k), distcount.SolveK(n))
+}
+
+func demoPriorityQueue(k int) {
+	pq := distcount.NewPriorityQueue(k)
+	n := pq.N()
+	fmt.Printf("=== distributed priority queue (k=%d, n=%d) ===\n", k, n)
+
+	// Half the processors insert their own id as priority, the other half
+	// drain: a mixed canonical workload.
+	inserted, drained := 0, 0
+	var mins []int
+	for p := 1; p <= n; p++ {
+		pid := distcount.ProcID(p)
+		if p%2 == 1 {
+			if err := pq.Insert(pid, p); err != nil {
+				log.Fatal(err)
+			}
+			inserted++
+			continue
+		}
+		if min, ok, err := pq.DelMin(pid); err != nil {
+			log.Fatal(err)
+		} else if ok {
+			mins = append(mins, min)
+			drained++
+		}
+	}
+	fmt.Printf("%d inserts, %d delete-mins; first mins drained: %v ...\n",
+		inserted, drained, mins[:5])
+
+	size, err := pq.Size(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remaining size: %d\n", size)
+
+	net := pq.Tree().Net()
+	var max int64
+	for p := 1; p <= n; p++ {
+		if l := net.Load(distcount.ProcID(p)); l > max {
+			max = l
+		}
+	}
+	fmt.Printf("bottleneck load: %d messages = %.1f × k — same O(k) as the counter\n",
+		max, float64(max)/float64(k))
+}

@@ -1,0 +1,63 @@
+package adversary
+
+import (
+	"fmt"
+
+	"distcount/internal/bound"
+)
+
+// VerifyProofStructure checks, on a full-mode Result, every structural fact
+// the Lower Bound Theorem's proof relies on:
+//
+//  1. l_i <= L_i for all steps i: the adversary executed a list at least as
+//     long as q's candidate list (greedy choice).
+//  2. q's candidate list starts with q itself (it is the source of q's
+//     hypothetical process).
+//  3. FirstAffected > 0 for every step before q's own: the executed
+//     operation touches q's candidate list (the Hot Spot Lemma argument —
+//     were the list untouched, it would remain a possible process whose
+//     participants are disjoint from the executed operation's, and its
+//     initiator would adopt a stale counter value).
+//  4. The measured bottleneck load meets the theorem: m_b >= k(n).
+func VerifyProofStructure(r *Result) error {
+	if !r.Full {
+		return fmt.Errorf("adversary: proof structure requires a full-mode run")
+	}
+	for i, st := range r.Steps {
+		if st.LastListLen > st.ListLen {
+			return fmt.Errorf("adversary: step %d: l_i = %d > L_i = %d (greedy rule violated)",
+				i, st.LastListLen, st.ListLen)
+		}
+		if len(st.LastList) == 0 {
+			return fmt.Errorf("adversary: step %d: empty candidate list for q", i)
+		}
+		if st.LastList[0] != int(r.Last) {
+			return fmt.Errorf("adversary: step %d: q's list starts with %d, want %d",
+				i, st.LastList[0], r.Last)
+		}
+		if i < len(r.Steps)-1 && st.FirstAffected == 0 {
+			return fmt.Errorf("adversary: step %d: executed op (initiator %v) does not touch q's list %v — Hot Spot violated",
+				i, st.Chosen, st.LastList)
+		}
+	}
+	if got, want := r.Summary.MaxLoad, int64(r.BoundK); got < want {
+		return fmt.Errorf("adversary: bottleneck load %d below the theorem's bound k = %d", got, want)
+	}
+	return nil
+}
+
+// WeightSeries evaluates the proof's potential function w_i over q's
+// candidate lists using λ = (m_b + 2)^(1/(2L)) (bound.Lambda): the value
+// the telescoping argument manipulates. Exposed for the proof-trace
+// experiment (E2/E4 diagnostics); requires a full-mode run.
+func (r *Result) WeightSeries() ([]float64, float64, error) {
+	if !r.Full {
+		return nil, 0, fmt.Errorf("adversary: weight series requires a full-mode run")
+	}
+	lambda := bound.Lambda(r.Summary.MaxLoad, r.AvgExecutedLen())
+	out := make([]float64, len(r.Steps))
+	for i, st := range r.Steps {
+		out[i] = bound.Weight(st.LastList, st.LoadsBefore, lambda)
+	}
+	return out, lambda, nil
+}

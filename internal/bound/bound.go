@@ -1,0 +1,100 @@
+// Package bound implements the arithmetic of the paper's Lower Bound
+// Theorem: "In any algorithm that implements a distributed counter on n
+// processors there is a bottleneck processor that sends and receives Ω(k)
+// messages, where k·k^k = n."
+//
+// The package provides the integer bound parameter k(n), its inverse
+// n(k) = k·k^k = k^(k+1), and a continuous solution of x^(x+1) = n used for
+// plotting. Note k(n) = Θ(log n / log log n).
+package bound
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxK bounds the search; k = 18 gives n = 18^19 ≈ 7.1e23, far beyond any
+// simulable size and still within float64 integer precision for SizeFor.
+const maxK = 18
+
+// SizeFor returns n(k) = k·k^k = k^(k+1), the exact workload size for which
+// the bound parameter is k. It panics for k outside [1, 18].
+func SizeFor(k int) int {
+	if k < 1 || k > maxK {
+		panic(fmt.Sprintf("bound: k = %d out of range [1,%d]", k, maxK))
+	}
+	out := 1
+	for i := 0; i <= k; i++ {
+		out *= k
+	}
+	return out
+}
+
+// SolveK returns the paper's bound parameter for n processors: the largest
+// integer k >= 1 with k·k^k <= n. The Lower Bound Theorem guarantees a
+// bottleneck processor with message load Ω(k) over the canonical workload
+// of n operations spread over n processors. It panics for n < 1.
+func SolveK(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("bound: n = %d < 1", n))
+	}
+	k := 1
+	for k < maxK && SizeFor(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// KReal solves x^(x+1) = n over the reals (x >= 1) by bisection; it is the
+// smooth version of SolveK used for plotted series. For n < 2 it returns 1.
+func KReal(n float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	f := func(x float64) float64 {
+		return (x+1)*math.Log(x) - math.Log(n)
+	}
+	lo, hi := 1.0, float64(maxK)
+	for f(hi) < 0 {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Lambda returns the base of the potential function used in the proof of
+// the Lower Bound Theorem: λ = (m_b + 2)^(1/(2·L)), where m_b is the
+// bottleneck load and L the average number of messages per operation. With
+// this choice the weight of any single list entry is at most λ^(2L)/λ = m_b
+// + 2 over λ, and the telescoping argument bounds m_b from below by k.
+func Lambda(mb int64, avgL float64) float64 {
+	if mb < 0 {
+		panic(fmt.Sprintf("bound: negative bottleneck load %d", mb))
+	}
+	if avgL <= 0 {
+		// No messages at all: degenerate run; any λ > 1 works.
+		return 2
+	}
+	return math.Pow(float64(mb)+2, 1/(2*avgL))
+}
+
+// Weight evaluates the proof's potential function for one communication
+// list: w = Σ_{j=1..len} (m(p_j) + 2) / λ^j, where m(p_j) is the current
+// message load of the processor labelling the j-th list node. loads is
+// indexed by processor id.
+func Weight(list []int, loads []int64, lambda float64) float64 {
+	w := 0.0
+	denom := lambda
+	for _, p := range list {
+		w += (float64(loads[p]) + 2) / denom
+		denom *= lambda
+	}
+	return w
+}

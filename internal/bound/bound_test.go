@@ -1,0 +1,170 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeFor(t *testing.T) {
+	want := map[int]int{1: 1, 2: 8, 3: 81, 4: 1024, 5: 15625, 6: 279936, 7: 5764801}
+	for k, n := range want {
+		if got := SizeFor(k); got != n {
+			t.Errorf("SizeFor(%d) = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestSolveK(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {7, 1}, {8, 2}, {80, 2}, {81, 3}, {1023, 3},
+		{1024, 4}, {15624, 4}, {15625, 5}, {279936, 6}, {300000, 6},
+		{5764801, 7}, {1 << 30, 8},
+	}
+	for _, c := range cases {
+		if got := SolveK(c.n); got != c.k {
+			t.Errorf("SolveK(%d) = %d, want %d", c.n, got, c.k)
+		}
+	}
+}
+
+// TestSolveKInverse: SolveK(SizeFor(k)) == k and SolveK(SizeFor(k)-1) == k-1.
+func TestSolveKInverse(t *testing.T) {
+	for k := 2; k <= 9; k++ {
+		n := SizeFor(k)
+		if got := SolveK(n); got != k {
+			t.Errorf("SolveK(SizeFor(%d)) = %d", k, got)
+		}
+		if got := SolveK(n - 1); got != k-1 {
+			t.Errorf("SolveK(SizeFor(%d)-1) = %d, want %d", k, got, k-1)
+		}
+	}
+}
+
+func TestSolveKMonotone(t *testing.T) {
+	if err := quick.Check(func(aRaw, bRaw uint32) bool {
+		a, b := int(aRaw%1_000_000)+1, int(bRaw%1_000_000)+1
+		if a > b {
+			a, b = b, a
+		}
+		return SolveK(a) <= SolveK(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SolveK(0) did not panic")
+		}
+	}()
+	SolveK(0)
+}
+
+func TestSizeForPanics(t *testing.T) {
+	for _, k := range []int{0, 19} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SizeFor(%d) did not panic", k)
+				}
+			}()
+			SizeFor(k)
+		}()
+	}
+}
+
+func TestKRealMatchesExactPoints(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		n := float64(SizeFor(k))
+		got := KReal(n)
+		if math.Abs(got-float64(k)) > 1e-6 {
+			t.Errorf("KReal(%g) = %v, want %d", n, got, k)
+		}
+	}
+}
+
+func TestKRealBetweenIntegers(t *testing.T) {
+	// For n strictly between k^(k+1) and (k+1)^(k+2) the real solution lies
+	// strictly between k and k+1.
+	got := KReal(200) // between 81 (k=3) and 1024 (k=4)
+	if got <= 3 || got >= 4 {
+		t.Fatalf("KReal(200) = %v, want in (3,4)", got)
+	}
+}
+
+func TestKRealSmallN(t *testing.T) {
+	if got := KReal(1); got != 1 {
+		t.Fatalf("KReal(1) = %v, want 1", got)
+	}
+}
+
+func TestKRealGrowsLikeLogOverLogLog(t *testing.T) {
+	// Sanity check of the asymptotic shape: k(n) / (ln n / ln ln n) stays
+	// within a moderate constant band as n sweeps 10^2..10^12.
+	for _, n := range []float64{1e2, 1e4, 1e6, 1e9, 1e12} {
+		k := KReal(n)
+		ref := math.Log(n) / math.Log(math.Log(n))
+		ratio := k / ref
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("n=%g: k=%v, ln n/ln ln n=%v, ratio %v out of [0.5,2]", n, k, ref, ratio)
+		}
+	}
+}
+
+func TestLambda(t *testing.T) {
+	// λ^(2L) must equal m_b + 2 by definition.
+	mb, avgL := int64(14), 3.5
+	l := Lambda(mb, avgL)
+	if got := math.Pow(l, 2*avgL); math.Abs(got-float64(mb+2)) > 1e-9 {
+		t.Fatalf("λ^(2L) = %v, want %d", got, mb+2)
+	}
+	if l <= 1 {
+		t.Fatalf("λ = %v, want > 1", l)
+	}
+}
+
+func TestLambdaDegenerate(t *testing.T) {
+	if got := Lambda(0, 0); got != 2 {
+		t.Fatalf("Lambda(0,0) = %v, want 2", got)
+	}
+}
+
+func TestLambdaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative load did not panic")
+		}
+	}()
+	Lambda(-1, 1)
+}
+
+func TestWeight(t *testing.T) {
+	loads := []int64{0, 4, 0, 2} // processors 1..3
+	list := []int{1, 3}
+	// w = (4+2)/λ + (2+2)/λ².
+	lambda := 2.0
+	want := 6.0/2 + 4.0/4
+	if got := Weight(list, loads, lambda); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Weight = %v, want %v", got, want)
+	}
+}
+
+func TestWeightEmptyList(t *testing.T) {
+	if got := Weight(nil, []int64{0}, 2); got != 0 {
+		t.Fatalf("empty list weight = %v", got)
+	}
+}
+
+// TestWeightDecreasingInLambda: the potential shrinks as λ grows.
+func TestWeightDecreasingInLambda(t *testing.T) {
+	loads := []int64{0, 1, 2, 3, 4}
+	list := []int{1, 2, 3, 4}
+	w2 := Weight(list, loads, 2)
+	w3 := Weight(list, loads, 3)
+	if w3 >= w2 {
+		t.Fatalf("weight not decreasing in λ: w(2)=%v w(3)=%v", w2, w3)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"distcount/internal/sim"
+)
+
+// Tests of the concurrent (pipelined) mode added on top of the paper's
+// sequential model: Start/ReplyOf, and the guard that keeps the lemma
+// instrumentation sequential-only.
+
+func TestConcurrentPipelinedCounting(t *testing.T) {
+	tr := NewTree(2, &counterState{}, WithoutChecks())
+	n := tr.N()
+	for p := 1; p <= n; p++ {
+		tr.Start(0, sim.ProcID(p), nil)
+	}
+	if err := tr.Net().Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	for p := 1; p <= n; p++ {
+		reply, ok := tr.ReplyOf(sim.ProcID(p))
+		if !ok {
+			t.Fatalf("processor %d got no reply", p)
+		}
+		v := reply.(int)
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("processor %d got invalid/duplicate value %d", p, v)
+		}
+		seen[v] = true
+	}
+	if got := tr.State().(*counterState).val; got != n {
+		t.Fatalf("final value %d, want %d", got, n)
+	}
+}
+
+func TestConcurrentPipelinedIsFasterThanSequential(t *testing.T) {
+	seq := New(2)
+	for p := 1; p <= seq.N(); p++ {
+		if _, err := seq.Inc(sim.ProcID(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conc := NewTree(2, &counterState{}, WithoutChecks())
+	for p := 1; p <= conc.N(); p++ {
+		conc.Start(0, sim.ProcID(p), nil)
+	}
+	if err := conc.Net().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if conc.Net().Now() >= seq.Net().Now() {
+		t.Fatalf("pipelining not faster: %d vs %d ticks", conc.Net().Now(), seq.Net().Now())
+	}
+}
+
+func TestConcurrentUnderReordering(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		tr := NewTree(2, &counterState{}, WithoutChecks(),
+			WithSimOptions(sim.WithSeed(seed), sim.WithLatency(sim.UniformLatency{Min: 1, Max: 11})))
+		n := tr.N()
+		for p := 1; p <= n; p++ {
+			tr.Start(int64(p), sim.ProcID(p), nil)
+		}
+		if err := tr.Net().Run(); err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for p := 1; p <= n; p++ {
+			reply, ok := tr.ReplyOf(sim.ProcID(p))
+			if !ok {
+				t.Fatalf("seed %d: processor %d got no reply", seed, p)
+			}
+			v := reply.(int)
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("seed %d: invalid/duplicate value %d", seed, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestStartRequiresWithoutChecks(t *testing.T) {
+	tr := NewTree(2, &counterState{}) // checks on
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start with checks enabled did not panic")
+		}
+	}()
+	tr.Start(0, 1, nil)
+}
+
+func TestReplyOfBeforeAnyOp(t *testing.T) {
+	tr := NewTree(2, &counterState{}, WithoutChecks())
+	if _, ok := tr.ReplyOf(3); ok {
+		t.Fatal("reply reported before any operation")
+	}
+}
+
+func TestWithoutChecksDisablesInstrumentation(t *testing.T) {
+	c := New(2, WithoutChecks())
+	if _, err := c.Inc(1); err != nil {
+		t.Fatal(err)
+	}
+	if v, count := c.Violations(); v != nil || count != 0 {
+		t.Fatal("violations reported with checks off")
+	}
+	if c.GrowOldMax() != 0 || c.RetirePerOpMax() != 0 {
+		t.Fatal("lemma metrics reported with checks off")
+	}
+}
+
+func TestPayloadKinds(t *testing.T) {
+	kinds := map[string]sim.Payload{
+		"inc-from":       incPayload{},
+		"value":          valuePayload{},
+		"handoff-job":    handoffJobPayload{},
+		"handoff-parent": handoffParentPayload{},
+		"handoff-child":  handoffChildPayload{},
+		"new-id":         newIDPayload{},
+	}
+	for want, pl := range kinds {
+		if got := pl.Kind(); got != want {
+			t.Errorf("Kind() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStateAccessor(t *testing.T) {
+	tr := NewTree(2, &counterState{})
+	if _, ok := tr.State().(*counterState); !ok {
+		t.Fatalf("State() = %T", tr.State())
+	}
+}
+
+func TestNewIDBitsLeafTarget(t *testing.T) {
+	// The leaf marker (-1) must not break size accounting.
+	pl := newIDPayload{Target: leafTarget, Changed: 3, NewProc: 7}
+	if pl.Bits() <= 0 {
+		t.Fatalf("Bits() = %d", pl.Bits())
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"distcount/internal/sim"
+)
+
+// Tree geometry and the paper's initial-identifier scheme (Section 4).
+//
+// The communication tree has arity k: the root is on level 0, inner nodes
+// occupy levels 0..k (level i holds k^i nodes), and the leaves — the n
+// processors themselves — are on level k+1, hence n = k^(k+1) = k·k^k.
+//
+// Inner node j (0-based) on level i (1 <= i <= k) initially uses processor
+//
+//	P(i,j) = (i-1)·k^k + j·k^(k-i) + 1
+//
+// and its replacement pool is the k^(k-i) consecutive processors starting at
+// P(i,j). Pools of distinct inner nodes on levels 1..k are disjoint and
+// exactly tile 1..n level by level. The root's pool is 1..k^k; it may share
+// processors with inner nodes of levels 1..k (the paper: "the root
+// nevertheless starts with id 1"), which is why a processor can work for the
+// root once and for one other inner node once — the Bottleneck Theorem's
+// accounting.
+
+// geometry captures the static shape of the communication tree.
+type geometry struct {
+	k int
+	// n = k^(k+1) leaves/processors.
+	n int
+	// kPowK = k^k, the root's pool size.
+	kPowK int
+	// levelOffset[i] is the index of the first node of level i in the
+	// level-order node array; levelOffset[k+1] is the total node count.
+	levelOffset []int
+}
+
+// pow returns b^e for small non-negative exponents.
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func newGeometry(k int) geometry {
+	if k < 2 {
+		panic(fmt.Sprintf("core: arity k = %d, need k >= 2", k))
+	}
+	if k > 8 {
+		// k=8 already means n = 8^9 = 134 million processors; beyond that
+		// the node arrays do not fit in memory.
+		panic(fmt.Sprintf("core: arity k = %d too large (max 8)", k))
+	}
+	g := geometry{k: k, n: pow(k, k+1), kPowK: pow(k, k)}
+	g.levelOffset = make([]int, k+2)
+	for i := 0; i <= k; i++ {
+		g.levelOffset[i+1] = g.levelOffset[i] + pow(k, i)
+	}
+	return g
+}
+
+// nodeCount returns the number of inner nodes (levels 0..k).
+func (g geometry) nodeCount() int { return g.levelOffset[g.k+1] }
+
+// nodeID maps (level, pos) to the level-order node index.
+func (g geometry) nodeID(level, pos int) int { return g.levelOffset[level] + pos }
+
+// levelPos inverts nodeID.
+func (g geometry) levelPos(id int) (level, pos int) {
+	for i := 0; i <= g.k; i++ {
+		if id < g.levelOffset[i+1] {
+			return i, id - g.levelOffset[i]
+		}
+	}
+	panic(fmt.Sprintf("core: node id %d out of range", id))
+}
+
+// parent returns the node index of the parent of inner node (level, pos);
+// the root has no parent.
+func (g geometry) parent(level, pos int) int {
+	if level == 0 {
+		panic("core: root has no parent")
+	}
+	return g.nodeID(level-1, pos/g.k)
+}
+
+// childNode returns the node index of the c-th child of inner node
+// (level, pos) for level < k (whose children are inner nodes).
+func (g geometry) childNode(level, pos, c int) int {
+	if level >= g.k {
+		panic("core: level-k children are leaves")
+	}
+	return g.nodeID(level+1, pos*g.k+c)
+}
+
+// leafChild returns the processor id of the c-th leaf child of a level-k
+// node at position pos.
+func (g geometry) leafChild(pos, c int) sim.ProcID {
+	return sim.ProcID(pos*g.k + c + 1)
+}
+
+// leafParentNode returns the node index of the level-k parent of leaf
+// processor p.
+func (g geometry) leafParentNode(p sim.ProcID) int {
+	leaf := int(p) - 1
+	return g.nodeID(g.k, leaf/g.k)
+}
+
+// initialProc returns the initial processor and pool size of inner node
+// (level, pos).
+func (g geometry) initialProc(level, pos int) (proc sim.ProcID, poolSize int) {
+	if level == 0 {
+		return 1, g.kPowK
+	}
+	poolSize = pow(g.k, g.k-level)
+	proc = sim.ProcID((level-1)*g.kPowK + pos*poolSize + 1)
+	return proc, poolSize
+}
+
+// SizeForK returns the number of processors n = k^(k+1) of the tree of
+// arity k.
+func SizeForK(k int) int {
+	if k < 2 || k > 8 {
+		panic(fmt.Sprintf("core: arity k = %d out of range [2,8]", k))
+	}
+	return pow(k, k+1)
+}
+
+// KForSize returns the smallest arity k >= 2 whose tree holds at least n
+// processors (the paper: "otherwise simply increase n to the next higher
+// value of the form k·k^k").
+func KForSize(n int) int {
+	for k := 2; k <= 8; k++ {
+		if pow(k, k+1) >= n {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("core: no supported arity for n = %d", n))
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"distcount/internal/sim"
+)
+
+func TestPow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 3, 8}, {3, 4, 81}, {5, 6, 15625}, {7, 0, 1},
+	}
+	for _, c := range cases {
+		if got := pow(c.b, c.e); got != c.want {
+			t.Errorf("pow(%d,%d) = %d, want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestSizeForK(t *testing.T) {
+	// n = k·k^k = k^(k+1): the paper's admissible sizes.
+	want := map[int]int{2: 8, 3: 81, 4: 1024, 5: 15625, 6: 279936}
+	for k, n := range want {
+		if got := SizeForK(k); got != n {
+			t.Errorf("SizeForK(%d) = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestKForSize(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 2}, {8, 2}, {9, 3}, {81, 3}, {82, 4}, {1024, 4}, {1025, 5}, {15625, 5}, {15626, 6},
+	}
+	for _, c := range cases {
+		if got := KForSize(c.n); got != c.k {
+			t.Errorf("KForSize(%d) = %d, want %d", c.n, got, c.k)
+		}
+	}
+}
+
+func TestSizeBoundsPanic(t *testing.T) {
+	for _, k := range []int{0, 1, 9} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SizeForK(%d) did not panic", k)
+				}
+			}()
+			SizeForK(k)
+		}()
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g := newGeometry(k)
+		if g.n != pow(k, k+1) {
+			t.Fatalf("k=%d: n = %d, want %d", k, g.n, pow(k, k+1))
+		}
+		// Inner nodes: sum of k^i for i in 0..k = (k^(k+1)-1)/(k-1).
+		want := (pow(k, k+1) - 1) / (k - 1)
+		if got := g.nodeCount(); got != want {
+			t.Fatalf("k=%d: nodeCount = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	g := newGeometry(3)
+	for i := 0; i < g.k; i++ {
+		for j := 0; j < pow(g.k, i); j++ {
+			id := g.nodeID(i, j)
+			for c := 0; c < g.k; c++ {
+				child := g.childNode(i, j, c)
+				cl, cp := g.levelPos(child)
+				if got := g.parent(cl, cp); got != id {
+					t.Fatalf("parent(child %d of node %d) = %d", c, id, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLevelPosRoundTrip(t *testing.T) {
+	g := newGeometry(4)
+	for id := 0; id < g.nodeCount(); id++ {
+		l, p := g.levelPos(id)
+		if got := g.nodeID(l, p); got != id {
+			t.Fatalf("nodeID(levelPos(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestLeafParentNode(t *testing.T) {
+	g := newGeometry(2)
+	// k=2: level-2 nodes have positions 0..3, leaves 1..8; leaf p belongs
+	// to level-2 node (p-1)/2.
+	for p := 1; p <= 8; p++ {
+		id := g.leafParentNode(sim.ProcID(p))
+		l, pos := g.levelPos(id)
+		if l != 2 || pos != (p-1)/2 {
+			t.Fatalf("leafParentNode(%d) = level %d pos %d", p, l, pos)
+		}
+	}
+	// And leafChild inverts it.
+	for pos := 0; pos < 4; pos++ {
+		for c := 0; c < 2; c++ {
+			p := g.leafChild(pos, c)
+			if got := g.leafParentNode(p); got != g.nodeID(2, pos) {
+				t.Fatalf("leafParentNode(leafChild(%d,%d)) mismatch", pos, c)
+			}
+		}
+	}
+}
+
+// TestInitialIDFormula pins the paper's identifier scheme:
+// P(i,j) = (i-1)·k^k + j·k^(k-i) + 1.
+func TestInitialIDFormula(t *testing.T) {
+	g := newGeometry(3) // k^k = 27
+	cases := []struct {
+		level, pos int
+		proc       sim.ProcID
+		pool       int
+	}{
+		{1, 0, 1, 9},   // (1-1)*27 + 0*9 + 1
+		{1, 1, 10, 9},  // 0*27 + 1*9 + 1
+		{1, 2, 19, 9},  // 0*27 + 2*9 + 1
+		{2, 0, 28, 3},  // 1*27 + 0*3 + 1
+		{2, 8, 52, 3},  // 27 + 24 + 1
+		{3, 0, 55, 1},  // 2*27 + 0 + 1
+		{3, 26, 81, 1}, // 54 + 26 + 1 = 81 = n: the paper's "largest identifier"
+	}
+	for _, c := range cases {
+		proc, pool := g.initialProc(c.level, c.pos)
+		if proc != c.proc || pool != c.pool {
+			t.Errorf("initialProc(%d,%d) = (%v,%d), want (%v,%d)",
+				c.level, c.pos, proc, pool, c.proc, c.pool)
+		}
+	}
+	// Root: processor 1 with pool k^k.
+	proc, pool := g.initialProc(0, 0)
+	if proc != 1 || pool != 27 {
+		t.Errorf("root initialProc = (%v,%d), want (1,27)", proc, pool)
+	}
+}
+
+// TestPoolsTileLevels checks the disjointness the paper relies on: within
+// levels 1..k, the replacement pools of all inner nodes are pairwise
+// disjoint and exactly tile the processors 1..n level by level.
+func TestPoolsTileLevels(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g := newGeometry(k)
+		for i := 1; i <= k; i++ {
+			covered := make([]bool, g.kPowK+1) // this level covers (i-1)k^k+1..i·k^k
+			base := (i - 1) * g.kPowK
+			for j := 0; j < pow(k, i); j++ {
+				proc, pool := g.initialProc(i, j)
+				for d := 0; d < pool; d++ {
+					idx := int(proc) + d - base
+					if idx < 1 || idx > g.kPowK {
+						t.Fatalf("k=%d: pool of (%d,%d) leaves level band: proc %d", k, i, j, int(proc)+d)
+					}
+					if covered[idx] {
+						t.Fatalf("k=%d: processor %d covered twice on level %d", k, int(proc)+d, i)
+					}
+					covered[idx] = true
+				}
+			}
+			for idx := 1; idx <= g.kPowK; idx++ {
+				if !covered[idx] {
+					t.Fatalf("k=%d: processor %d not covered on level %d", k, base+idx, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	g := newGeometry(2)
+	for name, fn := range map[string]func(){
+		"k<2":            func() { newGeometry(1) },
+		"k>8":            func() { newGeometry(9) },
+		"root parent":    func() { g.parent(0, 0) },
+		"leaf child":     func() { g.childNode(2, 0, 0) },
+		"bad node id":    func() { g.levelPos(99) },
+		"KForSize range": func() { KForSize(1 << 40) },
+	} {
+		fn := fn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import "distcount/internal/sim"
+
+// Message-size accounting. The paper: "Note that in this way we were able
+// to keep the length of messages as short as O(log n) bits." Every payload
+// of the tree protocol carries a constant number of identifiers and small
+// integers, so each message costs O(log n) bits; the sizes below are
+// reported to the network (sim.BitSized) and the test suite asserts the
+// O(log n) envelope.
+
+// tagBits distinguishes the protocol's message kinds.
+const tagBits = 3
+
+// valueBits sizes a request/reply value: the counter's replies are ints,
+// the extension data types use bools and small structs that implement
+// sim.BitSized themselves.
+func valueBits(v any) int {
+	switch val := v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int:
+		if val < 0 {
+			val = -val
+		}
+		return sim.BitsFor(val)
+	case sim.BitSized:
+		return val.Bits()
+	default:
+		// Unknown payload types are charged a machine word; extension
+		// states that care implement sim.BitSized.
+		return 64
+	}
+}
+
+// Bits implements sim.BitSized.
+func (p incPayload) Bits() int {
+	return tagBits + sim.BitsFor(p.Target) + sim.BitsFor(int(p.Origin)) + valueBits(p.Req)
+}
+
+// Bits implements sim.BitSized.
+func (p valuePayload) Bits() int {
+	return tagBits + valueBits(p.Reply)
+}
+
+// Bits implements sim.BitSized.
+func (p handoffJobPayload) Bits() int {
+	return tagBits + sim.BitsFor(p.Node) + sim.BitsFor(p.Retirement) + sim.BitsFor(int(p.ParentProc))
+}
+
+// Bits implements sim.BitSized.
+func (p handoffParentPayload) Bits() int {
+	return tagBits + sim.BitsFor(p.Node) + sim.BitsFor(int(p.ParentProc))
+}
+
+// Bits implements sim.BitSized.
+func (p handoffChildPayload) Bits() int {
+	return tagBits + sim.BitsFor(p.Node) + sim.BitsFor(p.Idx) + sim.BitsFor(int(p.ChildProc))
+}
+
+// Bits implements sim.BitSized.
+func (p newIDPayload) Bits() int {
+	target := p.Target
+	if target < 0 {
+		target = 0 // leaf marker
+	}
+	return tagBits + sim.BitsFor(target) + sim.BitsFor(p.Changed) + sim.BitsFor(int(p.NewProc))
+}
+
+var (
+	_ sim.BitSized = incPayload{}
+	_ sim.BitSized = valuePayload{}
+	_ sim.BitSized = handoffJobPayload{}
+	_ sim.BitSized = handoffParentPayload{}
+	_ sim.BitSized = handoffChildPayload{}
+	_ sim.BitSized = newIDPayload{}
+)

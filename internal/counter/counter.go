@@ -1,0 +1,41 @@
+// Package counter defines the distributed-counter abstraction shared by the
+// paper's communication-tree counter (internal/core) and all baseline
+// implementations (internal/counters/...), together with the sequential
+// operation driver that reproduces the paper's execution model and canonical
+// workload.
+//
+// A distributed counter encapsulates an integer value val and supports inc:
+// inc returns the current counter value to the requesting processor and
+// increments the counter by one (test-and-increment). Operations are
+// sequential — the driver runs the underlying network to quiescence between
+// operations, matching the paper's assumption that "enough time elapses in
+// between any two inc requests".
+package counter
+
+import "distcount/internal/sim"
+
+// Counter is a distributed counter implementation bound to a simulated
+// network.
+type Counter interface {
+	// Name identifies the algorithm (e.g. "ctree", "central").
+	Name() string
+	// N returns the number of processors in the underlying network. For
+	// algorithms with structural size constraints (the paper's tree needs
+	// n = k^(k+1)) this may exceed the requested size.
+	N() int
+	// Inc executes one test-and-increment initiated by processor p,
+	// running the network to quiescence, and returns the counter value
+	// observed by p (the pre-increment value).
+	Inc(p sim.ProcID) (int, error)
+	// Net exposes the underlying network for load accounting and tracing.
+	Net() *sim.Network
+}
+
+// Cloneable is implemented by counters that can deep-copy their full state
+// (network + protocol). The lower-bound adversary requires it.
+type Cloneable interface {
+	Counter
+	// Clone returns an independent copy; operations on the copy do not
+	// affect the original.
+	Clone() (Counter, error)
+}

@@ -1,0 +1,146 @@
+// Package central implements the naive centralized distributed counter the
+// paper uses as its motivating negative example (Section 1): the counter
+// value is stored at a single processor, and every other processor accesses
+// it with one request/reply exchange.
+//
+// This counter is message-optimal — two messages per operation — but the
+// holder sends or receives a message in every operation, so its message load
+// over the canonical workload is Θ(n): "whenever a large number of
+// processors operate on the counter, the single processor handling the
+// counter value will be a bottleneck."
+package central
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// payloads
+type (
+	reqPayload struct{ Origin sim.ProcID }
+	valPayload struct{ Val int }
+)
+
+func (reqPayload) Kind() string { return "inc-request" }
+func (valPayload) Kind() string { return "value" }
+
+// proto is the protocol: all state lives at the holder (the counter value);
+// initiators keep only the pending reply slot.
+type proto struct {
+	holder sim.ProcID
+	val    int
+
+	// result delivery to the driver (one op in flight at a time).
+	result      int
+	resultReady bool
+}
+
+var _ sim.CloneableProtocol = (*proto)(nil)
+
+func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	if p == pr.holder {
+		// The holder increments locally: accessing your own memory costs no
+		// messages in the paper's model.
+		pr.deliverResult(pr.val)
+		pr.val++
+		return
+	}
+	nw.Send(pr.holder, reqPayload{Origin: p})
+}
+
+func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case reqPayload:
+		nw.Send(pl.Origin, valPayload{Val: pr.val})
+		pr.val++
+	case valPayload:
+		pr.deliverResult(pl.Val)
+	default:
+		panic(fmt.Sprintf("central: unexpected payload %T", msg.Payload))
+	}
+}
+
+func (pr *proto) deliverResult(v int) {
+	pr.result = v
+	pr.resultReady = true
+}
+
+func (pr *proto) CloneProtocol() sim.Protocol {
+	cp := *pr
+	return &cp
+}
+
+// Counter is the centralized counter.
+type Counter struct {
+	net   *sim.Network
+	proto *proto
+}
+
+var _ counter.Cloneable = (*Counter)(nil)
+
+// Option configures the counter.
+type Option func(*config)
+
+type config struct {
+	holder  sim.ProcID
+	simOpts []sim.Option
+}
+
+// WithHolder selects which processor stores the counter value (default 1).
+func WithHolder(p sim.ProcID) Option {
+	return func(c *config) { c.holder = p }
+}
+
+// WithSimOptions forwards options to the underlying network.
+func WithSimOptions(opts ...sim.Option) Option {
+	return func(c *config) { c.simOpts = append(c.simOpts, opts...) }
+}
+
+// New creates a centralized counter over n processors.
+func New(n int, opts ...Option) *Counter {
+	cfg := config{holder: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pr := &proto{holder: cfg.holder}
+	return &Counter{
+		net:   sim.New(n, pr, cfg.simOpts...),
+		proto: pr,
+	}
+}
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "central" }
+
+// N implements counter.Counter.
+func (c *Counter) N() int { return c.net.N() }
+
+// Net implements counter.Counter.
+func (c *Counter) Net() *sim.Network { return c.net }
+
+// Holder returns the processor storing the counter value.
+func (c *Counter) Holder() sim.ProcID { return c.proto.holder }
+
+// Inc implements counter.Counter.
+func (c *Counter) Inc(p sim.ProcID) (int, error) {
+	c.proto.resultReady = false
+	c.net.StartOp(p, c.proto.initiate)
+	if err := c.net.Run(); err != nil {
+		return 0, err
+	}
+	if !c.proto.resultReady {
+		return 0, fmt.Errorf("central: operation by %v terminated without a value", p)
+	}
+	return c.proto.result, nil
+}
+
+// Clone implements counter.Cloneable.
+func (c *Counter) Clone() (counter.Counter, error) {
+	net, err := c.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{net: net, proto: net.Protocol().(*proto)}, nil
+}

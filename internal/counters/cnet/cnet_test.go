@@ -1,0 +1,214 @@
+package cnet
+
+import (
+	"testing"
+
+	"distcount/internal/counter"
+	"distcount/internal/counter/countertest"
+	"distcount/internal/loadstat"
+	"distcount/internal/sim"
+)
+
+func factory(n int) counter.Counter {
+	return New(n, WithSimOptions(sim.WithTracing()))
+}
+
+func periodicFactory(n int) counter.Counter {
+	return New(n, WithConstruction(Periodic), WithSimOptions(sim.WithTracing()))
+}
+
+func TestConformance(t *testing.T) {
+	countertest.Conformance(t, factory, 1, 2, 8, 33)
+}
+
+func TestConformancePeriodic(t *testing.T) {
+	countertest.Conformance(t, periodicFactory, 1, 2, 8, 33)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	countertest.CloneIndependence(t, factory, 16)
+}
+
+// TestSequentialExactCounting: the defining property in the sequential
+// regime — token t receives exactly value t — across widths and both
+// constructions.
+func TestSequentialExactCounting(t *testing.T) {
+	for _, construction := range []Construction{Bitonic, Periodic} {
+		for _, width := range []int{2, 4, 8, 16, 32} {
+			c := New(8, WithWidth(width), WithConstruction(construction))
+			for i := 0; i < 3*width+5; i++ {
+				p := sim.ProcID(i%8 + 1)
+				v, err := c.Inc(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != i {
+					t.Fatalf("%v width=%d: token %d got value %d", construction, width, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPeriodicDepth: the periodic network has lg²w stages of w/2 balancers.
+func TestPeriodicDepth(t *testing.T) {
+	for _, c := range []struct{ width, depth int }{
+		{2, 1}, {4, 4}, {8, 9}, {16, 16},
+	} {
+		n := New(4, WithWidth(c.width), WithConstruction(Periodic))
+		if n.Depth() != c.depth {
+			t.Fatalf("periodic width %d: depth = %d, want %d", c.width, n.Depth(), c.depth)
+		}
+		if n.Balancers() != c.depth*c.width/2 {
+			t.Fatalf("periodic width %d: balancers = %d, want %d", c.width, n.Balancers(), c.depth*c.width/2)
+		}
+	}
+}
+
+// TestPeriodicStepProperty: quiescent step property holds for the periodic
+// construction too.
+func TestPeriodicStepProperty(t *testing.T) {
+	const width = 8
+	c := New(4, WithWidth(width), WithConstruction(Periodic))
+	for i := 0; i < 21; i++ {
+		if _, err := c.Inc(sim.ProcID(i%4 + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, got := range c.WireCounts() {
+		want := (21 - i + width - 1) / width
+		if got != want {
+			t.Fatalf("wire %d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestConstructionNamesAndString(t *testing.T) {
+	if New(4).Name() != "cnet" {
+		t.Fatal("bitonic name wrong")
+	}
+	if New(4, WithConstruction(Periodic)).Name() != "cnet-periodic" {
+		t.Fatal("periodic name wrong")
+	}
+	if Bitonic.String() != "bitonic" || Periodic.String() != "periodic" {
+		t.Fatal("Construction.String wrong")
+	}
+	if Construction(9).String() == "" {
+		t.Fatal("unknown construction string empty")
+	}
+	if got := New(4, WithConstruction(Periodic)).Construction(); got != Periodic {
+		t.Fatalf("Construction() = %v", got)
+	}
+}
+
+func TestUnknownConstructionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(4, WithConstruction(Construction(99)))
+}
+
+// TestStepProperty: after T sequential tokens the output wire counts
+// satisfy the step property: wire i has ceil((T-i)/w) tokens.
+func TestStepProperty(t *testing.T) {
+	const width = 8
+	c := New(4, WithWidth(width))
+	for i := 0; i < 29; i++ {
+		if _, err := c.Inc(sim.ProcID(i%4 + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := c.WireCounts()
+	total := 0
+	for i, got := range counts {
+		want := (29 - i + width - 1) / width
+		if got != want {
+			t.Fatalf("wire %d count = %d, want %d (counts %v)", i, got, want, counts)
+		}
+		total += got
+	}
+	if total != 29 {
+		t.Fatalf("total tokens %d, want 29", total)
+	}
+}
+
+func TestDepthFormula(t *testing.T) {
+	for _, c := range []struct{ width, depth, balancers int }{
+		{2, 1, 1},
+		{4, 3, 6},
+		{8, 6, 24},
+		{16, 10, 80},
+	} {
+		n := New(4, WithWidth(c.width))
+		if n.Depth() != c.depth {
+			t.Fatalf("width %d: depth = %d, want %d", c.width, n.Depth(), c.depth)
+		}
+		if n.Balancers() != c.balancers {
+			t.Fatalf("width %d: balancers = %d, want %d", c.width, n.Balancers(), c.balancers)
+		}
+	}
+}
+
+func TestMessagesPerOp(t *testing.T) {
+	// One op costs depth+2 messages: entry, stage transitions, exit to the
+	// wire owner, value back. (Stage hops between balancers on the same
+	// host still count: they are messages in the network model.)
+	c := New(8, WithWidth(4))
+	if _, err := c.Inc(3); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(c.Depth() + 2)
+	if got := c.Net().MessagesTotal(); got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+}
+
+// TestLoadSpreadAcrossBalancerHosts: with width >= n the per-processor load
+// is flatter than the centralized counter's: the bottleneck is o(n) —
+// though total messages are much larger.
+func TestLoadSpreadAcrossBalancerHosts(t *testing.T) {
+	const n = 32
+	c := New(n, WithWidth(32))
+	if _, err := counter.RunSequence(c, counter.SequentialOrder(n)); err != nil {
+		t.Fatal(err)
+	}
+	s := loadstat.SummarizeLoads(c.Net().Loads())
+	// Θ(n) would be >= 2(n-1) = 62; the network must stay clearly below.
+	if s.MaxLoad >= int64(2*(n-1)) {
+		t.Fatalf("bottleneck %d not below centralized 2(n-1) = %d", s.MaxLoad, 2*(n-1))
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	for _, w := range []int{1, 3, 6} {
+		w := w
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d: no panic", w)
+				}
+			}()
+			New(4, WithWidth(w))
+		}()
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	if got := New(8).Width(); got != 8 {
+		t.Fatalf("default width for n=8 is %d, want 8", got)
+	}
+	if got := New(100).Width(); got != 16 {
+		t.Fatalf("default width for n=100 is %d, want 16 (capped)", got)
+	}
+	if got := New(1).Width(); got != 2 {
+		t.Fatalf("default width for n=1 is %d, want 2", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(2).Name() != "cnet" {
+		t.Fatal("wrong name")
+	}
+}

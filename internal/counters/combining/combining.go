@@ -1,0 +1,363 @@
+// Package combining implements a software combining tree counter (Yew,
+// Tzeng & Lawrie 1987; Goodman, Vernon & Woest 1989) — the first schemes the
+// paper credits with "explicitly aiming at avoiding a bottleneck".
+//
+// Processors are the leaves of a binary tree; the root holds the counter
+// value. A request climbs toward the root; when several requests meet at an
+// inner node within a combining window they merge into one upward request,
+// and the root's reply is split on the way back down, assigning each
+// requester a distinct value from the combined range.
+//
+// The scheme's effectiveness depends entirely on concurrency: with
+// sequential operations (the paper's lower-bound regime) nothing ever
+// combines, every request traverses the full path alone, and the root's
+// host remains a Θ(n) bottleneck — which is precisely why the paper's lower
+// bound survives combining trees and why its Section 4 counter instead
+// rotates processors. The concurrent experiments (E10) turn the window up
+// and watch the root's message count fall.
+package combining
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// payloads
+type (
+	// reqPayload climbs the tree. Exactly one of FromLeaf (leaf request)
+	// and FromNode/ChildBatch (combined request from a child node) is set.
+	reqPayload struct {
+		Node       int // target inner node
+		FromLeaf   sim.ProcID
+		FromNode   int // -1 when FromLeaf is set
+		ChildBatch int
+		Count      int
+	}
+	// respPayload descends with the base of the assigned value range.
+	respPayload struct {
+		Node  int
+		Batch int
+		Base  int
+	}
+	// valuePayload delivers a leaf's assigned value.
+	valuePayload struct{ Val int }
+	// windowTimer closes a combining window.
+	windowTimer struct {
+		Node int
+		Seq  int
+	}
+)
+
+func (reqPayload) Kind() string   { return "combine-request" }
+func (respPayload) Kind() string  { return "combine-response" }
+func (valuePayload) Kind() string { return "value" }
+func (windowTimer) Kind() string  { return "window-timer" }
+
+// contrib is one participant of a batch.
+type contrib struct {
+	fromLeaf   sim.ProcID // 0 if from a child node
+	fromNode   int
+	childBatch int
+	count      int
+}
+
+// batch accumulates requests at a node during a combining window.
+type batch struct {
+	seq      int
+	contribs []contrib
+	total    int
+}
+
+// cnode is one inner node of the combining tree.
+type cnode struct {
+	parent int // -1 for the root
+	host   sim.ProcID
+	// pending is the batch currently collecting (nil outside a window).
+	pending *batch
+	seq     int
+	// inFlight maps batch ids to batches awaiting the parent's response.
+	inFlight map[int]*batch
+	nextID   int
+	val      int // root only
+}
+
+type proto struct {
+	n      int
+	window int64
+	nodes  []cnode
+	// leafParent[p] is the inner node above leaf p (-1 when n == 1).
+	leafParent []int
+	// valueOf[p] is the last value delivered to leaf p; fresh deliveries
+	// set delivered[p].
+	valueOf   []int
+	delivered []bool
+	val       int // used only in the degenerate n == 1 case
+
+	// combined counts requests that were merged into an existing batch —
+	// the quantity the concurrency experiment watches.
+	combined int64
+}
+
+var _ sim.CloneableProtocol = (*proto)(nil)
+
+// buildTree constructs inner nodes over the leaf range [lo, hi] and returns
+// the subtree root's node index, or -1 for a single leaf.
+func (pr *proto) buildTree(lo, hi, parent int) int {
+	if lo == hi {
+		pr.leafParent[lo] = parent
+		return -1
+	}
+	id := len(pr.nodes)
+	pr.nodes = append(pr.nodes, cnode{
+		parent:   parent,
+		host:     sim.ProcID(lo),
+		inFlight: make(map[int]*batch),
+	})
+	mid := (lo + hi) / 2
+	pr.buildTree(lo, mid, id)
+	pr.buildTree(mid+1, hi, id)
+	return id
+}
+
+func newProto(n int, window int64) *proto {
+	pr := &proto{
+		n:          n,
+		window:     window,
+		leafParent: make([]int, n+1),
+		valueOf:    make([]int, n+1),
+		delivered:  make([]bool, n+1),
+	}
+	for p := range pr.leafParent {
+		pr.leafParent[p] = -1
+	}
+	if n > 1 {
+		pr.buildTree(1, n, -1)
+	}
+	return pr
+}
+
+func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.delivered[p] = false
+	if pr.n == 1 {
+		pr.valueOf[p] = pr.val
+		pr.val++
+		pr.delivered[p] = true
+		return
+	}
+	parent := pr.leafParent[p]
+	nw.Send(pr.nodes[parent].host, reqPayload{
+		Node:     parent,
+		FromLeaf: p,
+		FromNode: -1,
+		Count:    1,
+	})
+}
+
+func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case reqPayload:
+		pr.handleReq(nw, pl)
+	case respPayload:
+		pr.handleResp(nw, pl)
+	case valuePayload:
+		pr.valueOf[msg.To] = pl.Val
+		pr.delivered[msg.To] = true
+	case windowTimer:
+		nd := &pr.nodes[pl.Node]
+		if nd.pending != nil && nd.pending.seq == pl.Seq {
+			pr.closeBatch(nw, pl.Node)
+		}
+	default:
+		panic(fmt.Sprintf("combining: unexpected payload %T", msg.Payload))
+	}
+}
+
+func (pr *proto) handleReq(nw *sim.Network, pl reqPayload) {
+	nd := &pr.nodes[pl.Node]
+	c := contrib{fromLeaf: pl.FromLeaf, fromNode: pl.FromNode, childBatch: pl.ChildBatch, count: pl.Count}
+	if nd.pending == nil {
+		nd.seq++
+		nd.pending = &batch{seq: nd.seq, contribs: []contrib{c}, total: pl.Count}
+		if pr.window > 0 {
+			nw.After(pr.window, windowTimer{Node: pl.Node, Seq: nd.seq})
+			return
+		}
+		pr.closeBatch(nw, pl.Node)
+		return
+	}
+	// Combining: merge into the open window.
+	nd.pending.contribs = append(nd.pending.contribs, c)
+	nd.pending.total += pl.Count
+	pr.combined++
+}
+
+// closeBatch forwards the pending batch upward, or applies it at the root.
+func (pr *proto) closeBatch(nw *sim.Network, node int) {
+	nd := &pr.nodes[node]
+	b := nd.pending
+	nd.pending = nil
+	if nd.parent == -1 {
+		base := nd.val
+		nd.val += b.total
+		pr.distribute(nw, b, base)
+		return
+	}
+	id := nd.nextID
+	nd.nextID++
+	nd.inFlight[id] = b
+	nw.Send(pr.nodes[nd.parent].host, reqPayload{
+		Node:       nd.parent,
+		FromNode:   node,
+		ChildBatch: id,
+		Count:      b.total,
+	})
+}
+
+func (pr *proto) handleResp(nw *sim.Network, pl respPayload) {
+	nd := &pr.nodes[pl.Node]
+	b, ok := nd.inFlight[pl.Batch]
+	if !ok {
+		panic(fmt.Sprintf("combining: node %d has no in-flight batch %d", pl.Node, pl.Batch))
+	}
+	delete(nd.inFlight, pl.Batch)
+	pr.distribute(nw, b, pl.Base)
+}
+
+// distribute splits a value range among the contributors of a batch.
+func (pr *proto) distribute(nw *sim.Network, b *batch, base int) {
+	offset := base
+	for _, c := range b.contribs {
+		if c.fromNode == -1 {
+			nw.Send(c.fromLeaf, valuePayload{Val: offset})
+		} else {
+			nw.Send(pr.nodes[c.fromNode].host, respPayload{
+				Node:  c.fromNode,
+				Batch: c.childBatch,
+				Base:  offset,
+			})
+		}
+		offset += c.count
+	}
+}
+
+func (pr *proto) CloneProtocol() sim.Protocol {
+	cp := *pr
+	cp.nodes = make([]cnode, len(pr.nodes))
+	copy(cp.nodes, pr.nodes)
+	for i := range cp.nodes {
+		src := &pr.nodes[i]
+		if src.pending != nil {
+			b := *src.pending
+			b.contribs = append([]contrib(nil), src.pending.contribs...)
+			cp.nodes[i].pending = &b
+		}
+		cp.nodes[i].inFlight = make(map[int]*batch, len(src.inFlight))
+		for id, bb := range src.inFlight {
+			b := *bb
+			b.contribs = append([]contrib(nil), bb.contribs...)
+			cp.nodes[i].inFlight[id] = &b
+		}
+	}
+	cp.leafParent = append([]int(nil), pr.leafParent...)
+	cp.valueOf = append([]int(nil), pr.valueOf...)
+	cp.delivered = append([]bool(nil), pr.delivered...)
+	return &cp
+}
+
+// Counter is the combining-tree counter.
+type Counter struct {
+	net   *sim.Network
+	proto *proto
+}
+
+var _ counter.Cloneable = (*Counter)(nil)
+
+// Option configures the counter.
+type Option func(*cfg)
+
+type cfg struct {
+	window  int64
+	simOpts []sim.Option
+}
+
+// WithWindow sets the combining window in simulated time units (default 0:
+// no combining — the sequential regime).
+func WithWindow(w int64) Option {
+	if w < 0 {
+		panic(fmt.Sprintf("combining: negative window %d", w))
+	}
+	return func(c *cfg) { c.window = w }
+}
+
+// WithSimOptions forwards options to the underlying network.
+func WithSimOptions(opts ...sim.Option) Option {
+	return func(c *cfg) { c.simOpts = append(c.simOpts, opts...) }
+}
+
+// New creates a combining-tree counter over n processors.
+func New(n int, opts ...Option) *Counter {
+	var c cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	pr := newProto(n, c.window)
+	return &Counter{net: sim.New(n, pr, c.simOpts...), proto: pr}
+}
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "combining" }
+
+// N implements counter.Counter.
+func (c *Counter) N() int { return c.net.N() }
+
+// Net implements counter.Counter.
+func (c *Counter) Net() *sim.Network { return c.net }
+
+// Combined returns how many requests merged into an open window so far.
+func (c *Counter) Combined() int64 { return c.proto.combined }
+
+// RootHost returns the processor hosting the tree root (the sequential
+// bottleneck).
+func (c *Counter) RootHost() sim.ProcID {
+	if c.proto.n == 1 {
+		return 1
+	}
+	return c.proto.nodes[0].host
+}
+
+// Inc implements counter.Counter (sequential mode).
+func (c *Counter) Inc(p sim.ProcID) (int, error) {
+	c.net.StartOp(p, c.proto.initiate)
+	if err := c.net.Run(); err != nil {
+		return 0, err
+	}
+	if !c.proto.delivered[p] {
+		return 0, fmt.Errorf("combining: operation by %v terminated without a value", p)
+	}
+	return c.proto.valueOf[p], nil
+}
+
+// Start begins p's operation without running the network; used by the
+// concurrent experiments, which schedule many operations and then run the
+// network once. The assigned value is available from ValueOf after the
+// network quiesces.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.proto.initiate)
+}
+
+// ValueOf returns the value delivered to p's last operation; ok is false if
+// none was delivered.
+func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
+	return c.proto.valueOf[p], c.proto.delivered[p]
+}
+
+// Clone implements counter.Cloneable.
+func (c *Counter) Clone() (counter.Counter, error) {
+	net, err := c.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{net: net, proto: net.Protocol().(*proto)}, nil
+}

@@ -1,0 +1,311 @@
+// Package difftree implements diffracting trees (Shavit & Zemach, SPAA
+// 1994; steady-state analysis with Upfal, SPAA 1996) — the related-work
+// counter that layers "prisms" over a tree of toggle balancers.
+//
+// The tree of width w = 2^d is itself a counting network: a token entering
+// the root follows toggled turns to one of w leaf counters, and leaf i
+// hands out i, i+w, i+2w, .... The prism optimization pairs two tokens that
+// meet at a node within a small window and "diffracts" one left and one
+// right without touching the toggle — the pair leaves the node in the same
+// aggregate state, so correctness is preserved while contention on the
+// toggle (the hot spot) drops.
+//
+// In the paper's sequential regime prisms never pair, every token toggles
+// the root, and the root's host is a Θ(n) bottleneck; under concurrency
+// (experiment E10) diffraction visibly removes root traffic. Both regimes
+// matter to the reproduction: the first shows the lower bound biting, the
+// second reproduces the effect diffracting trees were invented for.
+package difftree
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+type (
+	// tokenPayload is a token about to enter inner node Node (heap index)
+	// at depth Level with partial leaf index Idx.
+	tokenPayload struct {
+		Node   int
+		Level  int
+		Idx    int
+		Origin sim.ProcID
+	}
+	// exitPayload delivers a token to leaf counter Idx's owner.
+	exitPayload struct {
+		Idx    int
+		Origin sim.ProcID
+	}
+	// valuePayload returns the assigned value.
+	valuePayload struct{ Val int }
+	// prismTimer expires a parked token.
+	prismTimer struct {
+		Node int
+		Seq  int
+	}
+)
+
+func (tokenPayload) Kind() string { return "token" }
+func (exitPayload) Kind() string  { return "exit" }
+func (valuePayload) Kind() string { return "value" }
+func (prismTimer) Kind() string   { return "prism-timer" }
+
+// dnode is an inner node: a toggle plus a one-slot prism.
+type dnode struct {
+	host   sim.ProcID
+	toggle bool
+	// parked is the token waiting in the prism (nil when empty).
+	parked *tokenPayload
+	seq    int
+}
+
+type proto struct {
+	n, width, depth int
+	window          int64
+	nodes           []dnode // heap-indexed, root at 1; len = width
+	leafCount       []int
+
+	valueOf   []int
+	delivered []bool
+
+	// diffracted counts token pairs that bypassed a toggle.
+	diffracted int64
+	// toggles counts toggle uses per node (index as nodes).
+	toggles []int64
+}
+
+var _ sim.CloneableProtocol = (*proto)(nil)
+
+func newProto(n, width int, window int64) *proto {
+	if width < 2 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("difftree: width %d must be a power of two >= 2", width))
+	}
+	depth := 0
+	for 1<<depth < width {
+		depth++
+	}
+	pr := &proto{
+		n:         n,
+		width:     width,
+		depth:     depth,
+		window:    window,
+		nodes:     make([]dnode, width), // slots 1..width-1 used
+		leafCount: make([]int, width),
+		valueOf:   make([]int, n+1),
+		delivered: make([]bool, n+1),
+		toggles:   make([]int64, width),
+	}
+	for i := 1; i < width; i++ {
+		pr.nodes[i].host = sim.ProcID((i-1)%n + 1)
+	}
+	for i := 0; i < width; i++ {
+		pr.leafCount[i] = i
+	}
+	return pr
+}
+
+func (pr *proto) leafOwner(idx int) sim.ProcID {
+	return sim.ProcID(idx%pr.n + 1)
+}
+
+func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.delivered[p] = false
+	nw.Send(pr.nodes[1].host, tokenPayload{Node: 1, Level: 0, Idx: 0, Origin: p})
+}
+
+// route sends a token onward after it resolved direction at node tk.Node:
+// right == true sets the level bit of the leaf index.
+func (pr *proto) route(nw *sim.Network, tk tokenPayload, right bool) {
+	idx := tk.Idx
+	child := tk.Node * 2
+	if right {
+		idx |= 1 << tk.Level
+		child++
+	}
+	if tk.Level+1 == pr.depth {
+		nw.Send(pr.leafOwner(idx), exitPayload{Idx: idx, Origin: tk.Origin})
+		return
+	}
+	nw.Send(pr.nodes[child].host, tokenPayload{
+		Node:   child,
+		Level:  tk.Level + 1,
+		Idx:    idx,
+		Origin: tk.Origin,
+	})
+}
+
+// toggleRoute resolves a token through the node's toggle.
+func (pr *proto) toggleRoute(nw *sim.Network, tk tokenPayload) {
+	nd := &pr.nodes[tk.Node]
+	right := nd.toggle
+	nd.toggle = !nd.toggle
+	pr.toggles[tk.Node]++
+	pr.route(nw, tk, right)
+}
+
+func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case tokenPayload:
+		nd := &pr.nodes[pl.Node]
+		if nd.parked != nil {
+			// Diffraction: the parked partner goes left, the arriving
+			// token right; the toggle is untouched.
+			partner := *nd.parked
+			nd.parked = nil
+			pr.diffracted++
+			pr.route(nw, partner, false)
+			pr.route(nw, pl, true)
+			return
+		}
+		if pr.window == 0 {
+			pr.toggleRoute(nw, pl)
+			return
+		}
+		tk := pl
+		nd.seq++
+		nd.parked = &tk
+		nw.After(pr.window, prismTimer{Node: pl.Node, Seq: nd.seq})
+	case prismTimer:
+		nd := &pr.nodes[pl.Node]
+		if nd.parked != nil && nd.seq == pl.Seq {
+			tk := *nd.parked
+			nd.parked = nil
+			pr.toggleRoute(nw, tk)
+		}
+	case exitPayload:
+		val := pr.leafCount[pl.Idx]
+		pr.leafCount[pl.Idx] += pr.width
+		nw.Send(pl.Origin, valuePayload{Val: val})
+	case valuePayload:
+		pr.valueOf[msg.To] = pl.Val
+		pr.delivered[msg.To] = true
+	default:
+		panic(fmt.Sprintf("difftree: unexpected payload %T", msg.Payload))
+	}
+}
+
+func (pr *proto) CloneProtocol() sim.Protocol {
+	cp := *pr
+	cp.nodes = make([]dnode, len(pr.nodes))
+	copy(cp.nodes, pr.nodes)
+	for i := range cp.nodes {
+		if pr.nodes[i].parked != nil {
+			tk := *pr.nodes[i].parked
+			cp.nodes[i].parked = &tk
+		}
+	}
+	cp.leafCount = append([]int(nil), pr.leafCount...)
+	cp.valueOf = append([]int(nil), pr.valueOf...)
+	cp.delivered = append([]bool(nil), pr.delivered...)
+	cp.toggles = append([]int64(nil), pr.toggles...)
+	return &cp
+}
+
+// Counter is the diffracting-tree counter.
+type Counter struct {
+	net   *sim.Network
+	proto *proto
+}
+
+var _ counter.Cloneable = (*Counter)(nil)
+
+// Option configures the counter.
+type Option func(*cfg)
+
+type cfg struct {
+	width   int
+	window  int64
+	simOpts []sim.Option
+}
+
+// WithWidth sets the number of leaf counters (a power of two >= 2); the
+// default is the smallest power of two >= min(n, 8).
+func WithWidth(w int) Option {
+	return func(c *cfg) { c.width = w }
+}
+
+// WithWindow sets the prism pairing window in time units (default 0: no
+// diffraction — the sequential regime).
+func WithWindow(w int64) Option {
+	if w < 0 {
+		panic(fmt.Sprintf("difftree: negative window %d", w))
+	}
+	return func(c *cfg) { c.window = w }
+}
+
+// WithSimOptions forwards options to the underlying network.
+func WithSimOptions(opts ...sim.Option) Option {
+	return func(c *cfg) { c.simOpts = append(c.simOpts, opts...) }
+}
+
+// New creates a diffracting-tree counter over n processors.
+func New(n int, opts ...Option) *Counter {
+	var c cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.width == 0 {
+		c.width = 2
+		for c.width < n && c.width < 8 {
+			c.width <<= 1
+		}
+	}
+	pr := newProto(n, c.width, c.window)
+	return &Counter{net: sim.New(n, pr, c.simOpts...), proto: pr}
+}
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "difftree" }
+
+// N implements counter.Counter.
+func (c *Counter) N() int { return c.net.N() }
+
+// Net implements counter.Counter.
+func (c *Counter) Net() *sim.Network { return c.net }
+
+// Width returns the number of leaf counters.
+func (c *Counter) Width() int { return c.proto.width }
+
+// Diffracted returns the number of token pairs that bypassed a toggle.
+func (c *Counter) Diffracted() int64 { return c.proto.diffracted }
+
+// RootToggles returns how often the root toggle was used — the contention
+// hot spot diffraction exists to relieve.
+func (c *Counter) RootToggles() int64 { return c.proto.toggles[1] }
+
+// RootHost returns the processor hosting the root node.
+func (c *Counter) RootHost() sim.ProcID { return c.proto.nodes[1].host }
+
+// Inc implements counter.Counter (sequential mode).
+func (c *Counter) Inc(p sim.ProcID) (int, error) {
+	c.net.StartOp(p, c.proto.initiate)
+	if err := c.net.Run(); err != nil {
+		return 0, err
+	}
+	if !c.proto.delivered[p] {
+		return 0, fmt.Errorf("difftree: operation by %v terminated without a value", p)
+	}
+	return c.proto.valueOf[p], nil
+}
+
+// Start begins p's operation without draining the network (concurrent
+// experiments); read the result with ValueOf after the network quiesces.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.proto.initiate)
+}
+
+// ValueOf returns the value delivered to p's last operation.
+func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
+	return c.proto.valueOf[p], c.proto.delivered[p]
+}
+
+// Clone implements counter.Cloneable.
+func (c *Counter) Clone() (counter.Counter, error) {
+	net, err := c.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{net: net, proto: net.Protocol().(*proto)}, nil
+}

@@ -1,0 +1,224 @@
+// Package quorumctr implements a distributed counter on top of a quorum
+// system (internal/quorum): every processor keeps a replica (val, ver); an
+// inc reads all replicas of one quorum, adopts the value with the highest
+// version, writes (val+1, ver+1) back to the same quorum, and returns val.
+//
+// Correctness in the sequential model follows from the intersection
+// property: the quorum of operation i intersects the quorum of operation
+// i-1, so the read phase always sees the latest version — the Hot Spot
+// Lemma made constructive. The interesting quantity is the load profile:
+// with rotating majorities every operation touches Θ(n) processors (huge
+// work, flat distribution); with grids, Θ(√n); with tree quorums the
+// quorums are small but the root is in nearly all of them. None reach the
+// O(k) of the paper's counter — static quorum systems cannot, which is why
+// the paper's Section 4 scheme is dynamic.
+package quorumctr
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/quorum"
+	"distcount/internal/sim"
+)
+
+type (
+	readReq  struct{ Origin sim.ProcID }
+	readResp struct{ Val, Ver int }
+	writeReq struct {
+		Origin   sim.ProcID
+		Val, Ver int
+	}
+	writeAck struct{}
+)
+
+func (readReq) Kind() string  { return "read-request" }
+func (readResp) Kind() string { return "read-response" }
+func (writeReq) Kind() string { return "write-request" }
+func (writeAck) Kind() string { return "write-ack" }
+
+// replica is one processor's copy of the counter.
+type replica struct {
+	val, ver int
+}
+
+// opState tracks the initiator's in-flight operation (at most one in the
+// sequential model).
+type opState struct {
+	origin       sim.ProcID
+	quorum       []int
+	awaitReads   int
+	awaitAcks    int
+	bestVal, ver int
+}
+
+type proto struct {
+	sys      quorum.System
+	replicas []replica
+	// localOps[p] counts operations initiated by p: the quorum-rotation
+	// index is derived from strictly local information (the initiator's id
+	// and its own operation count), never from global state — the paper's
+	// model has no shared memory. Over the canonical workload (each
+	// processor once) this spreads quorums exactly like a round robin.
+	localOps []int
+	cur      *opState
+
+	result      int
+	resultReady bool
+}
+
+var _ sim.CloneableProtocol = (*proto)(nil)
+
+func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	idx := int(p) - 1 + pr.sys.N()*pr.localOps[p]
+	pr.localOps[p]++
+	q := pr.sys.Quorum(idx)
+	st := &opState{origin: p, quorum: q, bestVal: -1, ver: -1}
+	pr.cur = st
+	for _, member := range q {
+		if member == int(p) {
+			// Local replica: no messages needed to read your own memory.
+			pr.observe(st, pr.replicas[member])
+			continue
+		}
+		st.awaitReads++
+		nw.Send(sim.ProcID(member), readReq{Origin: p})
+	}
+	if st.awaitReads == 0 {
+		pr.startWrite(nw, st)
+	}
+}
+
+func (pr *proto) observe(st *opState, r replica) {
+	if r.ver > st.ver {
+		st.ver = r.ver
+		st.bestVal = r.val
+	}
+}
+
+func (pr *proto) startWrite(nw *sim.Network, st *opState) {
+	val, ver := st.bestVal+1, st.ver+1
+	for _, member := range st.quorum {
+		if member == int(st.origin) {
+			pr.replicas[member] = replica{val: val, ver: ver}
+			continue
+		}
+		st.awaitAcks++
+		nw.Send(sim.ProcID(member), writeReq{Origin: st.origin, Val: val, Ver: ver})
+	}
+	if st.awaitAcks == 0 {
+		pr.finish(st)
+	}
+}
+
+func (pr *proto) finish(st *opState) {
+	pr.result = st.bestVal
+	pr.resultReady = true
+	pr.cur = nil
+}
+
+func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case readReq:
+		r := pr.replicas[msg.To]
+		nw.Send(pl.Origin, readResp{Val: r.val, Ver: r.ver})
+	case readResp:
+		st := pr.cur
+		if st == nil || st.origin != msg.To {
+			panic("quorumctr: stray read response")
+		}
+		pr.observe(st, replica{val: pl.Val, ver: pl.Ver})
+		st.awaitReads--
+		if st.awaitReads == 0 {
+			pr.startWrite(nw, st)
+		}
+	case writeReq:
+		r := &pr.replicas[msg.To]
+		if pl.Ver > r.ver {
+			r.val, r.ver = pl.Val, pl.Ver
+		}
+		nw.Send(pl.Origin, writeAck{})
+	case writeAck:
+		st := pr.cur
+		if st == nil || st.origin != msg.To {
+			panic("quorumctr: stray write ack")
+		}
+		st.awaitAcks--
+		if st.awaitAcks == 0 {
+			pr.finish(st)
+		}
+	default:
+		panic(fmt.Sprintf("quorumctr: unexpected payload %T", msg.Payload))
+	}
+}
+
+func (pr *proto) CloneProtocol() sim.Protocol {
+	cp := *pr
+	cp.replicas = append([]replica(nil), pr.replicas...)
+	cp.localOps = append([]int(nil), pr.localOps...)
+	if pr.cur != nil {
+		st := *pr.cur
+		st.quorum = append([]int(nil), pr.cur.quorum...)
+		cp.cur = &st
+	}
+	return &cp
+}
+
+// Counter is the quorum-replicated counter.
+type Counter struct {
+	net   *sim.Network
+	proto *proto
+	name  string
+}
+
+var _ counter.Cloneable = (*Counter)(nil)
+
+// New creates a counter over sys.N() processors using the given quorum
+// system. The replica of processor 1 starts at (0, 0); all replicas start
+// identical, so the first read observes version 0 everywhere.
+func New(sys quorum.System, simOpts ...sim.Option) *Counter {
+	pr := &proto{
+		sys:      sys,
+		replicas: make([]replica, sys.N()+1),
+		localOps: make([]int, sys.N()+1),
+	}
+	return &Counter{
+		net:   sim.New(sys.N(), pr, simOpts...),
+		proto: pr,
+		name:  "quorum-" + sys.Name(),
+	}
+}
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return c.name }
+
+// N implements counter.Counter.
+func (c *Counter) N() int { return c.net.N() }
+
+// Net implements counter.Counter.
+func (c *Counter) Net() *sim.Network { return c.net }
+
+// System returns the underlying quorum system.
+func (c *Counter) System() quorum.System { return c.proto.sys }
+
+// Inc implements counter.Counter.
+func (c *Counter) Inc(p sim.ProcID) (int, error) {
+	c.proto.resultReady = false
+	c.net.StartOp(p, c.proto.initiate)
+	if err := c.net.Run(); err != nil {
+		return 0, err
+	}
+	if !c.proto.resultReady {
+		return 0, fmt.Errorf("quorumctr: operation by %v terminated without a value", p)
+	}
+	return c.proto.result, nil
+}
+
+// Clone implements counter.Cloneable.
+func (c *Counter) Clone() (counter.Counter, error) {
+	net, err := c.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{net: net, proto: net.Protocol().(*proto), name: c.name}, nil
+}

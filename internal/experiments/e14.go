@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"distcount/internal/bound"
+	"distcount/internal/loadstat"
+	"distcount/internal/registry"
+	"distcount/internal/sim"
+)
+
+// E14 charts the bottleneck trajectory: the running maximum message load
+// m_b after each prefix of the canonical workload. The paper's statement is
+// about the completed sequence, but the mechanism is visible mid-run — the
+// centralized counter's bottleneck climbs linearly with every operation
+// (the holder touches all of them), while the tree counter's flattens out
+// after the first retirements spread the root's role across its pool: the
+// plateau IS the O(k) bound forming.
+func E14(cfg Config) (string, error) {
+	n := 81
+	if cfg.Quick {
+		n = 81 // the smallest size where the plateau is visible; quick too
+	}
+	algos := []string{"central", "quorum-grid", "ctree"}
+	checkpoints := []int{5, 10, 20, 40, 60, n}
+
+	series := make(map[string][]int64, len(algos))
+	for _, algo := range algos {
+		tr, err := E14Trajectory(algo, n, checkpoints)
+		if err != nil {
+			return "", err
+		}
+		series[algo] = tr
+	}
+
+	header := []string{"ops completed"}
+	header = append(header, algos...)
+	header = append(header, "bound k(n)")
+	tb := loadstat.NewTable(header...)
+	for i, cp := range checkpoints {
+		row := []any{cp}
+		for _, algo := range algos {
+			row = append(row, series[algo][i])
+		}
+		row = append(row, bound.SolveK(n))
+		tb.AddRow(row...)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "running bottleneck m_b after each prefix of the canonical workload (n=%d, sequential order)\n\n", n)
+	b.WriteString(tb.String())
+	central, ctree := series["central"], series["ctree"]
+	fmt.Fprintf(&b, "\ncentral grows ~2 per op (%d -> %d); ctree plateaus after the early retirements (%d -> %d):\n",
+		central[0], central[len(central)-1], ctree[0], ctree[len(ctree)-1])
+	b.WriteString("the plateau is the O(k) bound forming as roles rotate through their pools.\n")
+	return b.String(), nil
+}
+
+// E14Trajectory runs the canonical workload on the named algorithm and
+// returns the running maximum load at each checkpoint (ops completed).
+func E14Trajectory(algo string, n int, checkpoints []int) ([]int64, error) {
+	c, err := registry.New(algo, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(checkpoints))
+	next := 0
+	for i := 1; i <= n; i++ {
+		if _, err := c.Inc(sim.ProcID(i)); err != nil {
+			return nil, fmt.Errorf("E14: %s op %d: %w", algo, i, err)
+		}
+		if next < len(checkpoints) && i == checkpoints[next] {
+			out = append(out, loadstat.SummarizeLoads(c.Net().Loads()).MaxLoad)
+			next++
+		}
+	}
+	if len(out) != len(checkpoints) {
+		return nil, fmt.Errorf("E14: %s produced %d checkpoints, want %d", algo, len(out), len(checkpoints))
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package loadstat computes statistics over per-processor message loads.
+//
+// The paper's central quantity is the message load m_p of processor p — the
+// number of messages p sends or receives during a sequence of operations —
+// and the bottleneck processor b maximizing m_b. This package summarizes a
+// load vector: bottleneck, mean (the paper's average L relates to it via
+// sum(m_p) = 2·n·L), distribution shape, and an imbalance coefficient, plus
+// text rendering used by the command-line tools and the experiment harness.
+//
+// Loads are plain int64 slices indexed by processor id (slot 0 unused) so
+// the package stays decoupled from the simulator.
+package loadstat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ProcLoad pairs a processor id with its load.
+type ProcLoad struct {
+	Proc int
+	Load int64
+}
+
+// Summary describes a load vector.
+type Summary struct {
+	// N is the number of processors.
+	N int
+	// TotalMessages is the number of messages exchanged; every message
+	// contributes 2 to the sum of loads (once sent, once received).
+	TotalMessages int64
+	// SumLoads = sum over p of m_p = 2*TotalMessages.
+	SumLoads int64
+	// Bottleneck is the processor with the maximum load (smallest id wins
+	// ties) and MaxLoad its load m_b.
+	Bottleneck int
+	MaxLoad    int64
+	// MinLoad is the smallest load.
+	MinLoad int64
+	// Mean and Median of the loads.
+	Mean, Median float64
+	// Gini is the Gini coefficient of the load distribution in [0,1]:
+	// 0 = perfectly balanced, 1 = all load on one processor.
+	Gini float64
+}
+
+// Summarize computes a Summary from sent/received counters (both indexed by
+// processor id with slot 0 unused). It panics if the slices have different
+// lengths or are empty.
+func Summarize(sent, recv []int64) Summary {
+	if len(sent) != len(recv) {
+		panic(fmt.Sprintf("loadstat: sent length %d != recv length %d", len(sent), len(recv)))
+	}
+	if len(sent) < 2 {
+		panic("loadstat: need at least one processor")
+	}
+	loads := make([]int64, len(sent))
+	var totalSent int64
+	for p := 1; p < len(sent); p++ {
+		loads[p] = sent[p] + recv[p]
+		totalSent += sent[p]
+	}
+	return summarizeLoads(loads, totalSent)
+}
+
+// SummarizeLoads computes a Summary directly from a load vector (indexed by
+// processor id with slot 0 unused). TotalMessages is derived as sum/2.
+func SummarizeLoads(loads []int64) Summary {
+	if len(loads) < 2 {
+		panic("loadstat: need at least one processor")
+	}
+	var sum int64
+	for p := 1; p < len(loads); p++ {
+		sum += loads[p]
+	}
+	return summarizeLoads(loads, sum/2)
+}
+
+func summarizeLoads(loads []int64, totalMessages int64) Summary {
+	n := len(loads) - 1
+	s := Summary{N: n, TotalMessages: totalMessages, MinLoad: math.MaxInt64}
+	for p := 1; p <= n; p++ {
+		l := loads[p]
+		s.SumLoads += l
+		if l > s.MaxLoad || (l == s.MaxLoad && s.Bottleneck == 0) {
+			s.MaxLoad = l
+			s.Bottleneck = p
+		}
+		if l < s.MinLoad {
+			s.MinLoad = l
+		}
+	}
+	if s.Bottleneck == 0 {
+		// All loads zero.
+		s.Bottleneck = 1
+		s.MinLoad = 0
+	}
+	s.Mean = float64(s.SumLoads) / float64(n)
+	sorted := append([]int64(nil), loads[1:]...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if n%2 == 1 {
+		s.Median = float64(sorted[n/2])
+	} else {
+		s.Median = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	s.Gini = gini(sorted)
+	return s
+}
+
+// gini computes the Gini coefficient of a sorted non-negative vector.
+func gini(sorted []int64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += float64(v)
+		weighted += float64(i+1) * float64(v)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*sum) / (float64(n) * sum)
+}
+
+// Top returns the j highest-loaded processors in decreasing load order
+// (ties broken by smaller processor id).
+func Top(loads []int64, j int) []ProcLoad {
+	all := make([]ProcLoad, 0, len(loads)-1)
+	for p := 1; p < len(loads); p++ {
+		all = append(all, ProcLoad{Proc: p, Load: loads[p]})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Load != all[b].Load {
+			return all[a].Load > all[b].Load
+		}
+		return all[a].Proc < all[b].Proc
+	})
+	if j > len(all) {
+		j = len(all)
+	}
+	return all[:j]
+}
+
+// Bucket is one histogram bucket over load values.
+type Bucket struct {
+	// Lo and Hi delimit the half-open value range [Lo, Hi); the final
+	// bucket is closed.
+	Lo, Hi int64
+	// Count is the number of processors whose load falls in the range.
+	Count int
+}
+
+// Histogram buckets the loads of processors 1..n into the given number of
+// equal-width buckets spanning [min, max].
+func Histogram(loads []int64, buckets int) []Bucket {
+	if buckets < 1 {
+		panic("loadstat: need at least one bucket")
+	}
+	n := len(loads) - 1
+	if n < 1 {
+		return nil
+	}
+	lo, hi := loads[1], loads[1]
+	for p := 2; p <= n; p++ {
+		if loads[p] < lo {
+			lo = loads[p]
+		}
+		if loads[p] > hi {
+			hi = loads[p]
+		}
+	}
+	width := (hi - lo + int64(buckets)) / int64(buckets)
+	if width < 1 {
+		width = 1
+	}
+	out := make([]Bucket, buckets)
+	for i := range out {
+		out[i].Lo = lo + int64(i)*width
+		out[i].Hi = lo + int64(i+1)*width
+	}
+	for p := 1; p <= n; p++ {
+		idx := int((loads[p] - lo) / width)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}

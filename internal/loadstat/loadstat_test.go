@@ -1,0 +1,210 @@
+package loadstat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"distcount/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	sent := []int64{0, 3, 0, 1}
+	recv := []int64{0, 1, 2, 1}
+	s := Summarize(sent, recv)
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	if s.TotalMessages != 4 {
+		t.Fatalf("TotalMessages = %d, want 4", s.TotalMessages)
+	}
+	if s.SumLoads != 8 {
+		t.Fatalf("SumLoads = %d, want 8", s.SumLoads)
+	}
+	if s.Bottleneck != 1 || s.MaxLoad != 4 {
+		t.Fatalf("bottleneck = p%d load %d, want p1 load 4", s.Bottleneck, s.MaxLoad)
+	}
+	if s.MinLoad != 2 {
+		t.Fatalf("MinLoad = %d, want 2", s.MinLoad)
+	}
+	if s.Mean != 8.0/3.0 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeTieBreaksBySmallestProc(t *testing.T) {
+	s := SummarizeLoads([]int64{0, 5, 5, 5})
+	if s.Bottleneck != 1 {
+		t.Fatalf("bottleneck = %d, want 1 (smallest id wins ties)", s.Bottleneck)
+	}
+}
+
+func TestSummarizeAllZero(t *testing.T) {
+	s := SummarizeLoads([]int64{0, 0, 0})
+	if s.MaxLoad != 0 || s.MinLoad != 0 || s.Gini != 0 {
+		t.Fatalf("all-zero summary wrong: %+v", s)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	odd := SummarizeLoads([]int64{0, 1, 5, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v, want 3", odd.Median)
+	}
+	even := SummarizeLoads([]int64{0, 1, 5, 3, 7})
+	if even.Median != 4 {
+		t.Fatalf("even median = %v, want 4", even.Median)
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	balanced := SummarizeLoads([]int64{0, 4, 4, 4, 4})
+	if balanced.Gini != 0 {
+		t.Fatalf("balanced gini = %v, want 0", balanced.Gini)
+	}
+	// All load on one of many processors: gini -> (n-1)/n.
+	concentrated := SummarizeLoads([]int64{0, 100, 0, 0, 0})
+	if concentrated.Gini < 0.74 || concentrated.Gini > 0.76 {
+		t.Fatalf("concentrated gini = %v, want 0.75", concentrated.Gini)
+	}
+}
+
+func TestGiniMonotoneUnderConcentration(t *testing.T) {
+	spread := SummarizeLoads([]int64{0, 25, 25, 25, 25})
+	skewed := SummarizeLoads([]int64{0, 70, 10, 10, 10})
+	if !(skewed.Gini > spread.Gini) {
+		t.Fatalf("gini did not increase under concentration: %v vs %v", spread.Gini, skewed.Gini)
+	}
+}
+
+func TestSummarizePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatched": func() { Summarize([]int64{0, 1}, []int64{0, 1, 2}) },
+		"empty":      func() { Summarize([]int64{0}, []int64{0}) },
+		"loads":      func() { SummarizeLoads([]int64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTop(t *testing.T) {
+	loads := []int64{0, 5, 9, 1, 9}
+	top := Top(loads, 3)
+	if len(top) != 3 {
+		t.Fatalf("top has %d entries", len(top))
+	}
+	if top[0].Proc != 2 || top[1].Proc != 4 || top[2].Proc != 1 {
+		t.Fatalf("top order wrong: %+v", top)
+	}
+	all := Top(loads, 100)
+	if len(all) != 4 {
+		t.Fatalf("top clamped wrong: %d", len(all))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	loads := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h := Histogram(loads, 5)
+	if len(h) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(h))
+	}
+	total := 0
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Fatalf("histogram counts %d processors, want 10", total)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := Histogram([]int64{0, 7, 7, 7}, 3)
+	total := 0
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("histogram counts %d, want 3", total)
+	}
+}
+
+func TestHistogramPanicsOnZeroBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Histogram([]int64{0, 1}, 0)
+}
+
+// Property: sum of loads is even and equals 2x messages by construction;
+// bottleneck load >= mean >= min load.
+func TestSummaryInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rng.New(seed)
+		sent := make([]int64, n+1)
+		recv := make([]int64, n+1)
+		for p := 1; p <= n; p++ {
+			sent[p] = int64(r.Intn(100))
+			recv[p] = int64(r.Intn(100))
+		}
+		s := Summarize(sent, recv)
+		if float64(s.MaxLoad) < s.Mean || s.Mean < float64(s.MinLoad) {
+			return false
+		}
+		if s.Gini < 0 || s.Gini > 1 {
+			return false
+		}
+		if s.Bottleneck < 1 || s.Bottleneck > n {
+			return false
+		}
+		var sum int64
+		for p := 1; p <= n; p++ {
+			sum += sent[p] + recv[p]
+		}
+		return sum == s.SumLoads
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	out := FormatSummary("demo", SummarizeLoads([]int64{0, 1, 2, 3}))
+	for _, frag := range []string{"demo", "bottleneck", "processor 3"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFormatHistogram(t *testing.T) {
+	out := FormatHistogram(Histogram([]int64{0, 1, 2, 10}, 2))
+	if !strings.Contains(out, "#") {
+		t.Fatalf("histogram missing bars:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("n", "k", "bound")
+	tb.AddRow(8, 2, 3.14159)
+	tb.AddRow(279936, 6, 1.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "bound") || !strings.Contains(lines[3], "279936") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "3.14") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,93 @@
+package loadstat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatSummary renders a Summary as a small human-readable block.
+func FormatSummary(name string, s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d messages=%d\n", name, s.N, s.TotalMessages)
+	fmt.Fprintf(&b, "  bottleneck: processor %d with load %d\n", s.Bottleneck, s.MaxLoad)
+	fmt.Fprintf(&b, "  load: min=%d mean=%.2f median=%.1f max=%d gini=%.3f\n",
+		s.MinLoad, s.Mean, s.Median, s.MaxLoad, s.Gini)
+	return b.String()
+}
+
+// FormatHistogram renders a histogram with proportional bars.
+func FormatHistogram(buckets []Bucket) string {
+	maxCount := 0
+	for _, bk := range buckets {
+		if bk.Count > maxCount {
+			maxCount = bk.Count
+		}
+	}
+	var b strings.Builder
+	for _, bk := range buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = bk.Count * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "  [%6d,%6d) %6d %s\n", bk.Lo, bk.Hi, bk.Count, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Table renders rows of labelled columns with right-aligned numeric cells;
+// used by the experiment harness to print paper-style tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range t.header {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, h)
+	}
+	b.WriteByte('\n')
+	for i := range t.header {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFPPExactIntersection(t *testing.T) {
+	// On an exact plane (n = q²+q+1), any two DISTINCT lines meet in
+	// exactly one point — Maekawa's defining property.
+	for _, q := range []int{2, 3, 5, 7} {
+		n := q*q + q + 1
+		f := NewFPP(n)
+		if f.Order() != q {
+			t.Fatalf("n=%d: order %d, want %d", n, f.Order(), q)
+		}
+		if f.Lines() != n {
+			t.Fatalf("n=%d: %d lines, want %d", n, f.Lines(), n)
+		}
+		for i := 0; i < f.Lines(); i++ {
+			qi := f.Quorum(i)
+			if len(qi) != q+1 {
+				t.Fatalf("q=%d: line %d has %d points, want %d", q, i, len(qi), q+1)
+			}
+			for j := i + 1; j < f.Lines(); j++ {
+				shared := countShared(qi, f.Quorum(j))
+				if shared != 1 {
+					t.Fatalf("q=%d: lines %d and %d share %d points, want exactly 1", q, i, j, shared)
+				}
+			}
+		}
+	}
+}
+
+func TestFPPBalancedLoad(t *testing.T) {
+	// Every point lies on exactly q+1 lines: over a full rotation the load
+	// is perfectly flat.
+	q := 3
+	n := q*q + q + 1 // 13
+	f := NewFPP(n)
+	loads := LoadProfile(f, f.Lines())
+	for p := 1; p <= n; p++ {
+		if loads[p] != int64(q+1) {
+			t.Fatalf("point %d on %d lines, want %d", p, loads[p], q+1)
+		}
+	}
+}
+
+func TestFPPVerifyContract(t *testing.T) {
+	for _, n := range []int{7, 13, 31, 57, 100, 183} {
+		if err := Verify(NewFPP(n), 40); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestFPPWrappedUniverse(t *testing.T) {
+	// n larger than the largest supported plane: points wrap modulo n;
+	// intersection must survive (property-checked on random pairs).
+	f := NewFPP(500)
+	if err := quick.Check(func(i, j uint16) bool {
+		return Intersect(f.Quorum(int(i)), f.Quorum(int(j)))
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPPSmallUniverse(t *testing.T) {
+	// n below the smallest plane (7 points): wraps onto few processors but
+	// still intersects.
+	f := NewFPP(3)
+	if err := Verify(f, 14); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPPQuorumCopyIsolated(t *testing.T) {
+	f := NewFPP(13)
+	q1 := f.Quorum(0)
+	q1[0] = 999
+	if f.Quorum(0)[0] == 999 {
+		t.Fatal("Quorum returns aliased storage")
+	}
+}
+
+func countShared(a, b []int) int {
+	inA := make(map[int]bool, len(a))
+	for _, x := range a {
+		inA[x] = true
+	}
+	count := 0
+	for _, x := range b {
+		if inA[x] {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,129 @@
+// Package quorum implements the quorum systems the paper's related-work
+// section builds on (Garcia-Molina & Barbara; Maekawa; Peleg & Wool;
+// Agrawal & El Abbadi; Holzman, Marcus & Peleg): families of pairwise
+// intersecting sets of processors.
+//
+// The paper's Hot Spot Lemma "appears in similar form in many papers on
+// quorum systems", and its Section 4 counter can be read as a dynamic
+// quorum construction. This package provides the classic static systems so
+// that the experiments can contrast quorum size against bottleneck load:
+// systems with tiny quorums (tree quorums reach O(log n)) can still have a
+// heavily loaded element, which is precisely the distinction between
+// message complexity and the paper's bottleneck measure.
+//
+// Every System exposes a deterministic rotation Quorum(i): successive
+// indices pick quorums chosen to spread load, and the load experiments
+// measure element frequencies under that rotation.
+package quorum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// System is a quorum system over processors 1..N.
+type System interface {
+	// Name identifies the construction.
+	Name() string
+	// N returns the universe size.
+	N() int
+	// Quorum returns the quorum used by the i-th operation of a rotation
+	// strategy (i >= 0). The result is sorted, duplicate-free, non-empty,
+	// and its elements lie in 1..N. Implementations are deterministic in i.
+	Quorum(i int) []int
+}
+
+// normalize sorts and deduplicates a quorum in place and returns it.
+func normalize(q []int) []int {
+	sort.Ints(q)
+	out := q[:0]
+	prev := -1
+	for _, e := range q {
+		if e != prev {
+			out = append(out, e)
+			prev = e
+		}
+	}
+	return out
+}
+
+// checkN panics on a non-positive universe.
+func checkN(n int, name string) {
+	if n < 1 {
+		panic(fmt.Sprintf("quorum: %s over n = %d processors", name, n))
+	}
+}
+
+// Intersect reports whether two sorted int slices share an element.
+func Intersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Verify checks the quorum-system contract on the rotation prefix of the
+// given length: every quorum is well-formed, and every pair of quorums
+// intersects. It returns the first violation found, or nil.
+func Verify(s System, rotations int) error {
+	if rotations < 1 {
+		return fmt.Errorf("quorum: verify needs at least one rotation")
+	}
+	qs := make([][]int, rotations)
+	for i := 0; i < rotations; i++ {
+		q := s.Quorum(i)
+		if len(q) == 0 {
+			return fmt.Errorf("quorum %s: Quorum(%d) is empty", s.Name(), i)
+		}
+		for idx, e := range q {
+			if e < 1 || e > s.N() {
+				return fmt.Errorf("quorum %s: Quorum(%d) element %d out of range 1..%d", s.Name(), i, e, s.N())
+			}
+			if idx > 0 && q[idx-1] >= e {
+				return fmt.Errorf("quorum %s: Quorum(%d) not sorted/deduplicated: %v", s.Name(), i, q)
+			}
+		}
+		qs[i] = q
+	}
+	for i := 0; i < rotations; i++ {
+		for j := i + 1; j < rotations; j++ {
+			if !Intersect(qs[i], qs[j]) {
+				return fmt.Errorf("quorum %s: Quorum(%d)=%v and Quorum(%d)=%v are disjoint",
+					s.Name(), i, qs[i], j, qs[j])
+			}
+		}
+	}
+	return nil
+}
+
+// LoadProfile returns how often each processor (index 1..N) appears in the
+// quorums of the first `ops` rotations — the access load a counter or
+// mutual-exclusion protocol built on the system would place on it.
+func LoadProfile(s System, ops int) []int64 {
+	loads := make([]int64, s.N()+1)
+	for i := 0; i < ops; i++ {
+		for _, e := range s.Quorum(i) {
+			loads[e]++
+		}
+	}
+	return loads
+}
+
+// MaxQuorumSize returns the largest quorum among the first `ops` rotations.
+func MaxQuorumSize(s System, ops int) int {
+	max := 0
+	for i := 0; i < ops; i++ {
+		if l := len(s.Quorum(i)); l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,88 @@
+// Package registry provides name-based construction of every counter
+// implementation in the repository, used by the command-line tools and the
+// experiment harness to iterate over algorithms uniformly.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"distcount/internal/core"
+	"distcount/internal/counter"
+	"distcount/internal/counters/central"
+	"distcount/internal/counters/cnet"
+	"distcount/internal/counters/combining"
+	"distcount/internal/counters/difftree"
+	"distcount/internal/counters/quorumctr"
+	"distcount/internal/counters/tokenring"
+	"distcount/internal/quorum"
+	"distcount/internal/sim"
+)
+
+// Factory builds a counter for (at least) n processors. The returned
+// counter's N() may exceed n for algorithms with structural size
+// constraints (the paper's tree).
+type Factory func(n int, simOpts ...sim.Option) counter.Counter
+
+// factories maps algorithm names to constructors. Keep in sync with the
+// documentation in the README's "algorithms" section.
+func factories() map[string]Factory {
+	return map[string]Factory{
+		"central": func(n int, simOpts ...sim.Option) counter.Counter {
+			return central.New(n, central.WithSimOptions(simOpts...))
+		},
+		"tokenring": func(n int, simOpts ...sim.Option) counter.Counter {
+			return tokenring.New(n, simOpts...)
+		},
+		"ctree": func(n int, simOpts ...sim.Option) counter.Counter {
+			return core.NewForSize(n, core.WithSimOptions(simOpts...))
+		},
+		"combining": func(n int, simOpts ...sim.Option) counter.Counter {
+			return combining.New(n, combining.WithSimOptions(simOpts...))
+		},
+		"cnet": func(n int, simOpts ...sim.Option) counter.Counter {
+			return cnet.New(n, cnet.WithSimOptions(simOpts...))
+		},
+		"cnet-periodic": func(n int, simOpts ...sim.Option) counter.Counter {
+			return cnet.New(n, cnet.WithConstruction(cnet.Periodic), cnet.WithSimOptions(simOpts...))
+		},
+		"difftree": func(n int, simOpts ...sim.Option) counter.Counter {
+			return difftree.New(n, difftree.WithSimOptions(simOpts...))
+		},
+		"quorum-singleton": func(n int, simOpts ...sim.Option) counter.Counter {
+			return quorumctr.New(quorum.NewSingleton(n), simOpts...)
+		},
+		"quorum-majority": func(n int, simOpts ...sim.Option) counter.Counter {
+			return quorumctr.New(quorum.NewMajority(n), simOpts...)
+		},
+		"quorum-grid": func(n int, simOpts ...sim.Option) counter.Counter {
+			return quorumctr.New(quorum.NewGrid(n), simOpts...)
+		},
+		"quorum-tree": func(n int, simOpts ...sim.Option) counter.Counter {
+			return quorumctr.New(quorum.NewTree(n), simOpts...)
+		},
+		"quorum-wall": func(n int, simOpts ...sim.Option) counter.Counter {
+			return quorumctr.New(quorum.NewWall(n), simOpts...)
+		},
+	}
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	fs := factories()
+	out := make([]string, 0, len(fs))
+	for name := range fs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named counter over (at least) n processors.
+func New(name string, n int, simOpts ...sim.Option) (counter.Counter, error) {
+	f, ok := factories()[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown algorithm %q (have %v)", name, Names())
+	}
+	return f(n, simOpts...), nil
+}

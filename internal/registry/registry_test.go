@@ -1,0 +1,110 @@
+package registry
+
+import (
+	"testing"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+	"distcount/internal/verify"
+)
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("have %d algorithms, want 12: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := New("nope", 8); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestEveryAlgorithmCountsCorrectly is the cross-implementation conformance
+// sweep: every registered counter passes sequential verification and the
+// Hot Spot Lemma on the canonical workload.
+func TestEveryAlgorithmCountsCorrectly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := New(name, 12, sim.WithTracing())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.Counter(c, counter.RandomOrder(c.N(), 99)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEveryAlgorithmUnderAsynchrony stresses all implementations with
+// message reordering: random per-message delays (several seeds) and
+// deterministic per-pair skew. The paper's model allows arbitrary finite
+// delays, so correctness and the Hot Spot Lemma must survive any of them.
+func TestEveryAlgorithmUnderAsynchrony(t *testing.T) {
+	latencies := map[string]func(seed uint64) []sim.Option{
+		"uniform": func(seed uint64) []sim.Option {
+			return []sim.Option{
+				sim.WithTracing(),
+				sim.WithSeed(seed),
+				sim.WithLatency(sim.UniformLatency{Min: 1, Max: 13}),
+			}
+		},
+		"skew": func(seed uint64) []sim.Option {
+			return []sim.Option{
+				sim.WithTracing(),
+				sim.WithSeed(seed),
+				sim.WithLatency(sim.SkewLatency{Max: 9}),
+			}
+		},
+	}
+	for _, name := range Names() {
+		for latName, mk := range latencies {
+			for seed := uint64(1); seed <= 3; seed++ {
+				c, err := New(name, 10, mk(seed)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := verify.Counter(c, counter.RandomOrder(c.N(), seed)); err != nil {
+					t.Fatalf("%s/%s/seed=%d: %v", name, latName, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEveryAlgorithmCloneable: the adversary needs cloning everywhere.
+func TestEveryAlgorithmCloneable(t *testing.T) {
+	for _, name := range Names() {
+		c, err := New(name, 8, sim.WithTracing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, ok := c.(counter.Cloneable)
+		if !ok {
+			t.Fatalf("%s: not cloneable", name)
+		}
+		if _, err := cl.Clone(); err != nil {
+			t.Fatalf("%s: clone failed: %v", name, err)
+		}
+	}
+}
+
+func TestSimOptionsForwarded(t *testing.T) {
+	for _, name := range Names() {
+		c, err := New(name, 8, sim.WithTracing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Net().Tracing() {
+			t.Fatalf("%s: tracing option not forwarded", name)
+		}
+	}
+}

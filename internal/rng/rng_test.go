@@ -1,0 +1,181 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestCloneContinuesStream(t *testing.T) {
+	a := New(7)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	b := a.Clone()
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d after clone: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(7)
+	b := a.Clone()
+	_ = b.Uint64() // advancing the clone...
+	v1 := a.Uint64()
+	a2 := New(7)
+	v2 := a2.Uint64()
+	if v1 != v2 { // ...must not advance the original
+		t.Fatalf("advancing clone affected original: %d vs %d", v1, v2)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(10)] = true
+	}
+	for v := 0; v < 10; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never drawn in 1000 tries", v)
+		}
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		v := s.Int63n(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Int63n(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermVariesWithSeed(t *testing.T) {
+	p1 := New(1).Perm(32)
+	p2 := New(2).Perm(32)
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("permutations for seeds 1 and 2 are identical")
+	}
+}
+
+func TestShuffleMatchesPermMechanics(t *testing.T) {
+	s := New(5)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// Chi-square-ish sanity: 10 buckets, 10000 draws; each bucket should
+	// hold 1000 +- 25%.
+	s := New(123)
+	buckets := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		buckets[s.Intn(10)]++
+	}
+	for b, c := range buckets {
+		if c < 750 || c > 1250 {
+			t.Fatalf("bucket %d has %d draws, want 1000 +- 250", b, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}

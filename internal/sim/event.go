@@ -1,0 +1,79 @@
+package sim
+
+// event is a queued occurrence: either a message delivery or an operation
+// start (start != nil). Events are ordered by (at, seq); seq is a strictly
+// increasing tie-breaker that makes simulations fully deterministic.
+type event struct {
+	at     int64
+	seq    uint64
+	msg    Message
+	op     OpID
+	parent int // trace node index of the sending event within op's DAG
+	start  func(nw *Network, p ProcID)
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). A hand
+// rolled heap avoids the interface boxing of container/heap on the
+// simulator's hottest path.
+type eventHeap struct {
+	evs []event
+}
+
+func (h *eventHeap) len() int { return len(h.evs) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.evs[i], &h.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.evs = append(h.evs, e)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.evs[0]
+	last := len(h.evs) - 1
+	h.evs[0] = h.evs[last]
+	h.evs = h.evs[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.evs)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.evs[i], h.evs[smallest] = h.evs[smallest], h.evs[i]
+		i = smallest
+	}
+}
+
+// clone returns a deep copy of the heap (the slice is copied; events are
+// value types, payloads are immutable by contract).
+func (h *eventHeap) clone() eventHeap {
+	evs := make([]event, len(h.evs))
+	copy(evs, h.evs)
+	return eventHeap{evs: evs}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import "distcount/internal/rng"
+
+// Latency models message delay: the paper's "unbounded but finite amount of
+// time" between send and arrival. Delay receives the full message (sender,
+// receiver, payload), enabling both simple distance models and adversarial
+// schedules that stall specific protocol steps. Implementations used with
+// Network.Clone must be stateless (clones share the Latency value); the
+// adversarial models documented as stateful must not be combined with
+// cloning. Delays must be >= 1.
+type Latency interface {
+	// Delay returns the transit time for the message.
+	Delay(msg Message, r *rng.Source) int64
+}
+
+// UnitLatency delivers every message after exactly one time unit. With the
+// deterministic event queue this yields FIFO channels and fully reproducible
+// runs; it matches the convention used for time complexity in the paper's
+// introduction ("each message takes only one time unit").
+type UnitLatency struct{}
+
+// Delay implements Latency.
+func (UnitLatency) Delay(Message, *rng.Source) int64 { return 1 }
+
+// UniformLatency delivers after a seeded-random integer delay drawn
+// uniformly from [Min, Max]. It exercises asynchrony: message overtaking,
+// reordering across senders, and schedule-dependent interleavings in
+// concurrent experiments.
+type UniformLatency struct {
+	Min, Max int64
+}
+
+// Delay implements Latency.
+func (l UniformLatency) Delay(_ Message, r *rng.Source) int64 {
+	lo, hi := l.Min, l.Max
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// SkewLatency assigns each ordered processor pair a fixed, deterministic
+// delay in [1, Max] derived from a hash of the pair. It models a
+// heterogeneous but stable network without consuming randomness, so runs
+// remain reproducible regardless of seed.
+type SkewLatency struct {
+	Max int64
+}
+
+// Delay implements Latency.
+func (l SkewLatency) Delay(msg Message, _ *rng.Source) int64 {
+	if l.Max <= 1 {
+		return 1
+	}
+	h := uint64(msg.From)*0x9e3779b97f4a7c15 ^ uint64(msg.To)*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return 1 + int64(h%uint64(l.Max))
+}
+
+// StallKindLatency is an adversarial model: the occurrences listed in
+// Stalls (by payload kind and 0-based occurrence index) are delayed by
+// StallDelay; every other message takes one time unit. It scripts the
+// schedule constructions of the asynchrony literature — e.g. stalling
+// specific "exit" steps of a counting network to exhibit the
+// Herlihy/Shavit/Waarts non-linearizability scenario (experiment E13).
+//
+// StallKindLatency is stateful (it counts occurrences); do not combine it
+// with Network.Clone.
+type StallKindLatency struct {
+	// Stalls maps payload kind -> set of occurrence indices to stall.
+	Stalls map[string]map[int]bool
+	// StallDelay is the delay applied to stalled messages.
+	StallDelay int64
+
+	seen map[string]int
+}
+
+// NewStallKindLatency builds the model from (kind, occurrence) pairs.
+func NewStallKindLatency(stallDelay int64, kinds map[string][]int) *StallKindLatency {
+	stalls := make(map[string]map[int]bool, len(kinds))
+	for kind, occurrences := range kinds {
+		set := make(map[int]bool, len(occurrences))
+		for _, o := range occurrences {
+			set[o] = true
+		}
+		stalls[kind] = set
+	}
+	return &StallKindLatency{
+		Stalls:     stalls,
+		StallDelay: stallDelay,
+		seen:       make(map[string]int),
+	}
+}
+
+// Delay implements Latency.
+func (l *StallKindLatency) Delay(msg Message, _ *rng.Source) int64 {
+	if msg.Payload == nil {
+		return 1
+	}
+	kind := msg.Payload.Kind()
+	set, ok := l.Stalls[kind]
+	if !ok {
+		return 1
+	}
+	idx := l.seen[kind]
+	l.seen[kind] = idx + 1
+	if set[idx] {
+		return l.StallDelay
+	}
+	return 1
+}
+
+var (
+	_ Latency = UnitLatency{}
+	_ Latency = UniformLatency{}
+	_ Latency = SkewLatency{}
+	_ Latency = (*StallKindLatency)(nil)
+)

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"distcount/internal/rng"
+)
+
+func testRand() *rng.Source { return rng.New(42) }
+
+type kindedPayload string
+
+func (k kindedPayload) Kind() string { return string(k) }
+
+func TestStallKindLatencyStallsListedOccurrences(t *testing.T) {
+	lat := NewStallKindLatency(50, map[string][]int{"exit": {0, 2}})
+	exit := Message{Payload: kindedPayload("exit")}
+	other := Message{Payload: kindedPayload("token")}
+
+	if d := lat.Delay(exit, nil); d != 50 { // occurrence 0: stalled
+		t.Fatalf("exit#0 delay = %d, want 50", d)
+	}
+	if d := lat.Delay(exit, nil); d != 1 { // occurrence 1: normal
+		t.Fatalf("exit#1 delay = %d, want 1", d)
+	}
+	if d := lat.Delay(exit, nil); d != 50 { // occurrence 2: stalled
+		t.Fatalf("exit#2 delay = %d, want 50", d)
+	}
+	if d := lat.Delay(exit, nil); d != 1 {
+		t.Fatalf("exit#3 delay = %d, want 1", d)
+	}
+	for i := 0; i < 5; i++ {
+		if d := lat.Delay(other, nil); d != 1 {
+			t.Fatalf("non-stalled kind delayed: %d", d)
+		}
+	}
+}
+
+func TestStallKindLatencyNilPayload(t *testing.T) {
+	lat := NewStallKindLatency(50, map[string][]int{"exit": {0}})
+	if d := lat.Delay(Message{}, nil); d != 1 {
+		t.Fatalf("nil payload delay = %d, want 1", d)
+	}
+}
+
+func TestUniformLatencyClamps(t *testing.T) {
+	// Min below 1 clamps to 1; Max below Min collapses to Min.
+	r := testRand()
+	l := UniformLatency{Min: -3, Max: 0}
+	for i := 0; i < 20; i++ {
+		if d := l.Delay(Message{}, r); d != 1 {
+			t.Fatalf("degenerate uniform delay = %d, want 1", d)
+		}
+	}
+	l2 := UniformLatency{Min: 4, Max: 2}
+	if d := l2.Delay(Message{}, r); d != 4 {
+		t.Fatalf("inverted uniform delay = %d, want 4", d)
+	}
+}
+
+func TestUniformLatencyRange(t *testing.T) {
+	r := testRand()
+	l := UniformLatency{Min: 2, Max: 7}
+	seen := make(map[int64]bool)
+	for i := 0; i < 500; i++ {
+		d := l.Delay(Message{}, r)
+		if d < 2 || d > 7 {
+			t.Fatalf("delay %d out of [2,7]", d)
+		}
+		seen[d] = true
+	}
+	for want := int64(2); want <= 7; want++ {
+		if !seen[want] {
+			t.Fatalf("delay %d never drawn", want)
+		}
+	}
+}
+
+func TestSkewLatencyLowMax(t *testing.T) {
+	l := SkewLatency{Max: 1}
+	if d := l.Delay(Message{From: 1, To: 2}, nil); d != 1 {
+		t.Fatalf("skew with max 1 = %d", d)
+	}
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distcount/internal/rng"
+	"distcount/internal/trace"
+)
+
+// Errors returned by Network methods.
+var (
+	// ErrEventBudget is returned by Run when the configured event budget is
+	// exhausted; it indicates a runaway protocol (a livelock or an
+	// unbounded retirement cascade).
+	ErrEventBudget = errors.New("sim: event budget exhausted")
+	// ErrNotQuiescent is returned by Clone when the network still has
+	// queued events or is inside a delivery.
+	ErrNotQuiescent = errors.New("sim: network is not quiescent")
+	// ErrNotCloneable is returned by Clone when the protocol does not
+	// implement CloneableProtocol.
+	ErrNotCloneable = errors.New("sim: protocol does not implement CloneableProtocol")
+)
+
+// OpStats aggregates what happened during one operation.
+type OpStats struct {
+	ID        OpID
+	Initiator ProcID
+	// StartedAt and DoneAt are the simulated times of the initiation event
+	// and of the last event attributed to the operation.
+	StartedAt, DoneAt int64
+	// Messages is the number of network messages sent during the operation.
+	Messages int64
+	// DAG is the communication DAG of the operation; nil unless tracing
+	// was enabled when the operation ran.
+	DAG *trace.DAG
+
+	participants map[int]struct{}
+}
+
+// Participants returns the sorted set I_p of processors that sent or
+// received a message during the operation, always including the initiator.
+func (s *OpStats) Participants() []int {
+	out := make([]int, 0, len(s.participants))
+	for p := range s.participants {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ParticipantSet returns I_p as a set. The returned map must not be
+// modified.
+func (s *OpStats) ParticipantSet() map[int]struct{} { return s.participants }
+
+// ctx is the execution context while a Deliver or start callback runs.
+type ctx struct {
+	op        OpID
+	traceNode int
+	proc      ProcID
+}
+
+// Network is the simulated asynchronous message-passing system.
+// It is not safe for concurrent use.
+type Network struct {
+	n       int
+	proto   Protocol
+	latency Latency
+	rand    *rng.Source
+
+	now   int64
+	seq   uint64
+	queue eventHeap
+
+	sent, recv []int64 // indexed by ProcID; slot 0 unused
+	msgTotal   int64
+	bitsTotal  int64
+	maxMsgBits int
+	events     int64
+	maxEvents  int64
+
+	nextOp   OpID
+	ops      map[OpID]*OpStats
+	trackOps bool
+	tracing  bool
+
+	cur        ctx
+	inCallback bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed sets the seed of the network's random source (default 1).
+func WithSeed(seed uint64) Option {
+	return func(nw *Network) { nw.rand = rng.New(seed) }
+}
+
+// WithLatency sets the latency model (default UnitLatency).
+func WithLatency(l Latency) Option {
+	return func(nw *Network) { nw.latency = l }
+}
+
+// WithTracing enables communication-DAG capture for every operation.
+func WithTracing() Option {
+	return func(nw *Network) { nw.tracing = true }
+}
+
+// WithoutOpStats disables per-operation bookkeeping (participant sets and
+// message counts). Cumulative per-processor loads are always tracked. Use
+// for the largest benchmark runs.
+func WithoutOpStats() Option {
+	return func(nw *Network) { nw.trackOps = false }
+}
+
+// WithMaxEvents overrides the event budget (default 500 million).
+func WithMaxEvents(budget int64) Option {
+	return func(nw *Network) { nw.maxEvents = budget }
+}
+
+// New creates a network of n processors running the given protocol.
+func New(n int, proto Protocol, opts ...Option) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: network size %d < 1", n))
+	}
+	nw := &Network{
+		n:         n,
+		proto:     proto,
+		latency:   UnitLatency{},
+		rand:      rng.New(1),
+		sent:      make([]int64, n+1),
+		recv:      make([]int64, n+1),
+		maxEvents: 500_000_000,
+		ops:       make(map[OpID]*OpStats),
+		trackOps:  true,
+	}
+	for _, opt := range opts {
+		opt(nw)
+	}
+	return nw
+}
+
+// N returns the number of processors.
+func (nw *Network) N() int { return nw.n }
+
+// Now returns the current simulated time.
+func (nw *Network) Now() int64 { return nw.now }
+
+// Rand returns the network's random source (for protocol-level choices that
+// must stay reproducible and cloneable).
+func (nw *Network) Rand() *rng.Source { return nw.rand }
+
+// Reseed replaces the network's random source, changing all future random
+// latency draws. The lower-bound adversary uses it to explore different
+// message schedules for the same operation ("for each operation in the
+// sequence there may be more than one possible process"): probing a
+// candidate on clones reseeded with different values and replaying the
+// chosen seed on the real network yields identical executions.
+func (nw *Network) Reseed(seed uint64) { nw.rand = rng.New(seed) }
+
+// Protocol returns the protocol instance driving this network.
+func (nw *Network) Protocol() Protocol { return nw.proto }
+
+// Tracing reports whether DAG capture is enabled.
+func (nw *Network) Tracing() bool { return nw.tracing }
+
+// SetTracing toggles communication-DAG capture for subsequently started
+// operations.
+func (nw *Network) SetTracing(on bool) { nw.tracing = on }
+
+// MessagesTotal returns the total number of network messages sent so far.
+func (nw *Network) MessagesTotal() int64 { return nw.msgTotal }
+
+// BitsTotal returns the total payload bits sent so far, counting only
+// payloads that implement BitSized.
+func (nw *Network) BitsTotal() int64 { return nw.bitsTotal }
+
+// MaxMessageBits returns the largest BitSized payload sent so far (0 if
+// the protocol does not size its payloads). The paper's tree counter keeps
+// this at O(log n).
+func (nw *Network) MaxMessageBits() int { return nw.maxMsgBits }
+
+// Sent returns a copy of the per-processor sent counters (index = ProcID,
+// slot 0 unused).
+func (nw *Network) Sent() []int64 {
+	out := make([]int64, len(nw.sent))
+	copy(out, nw.sent)
+	return out
+}
+
+// Recv returns a copy of the per-processor received counters.
+func (nw *Network) Recv() []int64 {
+	out := make([]int64, len(nw.recv))
+	copy(out, nw.recv)
+	return out
+}
+
+// Load returns the message load m_p = sent + received of processor p.
+func (nw *Network) Load(p ProcID) int64 {
+	nw.checkProc(p, "Load")
+	return nw.sent[p] + nw.recv[p]
+}
+
+// Loads returns all message loads m_p (index = ProcID, slot 0 unused).
+func (nw *Network) Loads() []int64 {
+	out := make([]int64, nw.n+1)
+	for p := 1; p <= nw.n; p++ {
+		out[p] = nw.sent[p] + nw.recv[p]
+	}
+	return out
+}
+
+// OpStats returns the statistics of an operation, or nil if unknown (or if
+// op tracking is disabled).
+func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops[id] }
+
+// Ops returns the number of operations started so far.
+func (nw *Network) Ops() int { return int(nw.nextOp) }
+
+// StartOp opens a new operation initiated by p: the start callback runs at
+// the current simulated time in p's execution context and typically sends
+// the operation's first message(s). It returns the operation id.
+func (nw *Network) StartOp(p ProcID, start func(nw *Network, p ProcID)) OpID {
+	return nw.ScheduleOp(nw.now, p, start)
+}
+
+// ScheduleOp is StartOp at an absolute future time; it is the injection
+// mechanism for the concurrent experiments.
+func (nw *Network) ScheduleOp(at int64, p ProcID, start func(nw *Network, p ProcID)) OpID {
+	nw.checkProc(p, "ScheduleOp")
+	if at < nw.now {
+		panic(fmt.Sprintf("sim: ScheduleOp at %d is in the past (now %d)", at, nw.now))
+	}
+	nw.nextOp++
+	id := nw.nextOp
+	if nw.trackOps {
+		st := &OpStats{
+			ID:           id,
+			Initiator:    p,
+			StartedAt:    at,
+			DoneAt:       at,
+			participants: map[int]struct{}{int(p): {}},
+		}
+		if nw.tracing {
+			st.DAG = trace.NewDAG(int(p))
+		}
+		nw.ops[id] = st
+	}
+	nw.seq++
+	nw.queue.push(event{
+		at:    at,
+		seq:   nw.seq,
+		msg:   Message{From: p, To: p},
+		op:    id,
+		start: start,
+	})
+	return id
+}
+
+// Send transmits a message from the currently executing processor to another
+// processor. It must be called from within a Deliver or operation start
+// callback. The message is attributed to the current operation.
+func (nw *Network) Send(to ProcID, pl Payload) {
+	if !nw.inCallback {
+		panic("sim: Send called outside a delivery context")
+	}
+	nw.checkProc(to, "Send")
+	from := nw.cur.proc
+	nw.sent[from]++
+	nw.msgTotal++
+	if sized, ok := pl.(BitSized); ok {
+		bits := sized.Bits()
+		nw.bitsTotal += int64(bits)
+		if bits > nw.maxMsgBits {
+			nw.maxMsgBits = bits
+		}
+	}
+	st := nw.ops[nw.cur.op]
+	if st != nil {
+		st.Messages++
+		st.participants[int(from)] = struct{}{}
+		st.participants[int(to)] = struct{}{}
+	}
+	msg := Message{From: from, To: to, Payload: pl}
+	nw.seq++
+	nw.queue.push(event{
+		at:     nw.now + nw.latency.Delay(msg, nw.rand),
+		seq:    nw.seq,
+		msg:    msg,
+		op:     nw.cur.op,
+		parent: nw.cur.traceNode,
+	})
+}
+
+// After schedules a local wakeup for the currently executing processor after
+// the given delay. The wakeup is delivered like a message with Local set but
+// is not a network message: it is excluded from all load accounting and
+// traces. Protocols use it for timing windows (e.g. combining intervals).
+func (nw *Network) After(delay int64, pl Payload) {
+	if !nw.inCallback {
+		panic("sim: After called outside a delivery context")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %d", delay))
+	}
+	p := nw.cur.proc
+	nw.seq++
+	nw.queue.push(event{
+		at:     nw.now + delay,
+		seq:    nw.seq,
+		msg:    Message{From: p, To: p, Payload: pl, Local: true},
+		op:     nw.cur.op,
+		parent: nw.cur.traceNode,
+	})
+}
+
+// Pending returns the number of queued events.
+func (nw *Network) Pending() int { return nw.queue.len() }
+
+// Step delivers the single next event. It returns false when the queue is
+// empty.
+func (nw *Network) Step() (bool, error) {
+	if nw.queue.len() == 0 {
+		return false, nil
+	}
+	nw.events++
+	if nw.events > nw.maxEvents {
+		return false, fmt.Errorf("%w (%d events)", ErrEventBudget, nw.maxEvents)
+	}
+	e := nw.queue.pop()
+	nw.now = e.at
+
+	st := nw.ops[e.op]
+	if st != nil && e.at > st.DoneAt {
+		st.DoneAt = e.at
+	}
+
+	nw.cur = ctx{op: e.op, proc: e.msg.To}
+	nw.inCallback = true
+	defer func() { nw.inCallback = false }()
+
+	if e.start != nil {
+		// Operation initiation: the source node of the DAG already exists
+		// (index 0).
+		nw.cur.traceNode = 0
+		e.start(nw, e.msg.To)
+		return true, nil
+	}
+
+	if !e.msg.Local {
+		nw.recv[e.msg.To]++
+		if st != nil && st.DAG != nil {
+			nw.cur.traceNode = st.DAG.AddEvent(int(e.msg.To), e.parent)
+		}
+	} else {
+		// Local wakeups keep the causal position of their scheduler so that
+		// messages sent from a timer remain attached to the DAG correctly.
+		nw.cur.traceNode = e.parent
+	}
+	nw.proto.Deliver(nw, e.msg)
+	return true, nil
+}
+
+// Run delivers events until the network is quiescent (empty queue). In the
+// paper's sequential model this is called after each StartOp so that "the
+// preceding inc operation is finished before the next one starts".
+func (nw *Network) Run() error {
+	for {
+		ok, err := nw.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Clone returns an independent deep copy of the network at quiescence:
+// per-processor loads, time, randomness and protocol state are duplicated;
+// operation history is not carried over (the clone starts with an empty
+// operation log but keeps the operation id counter, so op ids remain
+// globally unique across original and clone).
+func (nw *Network) Clone() (*Network, error) {
+	if nw.inCallback || nw.queue.len() != 0 {
+		return nil, ErrNotQuiescent
+	}
+	cp, ok := nw.proto.(CloneableProtocol)
+	if !ok {
+		return nil, ErrNotCloneable
+	}
+	out := &Network{
+		n:          nw.n,
+		proto:      cp.CloneProtocol(),
+		latency:    nw.latency,
+		rand:       nw.rand.Clone(),
+		now:        nw.now,
+		seq:        nw.seq,
+		queue:      nw.queue.clone(),
+		sent:       make([]int64, len(nw.sent)),
+		recv:       make([]int64, len(nw.recv)),
+		msgTotal:   nw.msgTotal,
+		bitsTotal:  nw.bitsTotal,
+		maxMsgBits: nw.maxMsgBits,
+		events:     nw.events,
+		maxEvents:  nw.maxEvents,
+		nextOp:     nw.nextOp,
+		ops:        make(map[OpID]*OpStats),
+		trackOps:   nw.trackOps,
+		tracing:    nw.tracing,
+	}
+	copy(out.sent, nw.sent)
+	copy(out.recv, nw.recv)
+	return out, nil
+}
+
+func (nw *Network) checkProc(p ProcID, where string) {
+	if p < 1 || int(p) > nw.n {
+		panic(fmt.Sprintf("sim: %s: processor %d out of range [1,%d]", where, p, nw.n))
+	}
+}

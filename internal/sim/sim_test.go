@@ -1,0 +1,575 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// pingPong is a toy protocol: on "ping" the receiver replies "pong" to the
+// sender; on "pong" nothing happens.
+type pingPayload struct{ Hops int }
+type pongPayload struct{}
+
+func (pingPayload) Kind() string { return "ping" }
+func (pongPayload) Kind() string { return "pong" }
+
+type pingPong struct {
+	pings, pongs int
+}
+
+func (pp *pingPong) Deliver(nw *Network, msg Message) {
+	switch pl := msg.Payload.(type) {
+	case pingPayload:
+		pp.pings++
+		if pl.Hops > 0 {
+			next := msg.To + 1
+			if int(next) > nw.N() {
+				next = 1
+			}
+			nw.Send(next, pingPayload{Hops: pl.Hops - 1})
+		}
+		nw.Send(msg.From, pongPayload{})
+	case pongPayload:
+		pp.pongs++
+	}
+}
+
+func (pp *pingPong) CloneProtocol() Protocol {
+	cp := *pp
+	return &cp
+}
+
+func startPing(hops int) func(nw *Network, p ProcID) {
+	return func(nw *Network, p ProcID) {
+		next := p + 1
+		if int(next) > nw.N() {
+			next = 1
+		}
+		nw.Send(next, pingPayload{Hops: hops})
+	}
+}
+
+func TestSendAndDeliver(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(3, pp)
+	nw.StartOp(1, startPing(0))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pp.pings != 1 || pp.pongs != 1 {
+		t.Fatalf("pings=%d pongs=%d, want 1/1", pp.pings, pp.pongs)
+	}
+	if got := nw.MessagesTotal(); got != 2 {
+		t.Fatalf("total messages = %d, want 2", got)
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(3, pp)
+	nw.StartOp(1, startPing(0)) // 1 -> 2 ping, 2 -> 1 pong
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Load(1); got != 2 { // sent ping, received pong
+		t.Fatalf("load(1) = %d, want 2", got)
+	}
+	if got := nw.Load(2); got != 2 { // received ping, sent pong
+		t.Fatalf("load(2) = %d, want 2", got)
+	}
+	if got := nw.Load(3); got != 0 {
+		t.Fatalf("load(3) = %d, want 0", got)
+	}
+	loads := nw.Loads()
+	if loads[1] != 2 || loads[2] != 2 || loads[3] != 0 {
+		t.Fatalf("Loads() = %v", loads)
+	}
+}
+
+func TestSumOfLoadsIsTwiceMessages(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(5, pp)
+	for p := 1; p <= 5; p++ {
+		nw.StartOp(ProcID(p), startPing(7))
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum int64
+	for _, l := range nw.Loads() {
+		sum += l
+	}
+	if sum != 2*nw.MessagesTotal() {
+		t.Fatalf("sum of loads %d != 2 * %d messages", sum, nw.MessagesTotal())
+	}
+}
+
+func TestOpStatsParticipants(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(4, pp)
+	id := nw.StartOp(1, startPing(1)) // pings 1->2, 2->3; pongs 2->1, 3->2
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.OpStats(id)
+	if st == nil {
+		t.Fatal("missing op stats")
+	}
+	got := st.Participants()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("participants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("participants = %v, want %v", got, want)
+		}
+	}
+	if st.Messages != 4 {
+		t.Fatalf("op messages = %d, want 4", st.Messages)
+	}
+}
+
+func TestTracingBuildsDAG(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(4, pp, WithTracing())
+	id := nw.StartOp(1, startPing(2))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.OpStats(id)
+	if st.DAG == nil {
+		t.Fatal("tracing enabled but no DAG")
+	}
+	if err := st.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(st.DAG.Messages()), st.Messages; got != want {
+		t.Fatalf("DAG messages = %d, op messages = %d", got, want)
+	}
+	if st.DAG.Initiator != 1 {
+		t.Fatalf("DAG initiator = %d, want 1", st.DAG.Initiator)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() int64 {
+		pp := &pingPong{}
+		nw := New(7, pp, WithSeed(99), WithLatency(UniformLatency{Min: 1, Max: 9}))
+		for p := 1; p <= 7; p++ {
+			nw.StartOp(ProcID(p), startPing(p))
+			if err := nw.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nw.MessagesTotal()*1_000_003 + nw.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	pp := &pingPong{}
+	// Unit latency: ping at t=1, pong at t=2.
+	nw := New(2, pp)
+	nw.StartOp(1, startPing(0))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Now() != 2 {
+		t.Fatalf("unit latency finished at t=%d, want 2", nw.Now())
+	}
+
+	// Uniform latency in [3,3] behaves like fixed 3.
+	nw2 := New(2, &pingPong{}, WithLatency(UniformLatency{Min: 3, Max: 3}))
+	nw2.StartOp(1, startPing(0))
+	if err := nw2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw2.Now() != 6 {
+		t.Fatalf("uniform[3,3] finished at t=%d, want 6", nw2.Now())
+	}
+
+	// Skew latency is deterministic per pair.
+	s := SkewLatency{Max: 10}
+	m12 := Message{From: 1, To: 2}
+	if d1, d2 := s.Delay(m12, nil), s.Delay(m12, nil); d1 != d2 {
+		t.Fatalf("skew latency not deterministic: %d vs %d", d1, d2)
+	}
+	if d := s.Delay(Message{From: 3, To: 4}, nil); d < 1 || d > 10 {
+		t.Fatalf("skew delay %d out of [1,10]", d)
+	}
+}
+
+func TestAfterIsNotCounted(t *testing.T) {
+	timers := 0
+	tp := &timerProto{fired: &timers}
+	nw := New(2, tp)
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.After(5, tickPayload{})
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if timers != 1 {
+		t.Fatalf("timer fired %d times, want 1", timers)
+	}
+	if nw.MessagesTotal() != 0 {
+		t.Fatalf("timer counted as %d network messages", nw.MessagesTotal())
+	}
+	if nw.Load(1) != 0 {
+		t.Fatalf("timer affected load: %d", nw.Load(1))
+	}
+	if nw.Now() != 5 {
+		t.Fatalf("timer fired at t=%d, want 5", nw.Now())
+	}
+}
+
+type tickPayload struct{}
+
+func (tickPayload) Kind() string { return "tick" }
+
+type timerProto struct{ fired *int }
+
+func (tp *timerProto) Deliver(_ *Network, msg Message) {
+	if !msg.Local {
+		panic("timer delivered as network message")
+	}
+	*tp.fired++
+}
+
+func TestCloneRequiresQuiescence(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(2, pp)
+	nw.StartOp(1, startPing(0))
+	// Queue non-empty: clone must fail.
+	if _, err := nw.Clone(); !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("clone on busy network: err = %v, want ErrNotQuiescent", err)
+	}
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Clone(); err != nil {
+		t.Fatalf("clone at quiescence failed: %v", err)
+	}
+}
+
+func TestCloneRequiresCloneableProtocol(t *testing.T) {
+	nw := New(2, &timerProto{fired: new(int)})
+	if _, err := nw.Clone(); !errors.Is(err, ErrNotCloneable) {
+		t.Fatalf("err = %v, want ErrNotCloneable", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(4, pp, WithSeed(5))
+	nw.StartOp(1, startPing(3))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := nw.MessagesTotal()
+
+	cl, err := nw.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.MessagesTotal() != before {
+		t.Fatalf("clone total = %d, want %d", cl.MessagesTotal(), before)
+	}
+	cl.StartOp(2, startPing(3))
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.MessagesTotal() != before {
+		t.Fatalf("running clone mutated original: %d -> %d", before, nw.MessagesTotal())
+	}
+	if cl.MessagesTotal() <= before {
+		t.Fatalf("clone did not progress: %d", cl.MessagesTotal())
+	}
+	// Loads were copied, not shared.
+	if &nw.sent[0] == &cl.sent[0] {
+		t.Fatal("clone shares load slices with original")
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	// A protocol that ping-pongs forever must hit the budget.
+	pp := &forever{}
+	nw := New(2, pp, WithMaxEvents(100))
+	nw.StartOp(1, func(nw *Network, p ProcID) { nw.Send(2, tickPayload{}) })
+	err := nw.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+}
+
+type forever struct{}
+
+func (forever) Deliver(nw *Network, msg Message) {
+	nw.Send(msg.From, tickPayload{})
+}
+
+func TestSendOutsideCallbackPanics(t *testing.T) {
+	nw := New(2, &pingPong{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send outside callback did not panic")
+		}
+	}()
+	nw.Send(1, tickPayload{})
+}
+
+func TestSendToInvalidProcPanics(t *testing.T) {
+	nw := New(2, &pingPong{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartOp for invalid processor did not panic")
+		}
+	}()
+	nw.StartOp(3, startPing(0))
+}
+
+func TestScheduleOpInPastPanics(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(2, pp)
+	nw.StartOp(1, startPing(0))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleOp in the past did not panic")
+		}
+	}()
+	nw.ScheduleOp(0, 1, startPing(0))
+}
+
+func TestConcurrentOpsInterleave(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(6, pp)
+	ids := make([]OpID, 0, 3)
+	for p := 1; p <= 3; p++ {
+		ids = append(ids, nw.ScheduleOp(0, ProcID(p), startPing(4)))
+	}
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st := nw.OpStats(id)
+		if st == nil || st.Messages == 0 {
+			t.Fatalf("op %d missing stats", id)
+		}
+	}
+}
+
+// TestConcurrentTracingAttribution: two interleaved traced operations each
+// get a valid DAG containing only their own causal messages.
+func TestConcurrentTracingAttribution(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(8, pp, WithTracing())
+	idA := nw.ScheduleOp(0, 1, startPing(2)) // chain 1->2->3->4
+	idB := nw.ScheduleOp(0, 5, startPing(2)) // chain 5->6->7->8
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stA, stB := nw.OpStats(idA), nw.OpStats(idB)
+	if stA.DAG == nil || stB.DAG == nil {
+		t.Fatal("missing DAGs")
+	}
+	if err := stA.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stA.DAG.Initiator != 1 || stB.DAG.Initiator != 5 {
+		t.Fatalf("initiators %d/%d", stA.DAG.Initiator, stB.DAG.Initiator)
+	}
+	// Both ops have the same shape, so the same message count; each DAG
+	// accounts exactly its own messages.
+	if stA.Messages != stB.Messages {
+		t.Fatalf("asymmetric op attribution: %d vs %d", stA.Messages, stB.Messages)
+	}
+	if int64(stA.DAG.Messages())+int64(stB.DAG.Messages()) != nw.MessagesTotal() {
+		t.Fatalf("DAGs account %d+%d messages, network has %d",
+			stA.DAG.Messages(), stB.DAG.Messages(), nw.MessagesTotal())
+	}
+	// Ping chains 1->2->3->4 and 5->6->7->8: disjoint participants.
+	for _, p := range stA.Participants() {
+		if p >= 5 {
+			t.Fatalf("op A touched processor %d", p)
+		}
+	}
+}
+
+// TestStepAndPending: Step processes exactly one event; Pending counts the
+// queue.
+func TestStepAndPending(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(2, pp)
+	nw.StartOp(1, startPing(0))
+	if got := nw.Pending(); got != 1 { // the op-start event
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	steps := 0
+	for {
+		ok, err := nw.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps++
+	}
+	// start + ping + pong = 3 events.
+	if steps != 3 {
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+	if ok, _ := nw.Step(); ok {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestWithoutOpStats(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(3, pp, WithoutOpStats())
+	id := nw.StartOp(1, startPing(2))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.OpStats(id) != nil {
+		t.Fatal("op stats present despite WithoutOpStats")
+	}
+	if nw.MessagesTotal() == 0 {
+		t.Fatal("cumulative accounting must still work")
+	}
+}
+
+func TestOpDoneAt(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(3, pp)
+	id := nw.StartOp(1, startPing(1)) // 1->2 ping (t1), 2->3 ping(t2), pongs t2, t3
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.OpStats(id)
+	if st.StartedAt != 0 {
+		t.Fatalf("StartedAt = %d, want 0", st.StartedAt)
+	}
+	if st.DoneAt != 3 {
+		t.Fatalf("DoneAt = %d, want 3", st.DoneAt)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	var h eventHeap
+	for i, at := range []int64{5, 1, 3, 1, 9, 2} {
+		h.push(event{at: at, seq: uint64(i)})
+	}
+	var prevAt int64 = -1
+	var prevSeq uint64
+	for h.len() > 0 {
+		e := h.pop()
+		if e.at < prevAt || (e.at == prevAt && e.seq < prevSeq) {
+			t.Fatalf("heap order violated: (%d,%d) after (%d,%d)", e.at, e.seq, prevAt, prevSeq)
+		}
+		prevAt, prevSeq = e.at, e.seq
+	}
+}
+
+func TestProcIDString(t *testing.T) {
+	if got := ProcID(7).String(); got != "p7" {
+		t.Fatalf("ProcID string = %q", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(3, pp, WithSeed(9))
+	if nw.Protocol() != pp {
+		t.Fatal("Protocol() wrong")
+	}
+	if nw.Rand() == nil {
+		t.Fatal("Rand() nil")
+	}
+	if nw.Tracing() {
+		t.Fatal("tracing on by default")
+	}
+	nw.SetTracing(true)
+	if !nw.Tracing() {
+		t.Fatal("SetTracing(true) ignored")
+	}
+	id := nw.StartOp(1, startPing(0))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Ops() != 1 {
+		t.Fatalf("Ops() = %d", nw.Ops())
+	}
+	if sent := nw.Sent(); sent[1] != 1 {
+		t.Fatalf("Sent() = %v", sent)
+	}
+	if recv := nw.Recv(); recv[2] != 1 {
+		t.Fatalf("Recv() = %v", recv)
+	}
+	st := nw.OpStats(id)
+	if _, ok := st.ParticipantSet()[1]; !ok {
+		t.Fatal("ParticipantSet missing initiator")
+	}
+	// No BitSized payloads in this protocol.
+	if nw.BitsTotal() != 0 || nw.MaxMessageBits() != 0 {
+		t.Fatal("bit accounting nonzero without BitSized payloads")
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	nw := New(2, &sizedProto{})
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.Send(2, sizedPayload{bits: 7})
+		nw.Send(2, sizedPayload{bits: 3})
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.BitsTotal() != 10 {
+		t.Fatalf("BitsTotal = %d, want 10", nw.BitsTotal())
+	}
+	if nw.MaxMessageBits() != 7 {
+		t.Fatalf("MaxMessageBits = %d, want 7", nw.MaxMessageBits())
+	}
+}
+
+type sizedPayload struct{ bits int }
+
+func (sizedPayload) Kind() string { return "sized" }
+func (s sizedPayload) Bits() int  { return s.bits }
+
+type sizedProto struct{}
+
+func (sizedProto) Deliver(*Network, Message) {}
+
+func TestAfterNegativeDelayPanics(t *testing.T) {
+	nw := New(2, &sizedProto{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.After(-1, tickPayload{})
+	})
+	_ = nw.Run()
+}
+
+func TestAfterOutsideCallbackPanics(t *testing.T) {
+	nw := New(2, &sizedProto{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.After(1, tickPayload{})
+}

@@ -1,0 +1,194 @@
+// Package trace captures the communication structure of a single counter
+// operation as a directed acyclic graph, exactly as in Section 2 of
+// Wattenhofer & Widmayer, "An Inherent Bottleneck in Distributed Counting".
+//
+// A node of the DAG represents a processor performing some communication;
+// an arc from a node labelled p1 to a node labelled p2 denotes a message
+// from processor p1 to processor p2 (paper, Figure 1). The initiating
+// processor appears as the source of the DAG. The same processor may label
+// several nodes.
+//
+// The paper linearizes the DAG into a topologically sorted "communication
+// list" (Figure 2) whose arc count lower-bounds per-processor message counts;
+// the lower-bound adversary ranks candidate operations by the length of this
+// list. Package trace provides both representations plus ASCII and Graphviz
+// renderings.
+//
+// Processors are identified by plain ints here (not sim.ProcID) so that the
+// simulator can depend on trace without an import cycle.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single communication event of one processor.
+type Node struct {
+	// Proc is the processor label of the node.
+	Proc int
+	// Parent is the index of the node whose processing caused this node
+	// (the sender of the message that created it), or -1 for the source.
+	Parent int
+}
+
+// Arc is a message: a directed edge between two nodes of the DAG.
+type Arc struct {
+	From, To int // node indices
+}
+
+// DAG is the communication DAG of one operation.
+//
+// Nodes are stored in creation order, which is a valid topological order by
+// construction: an arc can only point from an existing node to a newly
+// created one (a message is sent strictly before it is received).
+type DAG struct {
+	// Initiator is the processor that started the operation.
+	Initiator int
+	Nodes     []Node
+	Arcs      []Arc
+}
+
+// NewDAG returns a DAG containing only the source node for the initiator.
+func NewDAG(initiator int) *DAG {
+	return &DAG{
+		Initiator: initiator,
+		Nodes:     []Node{{Proc: initiator, Parent: -1}},
+	}
+}
+
+// AddEvent appends a communication event for proc caused by the node at
+// index parent (the sender), records the message arc, and returns the new
+// node's index.
+func (d *DAG) AddEvent(proc, parent int) int {
+	if parent < 0 || parent >= len(d.Nodes) {
+		panic(fmt.Sprintf("trace: AddEvent parent %d out of range [0,%d)", parent, len(d.Nodes)))
+	}
+	idx := len(d.Nodes)
+	d.Nodes = append(d.Nodes, Node{Proc: proc, Parent: parent})
+	d.Arcs = append(d.Arcs, Arc{From: parent, To: idx})
+	return idx
+}
+
+// Messages returns the number of messages in the operation (= arcs).
+func (d *DAG) Messages() int { return len(d.Arcs) }
+
+// Participants returns the sorted set of processors that send or receive a
+// message during the operation: the set I_p of the paper. A node that never
+// communicates (a source with no outgoing arcs) still counts as the
+// initiator is always involved in its own operation.
+func (d *DAG) Participants() []int {
+	seen := make(map[int]struct{}, len(d.Nodes))
+	for _, n := range d.Nodes {
+		seen[n.Proc] = struct{}{}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ParticipantSet returns the participants as a set for O(1) membership tests.
+func (d *DAG) ParticipantSet() map[int]struct{} {
+	seen := make(map[int]struct{}, len(d.Nodes))
+	for _, n := range d.Nodes {
+		seen[n.Proc] = struct{}{}
+	}
+	return seen
+}
+
+// TopoOrder returns node indices in a deterministic topological order.
+// Creation order is already topological; we return it explicitly so callers
+// do not rely on that invariant.
+func (d *DAG) TopoOrder() []int {
+	order := make([]int, len(d.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// CommunicationList returns the processor labels of the DAG nodes in
+// topological order: the paper's linearized "communication list" (Figure 2).
+// Each arc of the DAG corresponds to a path in this list, and each adjacent
+// pair in the list is one message of the modelled execution.
+func (d *DAG) CommunicationList() []int {
+	list := make([]int, len(d.Nodes))
+	for i, idx := range d.TopoOrder() {
+		list[i] = d.Nodes[idx].Proc
+	}
+	return list
+}
+
+// ListLength is the length of the communication list measured as the number
+// of arcs in the list (paper: "the length is measured as the number of arcs
+// in the list"). It equals the number of messages of the operation, because
+// every delivery appends exactly one node.
+func (d *DAG) ListLength() int {
+	if len(d.Nodes) == 0 {
+		return 0
+	}
+	return len(d.Nodes) - 1
+}
+
+// Validate checks structural invariants: arcs reference valid nodes, every
+// non-source node has its parent arc, and arcs go forward in creation order
+// (acyclicity). It returns nil if the DAG is well formed.
+func (d *DAG) Validate() error {
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("trace: DAG has no nodes")
+	}
+	if d.Nodes[0].Parent != -1 {
+		return fmt.Errorf("trace: node 0 must be the source (parent -1), got parent %d", d.Nodes[0].Parent)
+	}
+	if d.Nodes[0].Proc != d.Initiator {
+		return fmt.Errorf("trace: source node proc %d != initiator %d", d.Nodes[0].Proc, d.Initiator)
+	}
+	for i, n := range d.Nodes[1:] {
+		idx := i + 1
+		if n.Parent < 0 || n.Parent >= idx {
+			return fmt.Errorf("trace: node %d has parent %d, want in [0,%d)", idx, n.Parent, idx)
+		}
+	}
+	if len(d.Arcs) != len(d.Nodes)-1 {
+		return fmt.Errorf("trace: %d arcs for %d nodes, want %d", len(d.Arcs), len(d.Nodes), len(d.Nodes)-1)
+	}
+	for _, a := range d.Arcs {
+		if a.From < 0 || a.From >= len(d.Nodes) || a.To <= 0 || a.To >= len(d.Nodes) {
+			return fmt.Errorf("trace: arc %v out of range", a)
+		}
+		if a.From >= a.To {
+			return fmt.Errorf("trace: arc %v not forward (cycle?)", a)
+		}
+		if d.Nodes[a.To].Parent != a.From {
+			return fmt.Errorf("trace: arc %v does not match node %d parent %d", a, a.To, d.Nodes[a.To].Parent)
+		}
+	}
+	return nil
+}
+
+// Intersects reports whether the participant sets of two DAGs share a
+// processor. The Hot Spot Lemma states this must hold for the DAGs of two
+// operations that increment the counter in direct succession.
+func Intersects(a, b *DAG) bool {
+	as := a.ParticipantSet()
+	for _, n := range b.Nodes {
+		if _, ok := as[n.Proc]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the communication list compactly, e.g. "3 -> 11 -> 17".
+func (d *DAG) String() string {
+	list := d.CommunicationList()
+	parts := make([]string, len(list))
+	for i, p := range list {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"distcount/internal/rng"
+)
+
+// paperFigure1 rebuilds the DAG of Figure 1: processor 3 initiates; the
+// message flow 3 -> 11 -> 17 -> 7, with 11 also messaging 27 and 17
+// messaging 11 again (the initiator learns the value at the later 7 node —
+// the exact shape in the figure is partly illegible in the source scan, so
+// this is a faithful small example, not a byte-exact copy).
+func paperFigure1() *DAG {
+	d := NewDAG(3)
+	n11 := d.AddEvent(11, 0)
+	n17 := d.AddEvent(17, n11)
+	d.AddEvent(27, n11)
+	n7 := d.AddEvent(7, n17)
+	_ = n7
+	d.AddEvent(11, n17)
+	return d
+}
+
+func TestNewDAGHasSource(t *testing.T) {
+	d := NewDAG(5)
+	if len(d.Nodes) != 1 || d.Nodes[0].Proc != 5 || d.Nodes[0].Parent != -1 {
+		t.Fatalf("unexpected fresh DAG: %+v", d)
+	}
+	if d.ListLength() != 0 {
+		t.Fatalf("fresh DAG list length = %d, want 0", d.ListLength())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEventBuildsArcs(t *testing.T) {
+	d := paperFigure1()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Messages(), 5; got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+	if got, want := d.ListLength(), 5; got != want {
+		t.Fatalf("list length = %d, want %d", got, want)
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	d := paperFigure1()
+	got := d.Participants()
+	want := []int{3, 7, 11, 17, 27}
+	if len(got) != len(want) {
+		t.Fatalf("participants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("participants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCommunicationListTopological(t *testing.T) {
+	d := paperFigure1()
+	order := d.TopoOrder()
+	pos := make(map[int]int, len(order))
+	for i, idx := range order {
+		pos[idx] = i
+	}
+	for _, a := range d.Arcs {
+		if pos[a.From] >= pos[a.To] {
+			t.Fatalf("arc %v violates topological order", a)
+		}
+	}
+	list := d.CommunicationList()
+	if list[0] != 3 {
+		t.Fatalf("list must start with initiator, got %v", list)
+	}
+	if len(list) != len(d.Nodes) {
+		t.Fatalf("list has %d entries for %d nodes", len(list), len(d.Nodes))
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := NewDAG(1)
+	a.AddEvent(2, 0)
+	b := NewDAG(3)
+	b.AddEvent(2, 0)
+	if !Intersects(a, b) {
+		t.Fatal("DAGs sharing processor 2 reported disjoint")
+	}
+	c := NewDAG(9)
+	c.AddEvent(10, 0)
+	if Intersects(a, c) {
+		t.Fatal("disjoint DAGs reported intersecting")
+	}
+}
+
+func TestIntersectsSelf(t *testing.T) {
+	a := NewDAG(4)
+	if !Intersects(a, a) {
+		t.Fatal("a DAG must intersect itself (initiator)")
+	}
+}
+
+func TestValidateRejectsCorrupt(t *testing.T) {
+	d := paperFigure1()
+	d.Arcs[0].From, d.Arcs[0].To = d.Arcs[0].To, d.Arcs[0].From
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted a backward arc")
+	}
+
+	d2 := paperFigure1()
+	d2.Nodes[0].Parent = 2
+	if err := d2.Validate(); err == nil {
+		t.Fatal("Validate accepted a source with a parent")
+	}
+
+	d3 := &DAG{}
+	if err := d3.Validate(); err == nil {
+		t.Fatal("Validate accepted an empty DAG")
+	}
+
+	d4 := paperFigure1()
+	d4.Initiator = 99
+	if err := d4.Validate(); err == nil {
+		t.Fatal("Validate accepted a mismatched initiator")
+	}
+}
+
+func TestAddEventPanicsOnBadParent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEvent with out-of-range parent did not panic")
+		}
+	}()
+	NewDAG(1).AddEvent(2, 5)
+}
+
+func TestRenderDOT(t *testing.T) {
+	d := paperFigure1()
+	dot := d.DOT()
+	for _, frag := range []string{"digraph inc", "doublecircle", "n0 -> n1", "label=\"3\""} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	d := paperFigure1()
+	out := d.ASCII()
+	if !strings.HasPrefix(out, "3\n") {
+		t.Fatalf("ASCII must start with initiator:\n%s", out)
+	}
+	if !strings.Contains(out, "11") || !strings.Contains(out, "27") {
+		t.Fatalf("ASCII missing nodes:\n%s", out)
+	}
+	if got, want := strings.Count(out, "\n"), len(d.Nodes); got != want {
+		t.Fatalf("ASCII has %d lines, want %d:\n%s", got, want, out)
+	}
+}
+
+func TestRenderListASCII(t *testing.T) {
+	d := NewDAG(3)
+	d.AddEvent(11, 0)
+	if got, want := d.ListASCII(), "[3] -> [11]"; got != want {
+		t.Fatalf("ListASCII = %q, want %q", got, want)
+	}
+}
+
+func TestStringJoinsList(t *testing.T) {
+	d := NewDAG(3)
+	d.AddEvent(11, 0)
+	if got, want := d.String(), "3 -> 11"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// TestRandomDAGsValid property-tests that arbitrarily grown DAGs satisfy
+// Validate and keep ListLength == Messages == nodes-1.
+func TestRandomDAGsValid(t *testing.T) {
+	if err := quick.Check(func(seed uint64, stepsRaw uint8) bool {
+		r := rng.New(seed)
+		steps := int(stepsRaw % 100)
+		d := NewDAG(1 + r.Intn(50))
+		for i := 0; i < steps; i++ {
+			parent := r.Intn(len(d.Nodes))
+			d.AddEvent(1+r.Intn(50), parent)
+		}
+		return d.Validate() == nil &&
+			d.ListLength() == d.Messages() &&
+			d.Messages() == len(d.Nodes)-1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParticipantSetMatchesSlice cross-checks the two participant views.
+func TestParticipantSetMatchesSlice(t *testing.T) {
+	d := paperFigure1()
+	set := d.ParticipantSet()
+	slice := d.Participants()
+	if len(set) != len(slice) {
+		t.Fatalf("set size %d != slice size %d", len(set), len(slice))
+	}
+	for _, p := range slice {
+		if _, ok := set[p]; !ok {
+			t.Fatalf("processor %d in slice but not set", p)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"distcount/internal/sim"
+)
+
+// Concurrent-execution checks. The paper's model is sequential, but its
+// related work isn't: Herlihy, Shavit & Waarts ("Linearizable counting
+// networks", cited as [HSW]) study exactly the gap these checks measure —
+// a concurrent counter can hand out each value exactly once (quiescent
+// consistency) yet still allow an operation that finished earlier to
+// receive a larger value than one that started later, which breaks
+// linearizability.
+
+// TimedValue is one completed counter operation of a concurrent run.
+type TimedValue struct {
+	Op    sim.OpID
+	Value int
+	// Start and End are the operation's initiation time and the time of
+	// its last event (for a counter: when the value arrived).
+	Start, End int64
+}
+
+// CollectTimedValues pairs per-operation values with the simulator's
+// operation timing. values[i] belongs to ops[i].
+func CollectTimedValues(net *sim.Network, ops []sim.OpID, values []int) ([]TimedValue, error) {
+	if len(ops) != len(values) {
+		return nil, fmt.Errorf("verify: %d ops but %d values", len(ops), len(values))
+	}
+	out := make([]TimedValue, len(ops))
+	for i, id := range ops {
+		st := net.OpStats(id)
+		if st == nil {
+			return nil, fmt.Errorf("verify: missing stats for op %d (op tracking disabled?)", id)
+		}
+		out[i] = TimedValue{Op: id, Value: values[i], Start: st.StartedAt, End: st.DoneAt}
+	}
+	return out, nil
+}
+
+// QuiescentConsistent checks that the values handed out by a concurrent run
+// are exactly {0, ..., len-1}: no duplicates, no gaps. Counting networks
+// and diffracting trees guarantee this.
+func QuiescentConsistent(vals []TimedValue) error {
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		if v.Value < 0 || v.Value >= len(vals) {
+			return fmt.Errorf("verify: value %d out of range [0,%d)", v.Value, len(vals))
+		}
+		if seen[v.Value] {
+			return fmt.Errorf("verify: value %d handed out twice", v.Value)
+		}
+		seen[v.Value] = true
+	}
+	return nil
+}
+
+// Linearizable checks the real-time order condition for counters: if
+// operation a completed before operation b started, then a's value must be
+// smaller — there must exist a linearization point between invocation and
+// response consistent with the values. For a counter this condition
+// (together with QuiescentConsistent) is equivalent to linearizability.
+func Linearizable(vals []TimedValue) error {
+	if err := QuiescentConsistent(vals); err != nil {
+		return err
+	}
+	// Sort by completion time and compare against everything that starts
+	// strictly later.
+	byEnd := append([]TimedValue(nil), vals...)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+	byStart := append([]TimedValue(nil), vals...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+
+	// For every pair (a, b) with a.End < b.Start, require a.Value < b.Value.
+	// O(n log n): scan starts in order, maintaining the max value among
+	// operations already completed before the current start.
+	maxDone := -1
+	ei := 0
+	for _, b := range byStart {
+		for ei < len(byEnd) && byEnd[ei].End < b.Start {
+			if byEnd[ei].Value > maxDone {
+				maxDone = byEnd[ei].Value
+			}
+			ei++
+		}
+		if maxDone >= b.Value {
+			return fmt.Errorf("verify: linearizability violation: op %d got value %d although an operation with value >= %d completed before it started",
+				b.Op, b.Value, maxDone)
+		}
+	}
+	return nil
+}
