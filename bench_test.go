@@ -20,10 +20,12 @@ import (
 	"distcount/internal/bound"
 	"distcount/internal/core"
 	"distcount/internal/counter"
+	"distcount/internal/engine"
 	"distcount/internal/experiments"
 	"distcount/internal/loadstat"
 	"distcount/internal/registry"
 	"distcount/internal/sim"
+	"distcount/internal/workload"
 )
 
 // BenchmarkE1_TraceDAG measures a fully traced canonical workload at k=2
@@ -267,5 +269,98 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 		if _, err := c.Inc(distcount.ProcID(i%63 + 2)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWorkloadEngine runs the closed-loop driver end to end —
+// scenario generation, concurrent injection, completion tracking, and
+// report assembly — across representative algorithm x scenario pairs. The
+// custom metrics surface the quantities the workload reports are about:
+// simulated throughput and the bottleneck load.
+func BenchmarkWorkloadEngine(b *testing.B) {
+	const ops = 2000
+	for _, cfg := range []struct {
+		algo, scen string
+		n          int
+	}{
+		{"central", "uniform", 64},
+		{"central", "zipf", 64},
+		{"ctree", "zipf", 256},
+		{"ctree", "bursty", 256},
+		{"combining", "hotspot", 64},
+		{"difftree", "uniform", 64},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s/%s/n=%d", cfg.algo, cfg.scen, cfg.n), func(b *testing.B) {
+			var rep *distcount.WorkloadReport
+			for i := 0; i < b.N; i++ {
+				c, err := registry.NewAsync(cfg.algo, cfg.n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err := workload.New(cfg.scen, workload.Config{N: c.N(), Ops: ops, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = engine.Run(c, sc, engine.Config{InFlight: 16, Warmup: ops / 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Throughput, "ops/tick")
+			b.ReportMetric(float64(rep.Loads.MaxLoad), "m_b")
+			b.ReportMetric(rep.Latency.P99, "p99_ticks")
+		})
+	}
+}
+
+// BenchmarkWorkloadEngineWindow sweeps the in-flight window on the tree
+// counter under a saturating uniform stream: the wall-clock cost stays
+// near-flat while simulated throughput rises with pipelining.
+func BenchmarkWorkloadEngineWindow(b *testing.B) {
+	const ops = 2000
+	for _, window := range []int{1, 4, 16, 64} {
+		window := window
+		b.Run(fmt.Sprintf("ctree/window=%d", window), func(b *testing.B) {
+			var rep *distcount.WorkloadReport
+			for i := 0; i < b.N; i++ {
+				c, err := registry.NewAsync("ctree", 256)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err := workload.New("uniform", workload.Config{N: c.N(), Ops: ops, Seed: 1, MeanGap: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = engine.Run(c, sc, engine.Config{InFlight: window, Warmup: ops / 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Throughput, "ops/tick")
+			b.ReportMetric(float64(rep.SimTime), "makespan_ticks")
+		})
+	}
+}
+
+// BenchmarkScenarioGeneration isolates the workload generators: requests
+// per second of pure stream synthesis.
+func BenchmarkScenarioGeneration(b *testing.B) {
+	for _, name := range workload.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc, err := workload.New(name, workload.Config{N: 1024, Ops: 10_000, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, ok := sc.Next(); !ok {
+						break
+					}
+				}
+			}
+			b.ReportMetric(10_000, "reqs/run")
+		})
 	}
 }

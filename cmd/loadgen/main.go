@@ -1,0 +1,175 @@
+// Command loadgen drives a distributed-counter algorithm with a concurrent
+// workload scenario on the simulated network and reports throughput,
+// latency percentiles, message loads, and the bottleneck-load trajectory —
+// the workload engine's command-line face.
+//
+// Usage:
+//
+//	loadgen -algo ctree -scenario zipf -n 256 -ops 5000 -seed 1
+//	loadgen -algo central -scenario bursty -n 64 -ops 2000 -format text
+//	loadgen -algo combining -scenario adversarial -n 27 -format csv
+//	loadgen -list
+//
+// The default output is an indented JSON report on stdout; -format text
+// renders a human-readable summary, -format csv the bottleneck time
+// series. Runs are deterministic for a fixed -seed.
+//
+// The special scenario "adversarial" first executes the paper's
+// lower-bound adversary against the chosen algorithm (sequentially, on a
+// separate traced instance) and then replays the adversary's worst-case
+// initiator order through the concurrent engine — the paper's hardest
+// workload under load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"distcount/internal/adversary"
+	"distcount/internal/counter"
+	"distcount/internal/engine"
+	"distcount/internal/engine/report"
+	"distcount/internal/registry"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "ctree", "algorithm: "+strings.Join(registry.AsyncNames(), ", "))
+		scenario = fs.String("scenario", "uniform", "scenario: "+strings.Join(workload.Names(), ", ")+", adversarial")
+		n        = fs.Int("n", 81, "number of processors (rounded up for structured algorithms)")
+		ops      = fs.Int("ops", 2000, "number of operations")
+		seed     = fs.Uint64("seed", 1, "scenario seed (runs are deterministic per seed)")
+		inflight = fs.Int("inflight", 8, "closed-loop window: max operations concurrently in flight")
+		warmup   = fs.Int("warmup", -1, "completions excluded from measurement (default ops/10)")
+		meanGap  = fs.Int64("mean-gap", 4, "mean interarrival time in simulated ticks")
+		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
+		format   = fs.String("format", "json", "output format: json, text, csv")
+		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
+		hotFrac  = fs.Float64("hot-frac", 0.1, "hot-set fraction (scenario hotspot)")
+		hotProb  = fs.Float64("hot-prob", 0.9, "hot-set probability (scenario hotspot)")
+		burstLen = fs.Int("burst-len", 32, "operations per burst (scenario bursty)")
+		list     = fs.Bool("list", false, "list algorithms and scenarios, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "algorithms:", strings.Join(registry.AsyncNames(), ", "))
+		fmt.Fprintln(out, "scenarios: ", strings.Join(workload.Names(), ", ")+", adversarial")
+		return nil
+	}
+	if *n < 1 {
+		return fmt.Errorf("need -n >= 1 (got %d)", *n)
+	}
+	if *ops < 1 {
+		return fmt.Errorf("need -ops >= 1 (got %d)", *ops)
+	}
+	switch *format {
+	case "json", "text", "csv":
+	default:
+		// Validated before the run so a typo does not waste the simulation.
+		return fmt.Errorf("unknown format %q (have json, text, csv)", *format)
+	}
+
+	c, err := registry.NewAsync(*algo, *n)
+	if err != nil {
+		return err
+	}
+
+	// Scenarios are sized to the actual network (structured algorithms
+	// round n up).
+	wcfg := workload.Config{
+		N:        c.N(),
+		Ops:      *ops,
+		Seed:     *seed,
+		MeanGap:  *meanGap,
+		ZipfS:    *zipfS,
+		HotFrac:  *hotFrac,
+		HotProb:  *hotProb,
+		BurstLen: *burstLen,
+	}
+	var gen workload.Generator
+	if *scenario == "adversarial" {
+		gen, err = adversarialReplay(*algo, c.N(), *ops, *seed, *meanGap)
+	} else {
+		gen, err = workload.New(*scenario, wcfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	ecfg := engine.Config{
+		InFlight:    *inflight,
+		Warmup:      *warmup,
+		SampleEvery: *sample,
+	}
+	if ecfg.Warmup < 0 {
+		ecfg.Warmup = genOps(*scenario, *ops, c.N()) / 10
+	}
+	res, err := engine.Run(c, gen, ecfg)
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "csv":
+		return report.WriteCSV(out, res)
+	case "text":
+		_, err := io.WriteString(out, report.Render(res))
+		return err
+	default: // "json", validated above
+		return report.WriteJSON(out, res)
+	}
+}
+
+// genOps returns the effective stream length: the adversarial replay is
+// bounded by the canonical workload (each processor once).
+func genOps(scenario string, ops, n int) int {
+	if scenario == "adversarial" && ops > n {
+		return n
+	}
+	return ops
+}
+
+// adversarialReplay runs the Lower Bound Theorem's constructive workload
+// sequentially against a traced instance of the algorithm and converts the
+// chosen initiator order into a replay scenario, truncated to at most ops
+// operations (the adversary's order is one per processor, so the stream is
+// also capped at n). The sampled adversary (subset of candidates per step)
+// keeps this affordable at CLI sizes.
+func adversarialReplay(algo string, n, ops int, seed uint64, gap int64) (workload.Generator, error) {
+	probe, err := registry.New(algo, n, sim.WithTracing())
+	if err != nil {
+		return nil, err
+	}
+	cl, ok := probe.(counter.Cloneable)
+	if !ok {
+		return nil, fmt.Errorf("scenario adversarial needs a cloneable algorithm, %q is not", algo)
+	}
+	sampleSize := 8
+	res, err := adversary.Run(cl, adversary.SampleSize(sampleSize), adversary.WithSeed(seed))
+	if err != nil {
+		return nil, fmt.Errorf("adversary against %s: %w", algo, err)
+	}
+	order := make([]sim.ProcID, len(res.Steps))
+	for i, st := range res.Steps {
+		order[i] = st.Chosen
+	}
+	if ops < len(order) {
+		order = order[:ops]
+	}
+	return workload.Replay("adversarial", order, gap), nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunJSONDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algo", "central", "-n", "16", "-ops", "200", "-seed", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Algorithm  string  `json:"algorithm"`
+		Scenario   string  `json:"scenario"`
+		Ops        int     `json:"ops"`
+		Throughput float64 `json:"throughput"`
+		Latency    struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"latency"`
+		Series []struct {
+			BottleneckLoad int64 `json:"bottleneck_load"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if decoded.Algorithm != "central" || decoded.Scenario != "uniform" || decoded.Ops != 200 {
+		t.Fatalf("report header wrong: %+v", decoded)
+	}
+	if decoded.Throughput <= 0 || decoded.Latency.P50 <= 0 || decoded.Latency.P99 < decoded.Latency.P50 {
+		t.Fatalf("metrics incoherent: %+v", decoded)
+	}
+	if len(decoded.Series) == 0 {
+		t.Fatal("missing bottleneck-load series")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() string {
+		var b strings.Builder
+		if err := run([]string{"-algo", "ctree", "-scenario", "zipf", "-n", "27", "-ops", "300", "-seed", "7"}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatal("identical invocations produced different reports")
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"json", "text", "csv"} {
+		var b strings.Builder
+		err := run([]string{"-algo", "combining", "-n", "8", "-ops", "100", "-format", format}, &b)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-n", "8", "-ops", "50", "-format", "xml"}, &b); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunEveryScenario(t *testing.T) {
+	for _, scen := range []string{"uniform", "zipf", "hotspot", "bursty", "ramp", "mix", "adversarial"} {
+		var b strings.Builder
+		args := []string{"-algo", "central", "-scenario", scen, "-n", "12", "-ops", "120", "-format", "text"}
+		if err := run(args, &b); err != nil {
+			t.Fatalf("%s: %v", scen, err)
+		}
+		if !strings.Contains(b.String(), scen) {
+			t.Fatalf("%s: report not labelled:\n%s", scen, b.String())
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"ctree", "zipf", "adversarial"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Fatalf("list output missing %q:\n%s", frag, b.String())
+		}
+	}
+}
+
+func TestRunRejectsSequentialAlgo(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algo", "quorum-majority", "-n", "9"}, &b); err == nil {
+		t.Fatal("sequential-only algorithm accepted")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "nope"},
+		{"-scenario", "nope"},
+		{"-ops", "0"},
+		{"-definitely-not-a-flag"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"distcount/internal/bound"
 	"distcount/internal/core"
 	"distcount/internal/counter"
+	"distcount/internal/engine"
 	"distcount/internal/experiments"
 	"distcount/internal/ext/distpq"
 	"distcount/internal/ext/flipbit"
@@ -12,6 +13,7 @@ import (
 	"distcount/internal/registry"
 	"distcount/internal/sim"
 	"distcount/internal/verify"
+	"distcount/internal/workload"
 )
 
 // Re-exported core types. Aliases let callers outside this module use the
@@ -50,6 +52,22 @@ type (
 	// PriorityQueue is a distributed priority queue served by the paper's
 	// communication tree — the second extension example.
 	PriorityQueue = distpq.Queue
+	// AsyncCounter is a Counter that supports concurrent in-flight
+	// operations, as driven by the workload engine.
+	AsyncCounter = counter.Async
+	// Scenario is a deterministic, seeded stream of operation requests
+	// with simulated arrival times.
+	Scenario = workload.Generator
+	// ScenarioConfig parameterizes the built-in scenarios (size, length,
+	// seed, arrival rate, skew knobs).
+	ScenarioConfig = workload.Config
+	// WorkloadConfig tunes the closed-loop load driver (in-flight window,
+	// warmup, series sampling).
+	WorkloadConfig = engine.Config
+	// WorkloadReport is the result of one engine run: throughput, latency
+	// percentiles, measured-window load summary, and the bottleneck-load
+	// time series. internal/engine/report renders it as JSON, CSV or text.
+	WorkloadReport = engine.Result
 )
 
 // NewTreeCounter returns the paper's counter for the communication tree of
@@ -86,6 +104,37 @@ func NewCounter(algorithm string, n int) (Counter, error) {
 // as required by RunAdversary and the Hot Spot checks.
 func NewTracedCounter(algorithm string, n int) (Counter, error) {
 	return registry.New(algorithm, n, sim.WithTracing())
+}
+
+// AsyncAlgorithms lists the algorithms that support concurrent operation
+// and are therefore usable with NewAsyncCounter and RunWorkload.
+func AsyncAlgorithms() []string { return registry.AsyncNames() }
+
+// NewAsyncCounter builds the named counter configured for concurrent
+// operation: increments may be injected while earlier ones are still in
+// flight. Algorithms whose protocol admits only one outstanding operation
+// (the quorum counters) are rejected.
+func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
+	return registry.NewAsync(algorithm, n)
+}
+
+// Scenarios lists the built-in workload scenario names usable with
+// NewScenario.
+func Scenarios() []string { return workload.Names() }
+
+// NewScenario builds the named workload scenario (uniform, zipf, hotspot,
+// bursty, ramp, mix) from the config. The stream is a pure function of the
+// config, so runs are reproducible.
+func NewScenario(name string, cfg ScenarioConfig) (Scenario, error) {
+	return workload.New(name, cfg)
+}
+
+// RunWorkload drives the counter with the scenario through the closed-loop
+// concurrent engine and reports throughput, latency percentiles, the
+// measured-window load summary, and the bottleneck-load time series, all
+// in simulated time.
+func RunWorkload(c AsyncCounter, sc Scenario, cfg WorkloadConfig) (*WorkloadReport, error) {
+	return engine.Run(c, sc, cfg)
 }
 
 // RunSequence executes the operations in order, each running to quiescence

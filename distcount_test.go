@@ -96,3 +96,38 @@ func TestExperimentFacade(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestWorkloadFacade(t *testing.T) {
+	if len(distcount.Scenarios()) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	algos := distcount.AsyncAlgorithms()
+	if len(algos) < 3 {
+		t.Fatalf("async algorithms = %v, want at least 3", algos)
+	}
+	c, err := distcount.NewAsyncCounter("ctree", 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := distcount.NewScenario("hotspot", distcount.ScenarioConfig{N: c.N(), Ops: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := distcount.RunWorkload(c, sc, distcount.WorkloadConfig{InFlight: 6, Warmup: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 200 || rep.Measured != 180 {
+		t.Fatalf("ops/measured = %d/%d, want 200/180", rep.Ops, rep.Measured)
+	}
+	if rep.Throughput <= 0 || rep.Latency.P99 < rep.Latency.P50 || len(rep.Series) == 0 {
+		t.Fatalf("report incoherent: %+v", rep)
+	}
+
+	if _, err := distcount.NewAsyncCounter("quorum-majority", 9); err == nil {
+		t.Fatal("sequential-only algorithm accepted as async")
+	}
+	if _, err := distcount.NewScenario("bogus", distcount.ScenarioConfig{N: 4, Ops: 4}); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}

@@ -24,7 +24,12 @@
 //     arithmetic and RunAdversary for the proof's constructive
 //     longest-communication-list workload;
 //   - the experiment harness (Experiments, RunExperiment) that regenerates
-//     every figure and theorem-level claim of the paper; see EXPERIMENTS.md.
+//     every figure and theorem-level claim of the paper; see EXPERIMENTS.md;
+//   - the workload engine (NewScenario, RunWorkload): seeded traffic
+//     scenarios (uniform, Zipf, hotspot, bursty, ramp, multi-phase mixes)
+//     driven through a closed-loop concurrent load driver that measures
+//     throughput, latency percentiles, and the bottleneck-load trajectory
+//     in simulated time; cmd/loadgen is its command-line face.
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module distcount
+
+go 1.24

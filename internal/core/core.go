@@ -315,6 +315,13 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 	return reply.(int), nil
 }
 
+// Start implements counter.Async, shadowing the embedded Tree.Start with
+// the counter-shaped signature (the request of an inc is nil). Like
+// Tree.Start it requires a tree built WithoutChecks.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.Tree.Start(at, p, nil)
+}
+
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {
 	tr, err := c.CloneTree()

@@ -39,3 +39,24 @@ type Cloneable interface {
 	// affect the original.
 	Clone() (Counter, error)
 }
+
+// Async is a Counter whose increments can be injected into the simulated
+// network at a chosen time WITHOUT draining the network first, so that many
+// operations are in flight concurrently — the regime the workload engine
+// (internal/engine) drives. Concurrency is outside the paper's sequential
+// model; protocols not designed for it remain message-accountable (every
+// operation terminates and loads the network realistically) but may assign
+// duplicate values, which is exactly what the linearizability experiments
+// (E13) study. The engine therefore measures load, latency and throughput,
+// never return values.
+//
+// Callers must keep at most one operation per initiator in flight: most
+// implementations hold per-processor reply slots that a second concurrent
+// operation by the same processor would clobber.
+type Async interface {
+	Counter
+	// Start schedules one increment by p at absolute simulated time at
+	// (>= Net().Now()) and returns its operation id without running the
+	// network. Completion is observable via the network's OnOpDone handler.
+	Start(at int64, p sim.ProcID) sim.OpID
+}

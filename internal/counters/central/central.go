@@ -136,6 +136,14 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 	return c.proto.result, nil
 }
 
+// Start implements counter.Async: it schedules p's operation without
+// running the network. The holder serves each request independently, so the
+// protocol is correct under concurrency; only the sequential result slot is
+// unusable (concurrent drivers measure loads, not values).
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.proto.initiate)
+}
+
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {
 	net, err := c.net.Clone()

@@ -61,6 +61,12 @@ type contrib struct {
 	fromNode   int
 	childBatch int
 	count      int
+	// tok is the adopted continuation of a request that merged into an
+	// open window (invalid for the window-opening request, whose own
+	// causal chain carries the batch): the response or value send at
+	// distribution time is attributed to the merged operation through it,
+	// so that operation stays pending until its reply actually lands.
+	tok sim.OpToken
 }
 
 // batch accumulates requests at a node during a combining window.
@@ -187,7 +193,10 @@ func (pr *proto) handleReq(nw *sim.Network, pl reqPayload) {
 		pr.closeBatch(nw, pl.Node)
 		return
 	}
-	// Combining: merge into the open window.
+	// Combining: merge into the open window. The merged request sends
+	// nothing now, so its operation would otherwise look complete; adopt
+	// it so the eventual downward send re-enters its causal chain.
+	c.tok = nw.Adopt()
 	nd.pending.contribs = append(nd.pending.contribs, c)
 	nd.pending.total += pl.Count
 	pr.combined++
@@ -226,13 +235,21 @@ func (pr *proto) handleResp(nw *sim.Network, pl respPayload) {
 }
 
 // distribute splits a value range among the contributors of a batch.
+// Sends for merged contributors are attributed to their own operations via
+// the adopted tokens; the window opener's send rides the current delivery,
+// which is already on its causal chain.
 func (pr *proto) distribute(nw *sim.Network, b *batch, base int) {
 	offset := base
 	for _, c := range b.contribs {
+		send := nw.Send
+		if c.tok.Valid() {
+			tok := c.tok
+			send = func(to sim.ProcID, pl sim.Payload) { nw.SendAs(tok, to, pl) }
+		}
 		if c.fromNode == -1 {
-			nw.Send(c.fromLeaf, valuePayload{Val: offset})
+			send(c.fromLeaf, valuePayload{Val: offset})
 		} else {
-			nw.Send(pr.nodes[c.fromNode].host, respPayload{
+			send(pr.nodes[c.fromNode].host, respPayload{
 				Node:  c.fromNode,
 				Batch: c.childBatch,
 				Base:  offset,

@@ -56,8 +56,12 @@ func (prismTimer) Kind() string   { return "prism-timer" }
 type dnode struct {
 	host   sim.ProcID
 	toggle bool
-	// parked is the token waiting in the prism (nil when empty).
+	// parked is the token waiting in the prism (nil when empty), and tok
+	// the adopted continuation of its operation: a diffracting partner
+	// routes the parked token onward inside the parked operation's own
+	// causal chain rather than its own.
 	parked *tokenPayload
+	tok    sim.OpToken
 	seq    int
 }
 
@@ -118,6 +122,12 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 // route sends a token onward after it resolved direction at node tk.Node:
 // right == true sets the level bit of the leaf index.
 func (pr *proto) route(nw *sim.Network, tk tokenPayload, right bool) {
+	pr.routeWith(nw.Send, tk, right)
+}
+
+// routeWith is route with an explicit send function, so a diffracted
+// partner can be forwarded inside its own operation (sim.SendAs).
+func (pr *proto) routeWith(send func(sim.ProcID, sim.Payload), tk tokenPayload, right bool) {
 	idx := tk.Idx
 	child := tk.Node * 2
 	if right {
@@ -125,10 +135,10 @@ func (pr *proto) route(nw *sim.Network, tk tokenPayload, right bool) {
 		child++
 	}
 	if tk.Level+1 == pr.depth {
-		nw.Send(pr.leafOwner(idx), exitPayload{Idx: idx, Origin: tk.Origin})
+		send(pr.leafOwner(idx), exitPayload{Idx: idx, Origin: tk.Origin})
 		return
 	}
-	nw.Send(pr.nodes[child].host, tokenPayload{
+	send(pr.nodes[child].host, tokenPayload{
 		Node:   child,
 		Level:  tk.Level + 1,
 		Idx:    idx,
@@ -138,11 +148,18 @@ func (pr *proto) route(nw *sim.Network, tk tokenPayload, right bool) {
 
 // toggleRoute resolves a token through the node's toggle.
 func (pr *proto) toggleRoute(nw *sim.Network, tk tokenPayload) {
+	pr.toggleRouteWith(nw.Send, tk)
+}
+
+// toggleRouteWith is toggleRoute with an explicit send function, for the
+// prism-expiry path where the token continues through its adopted
+// continuation rather than the (detached) timer delivery.
+func (pr *proto) toggleRouteWith(send func(sim.ProcID, sim.Payload), tk tokenPayload) {
 	nd := &pr.nodes[tk.Node]
 	right := nd.toggle
 	nd.toggle = !nd.toggle
 	pr.toggles[tk.Node]++
-	pr.route(nw, tk, right)
+	pr.routeWith(send, tk, right)
 }
 
 func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
@@ -151,11 +168,14 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		nd := &pr.nodes[pl.Node]
 		if nd.parked != nil {
 			// Diffraction: the parked partner goes left, the arriving
-			// token right; the toggle is untouched.
+			// token right; the toggle is untouched. The partner continues
+			// inside its own operation through the adopted token.
 			partner := *nd.parked
+			tok := nd.tok
 			nd.parked = nil
+			nd.tok = sim.OpToken{}
 			pr.diffracted++
-			pr.route(nw, partner, false)
+			pr.routeWith(func(to sim.ProcID, p sim.Payload) { nw.SendAs(tok, to, p) }, partner, false)
 			pr.route(nw, pl, true)
 			return
 		}
@@ -163,16 +183,24 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 			pr.toggleRoute(nw, pl)
 			return
 		}
+		// Park: the operation is held open by the adopted token alone; the
+		// expiry timer is detached so that a timer outliving a diffraction
+		// does not delay the diffracted operation's completion.
 		tk := pl
 		nd.seq++
 		nd.parked = &tk
-		nw.After(pr.window, prismTimer{Node: pl.Node, Seq: nd.seq})
+		nd.tok = nw.Adopt()
+		nw.AfterDetached(pr.window, prismTimer{Node: pl.Node, Seq: nd.seq})
 	case prismTimer:
 		nd := &pr.nodes[pl.Node]
 		if nd.parked != nil && nd.seq == pl.Seq {
+			// Un-paired expiry: the detached timer carries no operation,
+			// so the token continues through its adopted continuation.
 			tk := *nd.parked
+			tok := nd.tok
 			nd.parked = nil
-			pr.toggleRoute(nw, tk)
+			nd.tok = sim.OpToken{}
+			pr.toggleRouteWith(func(to sim.ProcID, p sim.Payload) { nw.SendAs(tok, to, p) }, tk)
 		}
 	case exitPayload:
 		val := pr.leafCount[pl.Idx]

@@ -193,3 +193,31 @@ func TestName(t *testing.T) {
 		t.Fatal("wrong name")
 	}
 }
+
+// TestDiffractedOpCompletesAtValueDelivery: a diffracted operation's
+// completion is the arrival of its value, not the expiry of the prism
+// timer it left behind. op1 parks at the root at t=1 (timer due t=5); op2
+// arrives at t=2 and diffracts it; op1's exit hop lands t=3 and its value
+// t=4 — completion must report t=4, not t=5.
+func TestDiffractedOpCompletesAtValueDelivery(t *testing.T) {
+	c := New(2, WithWidth(2), WithWindow(4))
+	done := map[sim.OpID]int64{}
+	c.Net().OnOpDone(func(st *sim.OpStats) { done[st.ID] = st.DoneAt })
+	op1 := c.Start(0, 1)
+	op2 := c.Start(1, 2)
+	if err := c.Net().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Diffracted() != 1 {
+		t.Fatalf("diffracted = %d, want 1", c.Diffracted())
+	}
+	if done[op1] != 4 {
+		t.Fatalf("diffracted op completed at t=%d, want 4 (value delivery, not timer expiry)", done[op1])
+	}
+	if done[op2] != 4 {
+		t.Fatalf("partner op completed at t=%d, want 4", done[op2])
+	}
+	if _, ok := c.ValueOf(1); !ok {
+		t.Fatal("op1 got no value")
+	}
+}

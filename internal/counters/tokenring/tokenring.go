@@ -145,6 +145,16 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 	return c.proto.result, nil
 }
 
+// Start implements counter.Async: it schedules p's operation without
+// running the network. Under concurrency the holder may release the token
+// toward several destinations before any of them lands, so values can
+// duplicate — the ring is inherently sequential — but every token copy
+// still terminates at its destination and the hop-by-hop load profile
+// remains the quantity of interest for workload studies.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.proto.initiate)
+}
+
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {
 	net, err := c.net.Clone()

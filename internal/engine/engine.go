@@ -1,0 +1,378 @@
+// Package engine drives a distributed counter with a concurrent workload:
+// a closed-loop load driver that keeps a configurable number of increments
+// in flight on the simulated network at once, injecting each request with
+// sim.ScheduleOp at its scenario-assigned arrival time and admitting the
+// next request the moment an operation completes.
+//
+// The paper studies its Ω(k) bottleneck at quiescence — one operation at a
+// time ("enough time elapses in between any two inc requests"). The engine
+// is the instrument for the complementary question the ROADMAP asks: how
+// does the bottleneck behave under load? It measures, all in simulated
+// time, per-operation latency (from scenario arrival to completion),
+// sustained throughput over a measure window that excludes warmup, and a
+// time series of the bottleneck load m_b as operations complete.
+//
+// Everything runs on the single-threaded discrete-event simulator, so runs
+// are exactly reproducible for a fixed scenario seed: "concurrent" means
+// concurrent in simulated time, not goroutines.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distcount/internal/counter"
+	"distcount/internal/loadstat"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+// Config tunes the driver.
+type Config struct {
+	// InFlight is the closed-loop window: the maximum number of operations
+	// concurrently in flight (default 8). The driver admits requests in
+	// arrival order and never keeps more than one operation per initiating
+	// processor in flight, so a hot-spot stream may not reach the window.
+	InFlight int
+	// Warmup is the number of completions excluded from latency,
+	// throughput and load-imbalance measurements while the system fills
+	// its pipeline (default 0). Must leave at least one measured op.
+	Warmup int
+	// SampleEvery is the stride, in completions, of the bottleneck-load
+	// time series. The default derives max(1, length/64) from the
+	// scenario's length hint (generators implementing Len() int); without
+	// a hint the engine samples every completion and thins to 64 points
+	// afterwards.
+	SampleEvery int
+}
+
+// Sample is one point of the bottleneck-load time series, taken after a
+// completion. Loads are cumulative since the start of the run (the paper's
+// m_p is monotone).
+type Sample struct {
+	// SimTime is the simulated time of the completion that triggered the
+	// sample.
+	SimTime int64 `json:"sim_time"`
+	// Completed is the number of operations completed so far.
+	Completed int `json:"completed"`
+	// Bottleneck is the processor currently carrying the maximum load m_b,
+	// and BottleneckLoad that load.
+	Bottleneck     int   `json:"bottleneck"`
+	BottleneckLoad int64 `json:"bottleneck_load"`
+	// MeanLoad is the mean per-processor load; Gini the imbalance
+	// coefficient in [0,1].
+	MeanLoad float64 `json:"mean_load"`
+	Gini     float64 `json:"gini"`
+}
+
+// LatencyStats summarizes per-operation latencies in simulated ticks,
+// measured from scenario arrival time to completion (queueing included).
+type LatencyStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  int64   `json:"max"`
+}
+
+// Result is the workload report of one engine run.
+type Result struct {
+	// Algorithm and Scenario identify what ran.
+	Algorithm string `json:"algorithm"`
+	Scenario  string `json:"scenario"`
+	// N is the network size; Ops the number of completed operations, of
+	// which Measured were inside the measure window.
+	N        int `json:"n"`
+	Ops      int `json:"ops"`
+	Warmup   int `json:"warmup"`
+	Measured int `json:"measured"`
+	// InFlight echoes the configured window; PeakInFlight is the largest
+	// number of operations simultaneously in flight in simulated time (an
+	// operation is in flight from its start event to its completion, so
+	// admitted-but-not-yet-arrived requests do not count).
+	InFlight     int `json:"in_flight"`
+	PeakInFlight int `json:"peak_in_flight"`
+	// SimTime is the simulated makespan of the run — the completion time
+	// of the last operation (trailing maintenance events such as stale
+	// prism timers are excluded); MeasureStart the simulated time at which
+	// the measure window opened.
+	SimTime      int64 `json:"sim_time"`
+	MeasureStart int64 `json:"measure_start"`
+	// Throughput is measured operations per simulated tick.
+	Throughput float64 `json:"throughput"`
+	// Latency summarizes the measured operations' latencies.
+	Latency LatencyStats `json:"latency"`
+	// Messages is the total number of network messages over the whole run.
+	Messages int64 `json:"messages"`
+	// Loads summarizes the per-processor loads accumulated inside the
+	// measure window only (warmup traffic excluded): bottleneck, mean,
+	// Gini.
+	Loads loadstat.Summary `json:"loads"`
+	// Series is the bottleneck-load time series over cumulative loads.
+	Series []Sample `json:"series"`
+
+	// Latencies holds the raw measured latencies, for percentile
+	// re-binning and benchmarks; omitted from JSON.
+	Latencies []int64 `json:"-"`
+}
+
+// Run drives the counter with the scenario until the generator is
+// exhausted and every admitted operation has completed.
+func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
+	if cfg.InFlight < 1 {
+		cfg.InFlight = 8
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+
+	net := c.Net()
+	n := c.N()
+	// The report's time axis, load baselines and series are all relative
+	// to a fresh network; a reused counter would silently fold its
+	// previous traffic into every metric.
+	if net.Now() != 0 || net.Ops() != 0 {
+		return nil, fmt.Errorf("engine: counter %q has already run %d ops (t=%d); build a fresh counter per run",
+			c.Name(), net.Ops(), net.Now())
+	}
+	res := &Result{
+		Algorithm: c.Name(),
+		Scenario:  gen.Name(),
+		N:         n,
+		Warmup:    cfg.Warmup,
+		InFlight:  cfg.InFlight,
+	}
+
+	// The request stream, pulled one ahead so admission can stop at a busy
+	// initiator without losing the request.
+	var (
+		head     workload.Request
+		haveHead bool
+		arrival  int64 // absolute arrival time of head
+		genErr   error // sticky: a malformed request stops the stream
+	)
+	pull := func() {
+		req, ok := gen.Next()
+		if !ok {
+			haveHead = false
+			return
+		}
+		if req.Proc < 1 || int(req.Proc) > n {
+			genErr = fmt.Errorf("engine: scenario %q targets processor %v outside [1,%d]",
+				gen.Name(), req.Proc, n)
+			haveHead = false
+			return
+		}
+		arrival += req.Gap
+		head, haveHead = req, true
+	}
+	pull()
+	if genErr != nil {
+		return nil, genErr
+	}
+
+	var (
+		busy         = make([]bool, n+1) // one op per initiator in flight
+		arrivalOf    = make(map[sim.OpID]int64)
+		inFlight     = 0
+		completed    = 0
+		measureBegan = cfg.Warmup == 0 // no warmup: measure from t=0
+		baseSent     []int64
+		baseRecv     []int64
+	)
+
+	// admit starts requests, in arrival order, while a window slot is free
+	// and the head-of-line initiator is idle. Requests whose arrival time
+	// is in the past (the closed loop fell behind) start immediately.
+	admit := func() {
+		for inFlight < cfg.InFlight && haveHead && !busy[head.Proc] {
+			at := arrival
+			if now := net.Now(); at < now {
+				at = now
+			}
+			id := c.Start(at, head.Proc)
+			arrivalOf[id] = arrival
+			busy[head.Proc] = true
+			inFlight++
+			pull()
+		}
+	}
+
+	// Per-op activity intervals, for the simulated-concurrency sweep; the
+	// largest completion time is the makespan.
+	var opStarts, opDones []int64
+	var lastDone int64
+
+	// Resolve the sampling stride: from the config, the scenario's length
+	// hint, or per-completion sampling thinned after the run.
+	sampleEvery := cfg.SampleEvery
+	thinAfter := false
+	if sampleEvery <= 0 {
+		if sized, ok := gen.(interface{ Len() int }); ok && sized.Len() > 0 {
+			sampleEvery = sized.Len() / 64
+			if sampleEvery < 1 {
+				sampleEvery = 1
+			}
+		} else {
+			sampleEvery = 1
+			thinAfter = true
+		}
+	}
+
+	net.OnOpDone(func(st *sim.OpStats) {
+		inFlight--
+		busy[st.Initiator] = false
+		completed++
+		opStarts = append(opStarts, st.StartedAt)
+		opDones = append(opDones, st.DoneAt)
+		if st.DoneAt > lastDone {
+			lastDone = st.DoneAt
+		}
+
+		lat := st.DoneAt - arrivalOf[st.ID]
+		delete(arrivalOf, st.ID)
+		net.ForgetOp(st.ID)
+
+		if completed > cfg.Warmup {
+			if !measureBegan {
+				measureBegan = true
+				res.MeasureStart = net.Now()
+				baseSent, baseRecv = net.Sent(), net.Recv()
+				// The op crossing the boundary is the first measured one.
+			}
+			res.Latencies = append(res.Latencies, lat)
+		}
+		if sampleEvery > 0 && completed%sampleEvery == 0 {
+			s := loadstat.SummarizeLoads(net.Loads())
+			res.Series = append(res.Series, Sample{
+				SimTime:        net.Now(),
+				Completed:      completed,
+				Bottleneck:     s.Bottleneck,
+				BottleneckLoad: s.MaxLoad,
+				MeanLoad:       s.Mean,
+				Gini:           s.Gini,
+			})
+		}
+		admit()
+	})
+	defer net.OnOpDone(nil)
+
+	admit()
+	if err := net.Run(); err != nil {
+		return nil, fmt.Errorf("engine: %s/%s: %w", res.Algorithm, res.Scenario, err)
+	}
+	if genErr != nil {
+		return nil, genErr
+	}
+	if haveHead || inFlight != 0 {
+		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight",
+			res.Algorithm, res.Scenario, inFlight)
+	}
+
+	res.Ops = completed
+	res.Measured = len(res.Latencies)
+	if res.Measured == 0 {
+		return nil, fmt.Errorf("engine: warmup %d consumed all %d operations", cfg.Warmup, completed)
+	}
+	res.SimTime = lastDone
+	res.Messages = net.MessagesTotal()
+	res.PeakInFlight = peakConcurrency(opStarts, opDones)
+	if thinAfter {
+		res.Series = thinSeries(res.Series, 64)
+	}
+
+	// Measure-window loads: final minus the snapshot at the warmup
+	// boundary (zero snapshot when there was no warmup).
+	sent, recv := net.Sent(), net.Recv()
+	if baseSent != nil {
+		for p := range sent {
+			sent[p] -= baseSent[p]
+			recv[p] -= baseRecv[p]
+		}
+	}
+	res.Loads = loadstat.Summarize(sent, recv)
+
+	window := res.SimTime - res.MeasureStart
+	if window < 1 {
+		window = 1
+	}
+	res.Throughput = float64(res.Measured) / float64(window)
+	res.Latency = summarizeLatencies(res.Latencies)
+	return res, nil
+}
+
+// summarizeLatencies computes the latency digest; it does not modify its
+// argument.
+func summarizeLatencies(lats []int64) LatencyStats {
+	sorted := append([]int64(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, l := range sorted {
+		sum += float64(l)
+	}
+	return LatencyStats{
+		Mean: sum / float64(len(sorted)),
+		P50:  percentile(sorted, 0.50),
+		P90:  percentile(sorted, 0.90),
+		P99:  percentile(sorted, 0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// percentile interpolates the q-quantile of a sorted vector (nearest-rank
+// with linear interpolation, the common "type 7" estimator).
+func percentile(sorted []int64, q float64) float64 {
+	if len(sorted) == 1 {
+		return float64(sorted[0])
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// peakConcurrency sweeps the operations' [start, done] activity intervals
+// and returns the maximum overlap. An operation completing at the same
+// tick another starts is not concurrent with it (the closed loop admits
+// the successor from the completion); a zero-duration operation — one that
+// completes within its own start event — occupies its start tick.
+func peakConcurrency(starts, dones []int64) int {
+	for i := range dones {
+		if dones[i] == starts[i] {
+			dones[i]++
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	peak, cur, j := 0, 0, 0
+	for _, s := range starts {
+		for j < len(dones) && dones[j] <= s {
+			cur--
+			j++
+		}
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// thinSeries keeps at most target points, evenly spaced, always retaining
+// the final point.
+func thinSeries(series []Sample, target int) []Sample {
+	if len(series) <= target || target < 2 {
+		return series
+	}
+	out := make([]Sample, 0, target)
+	step := float64(len(series)-1) / float64(target-1)
+	for i := 0; i < target; i++ {
+		out = append(out, series[int(math.Round(float64(i)*step))])
+	}
+	return out
+}

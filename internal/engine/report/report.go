@@ -1,0 +1,58 @@
+// Package report renders and exports workload-engine results
+// (engine.Result): an indented JSON document for programmatic use, CSV of
+// the bottleneck-load time series for plotting, and a human-readable text
+// summary for terminals, reusing the loadstat formatting conventions.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"distcount/internal/engine"
+	"distcount/internal/loadstat"
+)
+
+// WriteJSON writes the full report as indented JSON.
+func WriteJSON(w io.Writer, res *engine.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteCSV writes the bottleneck-load time series as CSV, one row per
+// sample: sim_time, completed, bottleneck, bottleneck_load, mean_load,
+// gini.
+func WriteCSV(w io.Writer, res *engine.Result) error {
+	if _, err := fmt.Fprintln(w, "sim_time,completed,bottleneck,bottleneck_load,mean_load,gini"); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.3f,%.4f\n",
+			s.SimTime, s.Completed, s.Bottleneck, s.BottleneckLoad, s.MeanLoad, s.Gini); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render returns the human-readable text summary.
+func Render(res *engine.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s on %s, n=%d\n", res.Scenario, res.Algorithm, res.N)
+	fmt.Fprintf(&b, "  ops        %d (%d warmup + %d measured), window %d (peak in flight %d)\n",
+		res.Ops, res.Warmup, res.Measured, res.InFlight, res.PeakInFlight)
+	fmt.Fprintf(&b, "  makespan   %d ticks (measure window opened at %d)\n", res.SimTime, res.MeasureStart)
+	fmt.Fprintf(&b, "  throughput %.4f ops/tick\n", res.Throughput)
+	fmt.Fprintf(&b, "  latency    mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %d ticks\n",
+		res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max)
+	fmt.Fprintf(&b, "  messages   %d total, %d in measure window\n", res.Messages, res.Loads.TotalMessages)
+	b.WriteString(loadstat.FormatSummary("measured loads", res.Loads))
+	if len(res.Series) > 0 {
+		last := res.Series[len(res.Series)-1]
+		fmt.Fprintf(&b, "  bottleneck trajectory: %d samples, final m_b=%d at processor %d (gini %.3f)\n",
+			len(res.Series), last.BottleneckLoad, last.Bottleneck, last.Gini)
+	}
+	return b.String()
+}

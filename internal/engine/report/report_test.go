@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"distcount/internal/engine"
+	"distcount/internal/registry"
+	"distcount/internal/workload"
+)
+
+func sampleResult(t *testing.T) *engine.Result {
+	t.Helper()
+	c, err := registry.NewAsync("central", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New("zipf", workload.Config{N: 12, Ops: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(c, gen, engine.Config{InFlight: 4, Warmup: 15, SampleEvery: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestJSONRoundTrip: the exported JSON carries the acceptance-relevant
+// fields — throughput, latency percentiles, and the bottleneck series —
+// and decodes back to the same values.
+func TestJSONRoundTrip(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"algorithm", "scenario", "throughput", "latency", "series", "loads"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+	lat := decoded["latency"].(map[string]any)
+	for _, key := range []string{"p50", "p99", "mean", "max"} {
+		if _, ok := lat[key]; !ok {
+			t.Fatalf("latency missing %q", key)
+		}
+	}
+	series := decoded["series"].([]any)
+	if len(series) != len(res.Series) {
+		t.Fatalf("series length %d, want %d", len(series), len(res.Series))
+	}
+	point := series[0].(map[string]any)
+	for _, key := range []string{"sim_time", "completed", "bottleneck_load"} {
+		if _, ok := point[key]; !ok {
+			t.Fatalf("series point missing %q", key)
+		}
+	}
+
+	var back engine.Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Throughput != res.Throughput || back.Latency != res.Latency {
+		t.Fatal("JSON round trip lost values")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(res.Series)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(res.Series)+1)
+	}
+	if !strings.HasPrefix(lines[0], "sim_time,completed,bottleneck") {
+		t.Fatalf("CSV header wrong: %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ","); cols != 5 {
+		t.Fatalf("CSV row has %d commas, want 5: %q", cols, lines[1])
+	}
+}
+
+func TestRender(t *testing.T) {
+	res := sampleResult(t)
+	out := Render(res)
+	for _, frag := range []string{"zipf", "central", "throughput", "p99", "bottleneck"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("text report missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -37,6 +37,55 @@ func TestSummarizeTieBreaksBySmallestProc(t *testing.T) {
 	if s.Bottleneck != 1 {
 		t.Fatalf("bottleneck = %d, want 1 (smallest id wins ties)", s.Bottleneck)
 	}
+	// Ties not involving processor 1: still the smallest id among the tied.
+	s = SummarizeLoads([]int64{0, 1, 7, 7, 2})
+	if s.Bottleneck != 2 || s.MaxLoad != 7 {
+		t.Fatalf("bottleneck = p%d load %d, want p2 load 7", s.Bottleneck, s.MaxLoad)
+	}
+}
+
+// TestSummarizeSingleProcessor: n=1 is the smallest legal system; every
+// statistic collapses onto the one load.
+func TestSummarizeSingleProcessor(t *testing.T) {
+	s := Summarize([]int64{0, 3}, []int64{0, 4})
+	if s.N != 1 {
+		t.Fatalf("N = %d, want 1", s.N)
+	}
+	if s.Bottleneck != 1 || s.MaxLoad != 7 || s.MinLoad != 7 {
+		t.Fatalf("single-proc extremes wrong: %+v", s)
+	}
+	if s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("single-proc center wrong: %+v", s)
+	}
+	if s.Gini != 0 {
+		t.Fatalf("single-proc gini = %v, want 0", s.Gini)
+	}
+
+	// n=1 with zero load: the degenerate all-zero case.
+	z := SummarizeLoads([]int64{0, 0})
+	if z.Bottleneck != 1 || z.MaxLoad != 0 || z.MinLoad != 0 || z.Gini != 0 {
+		t.Fatalf("single-proc zero summary wrong: %+v", z)
+	}
+}
+
+// TestHistogramSingleProcessor: one processor lands in exactly one bucket.
+func TestHistogramSingleProcessor(t *testing.T) {
+	h := Histogram([]int64{0, 5}, 4)
+	total := 0
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 1 {
+		t.Fatalf("histogram counts %d processors, want 1", total)
+	}
+}
+
+// TestTopSingleProcessor.
+func TestTopSingleProcessor(t *testing.T) {
+	top := Top([]int64{0, 9}, 3)
+	if len(top) != 1 || top[0].Proc != 1 || top[0].Load != 9 {
+		t.Fatalf("top = %+v", top)
+	}
 }
 
 func TestSummarizeAllZero(t *testing.T) {

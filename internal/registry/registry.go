@@ -86,3 +86,45 @@ func New(name string, n int, simOpts ...sim.Option) (counter.Counter, error) {
 	}
 	return f(n, simOpts...), nil
 }
+
+// asyncWindow is the combining/diffraction window, in simulated ticks,
+// used by NewAsync for the algorithms whose effectiveness depends on
+// concurrency (combining trees and diffracting prisms merge requests that
+// arrive within the window). One network hop is one tick under the default
+// unit latency.
+const asyncWindow = 4
+
+// NewAsync builds the named counter configured for concurrent operation
+// (counter.Async): many increments in flight on the simulated network at
+// once, as driven by the workload engine. Algorithms whose protocol admits
+// only one outstanding operation system-wide (the quorum counters keep a
+// single in-flight quorum access and panic on stray responses) are
+// rejected. The paper's tree is built without its lemma instrumentation,
+// whose per-operation windows assume the sequential model; the combining
+// tree and diffracting tree are built with a nonzero window (asyncWindow)
+// so the mechanisms they were invented for actually engage.
+func NewAsync(name string, n int, simOpts ...sim.Option) (counter.Async, error) {
+	switch name {
+	case "ctree":
+		return core.NewForSize(n, core.WithoutChecks(), core.WithSimOptions(simOpts...)), nil
+	case "combining":
+		return combining.New(n, combining.WithWindow(asyncWindow), combining.WithSimOptions(simOpts...)), nil
+	case "difftree":
+		return difftree.New(n, difftree.WithWindow(asyncWindow), difftree.WithSimOptions(simOpts...)), nil
+	}
+	c, err := New(name, n, simOpts...)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := c.(counter.Async)
+	if !ok {
+		return nil, fmt.Errorf("registry: algorithm %q does not support concurrent operation (have %v)", name, AsyncNames())
+	}
+	return a, nil
+}
+
+// AsyncNames returns the algorithms NewAsync accepts, sorted. Keep in sync
+// with the Start methods on the counter implementations.
+func AsyncNames() []string {
+	return []string{"central", "cnet", "cnet-periodic", "combining", "ctree", "difftree", "tokenring"}
+}

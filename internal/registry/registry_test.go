@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"testing"
 
 	"distcount/internal/counter"
@@ -21,8 +22,75 @@ func TestNamesStable(t *testing.T) {
 }
 
 func TestUnknownName(t *testing.T) {
-	if _, err := New("nope", 8); err == nil {
+	_, err := New("nope", 8)
+	if err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+	// The error names the offending algorithm and the valid choices, so CLI
+	// users can self-correct.
+	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "ctree") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := NewAsync("nope", 8); err == nil {
+		t.Fatal("unknown algorithm accepted by NewAsync")
+	}
+}
+
+// TestAsyncNamesAllConcurrent: every advertised async algorithm builds,
+// implements counter.Async, and completes interleaved operations started
+// without intermediate quiescence.
+func TestAsyncNamesAllConcurrent(t *testing.T) {
+	for _, name := range AsyncNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := NewAsync(name, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := a.N()
+			completions := 0
+			a.Net().OnOpDone(func(*sim.OpStats) { completions++ })
+			for p := 1; p <= 4 && p <= n; p++ {
+				a.Start(int64(p-1), sim.ProcID(p))
+			}
+			if err := a.Net().Run(); err != nil {
+				t.Fatal(err)
+			}
+			if want := min(4, n); completions != want {
+				t.Fatalf("completions = %d, want %d", completions, want)
+			}
+		})
+	}
+}
+
+// TestAsyncRejectsSequentialOnly: quorum counters keep a single in-flight
+// operation and must be rejected, with an error listing the alternatives.
+func TestAsyncRejectsSequentialOnly(t *testing.T) {
+	_, err := NewAsync("quorum-majority", 9)
+	if err == nil {
+		t.Fatal("quorum-majority accepted as async")
+	}
+	if !strings.Contains(err.Error(), "ctree") {
+		t.Fatalf("error does not list async algorithms: %v", err)
+	}
+}
+
+// TestAsyncNamesSubsetOfNames: the async list must stay in sync with the
+// factory registry.
+func TestAsyncNamesSubsetOfNames(t *testing.T) {
+	all := map[string]bool{}
+	for _, name := range Names() {
+		all[name] = true
+	}
+	prev := ""
+	for _, name := range AsyncNames() {
+		if !all[name] {
+			t.Fatalf("async algorithm %q is not registered", name)
+		}
+		if name <= prev {
+			t.Fatalf("AsyncNames not sorted: %v", AsyncNames())
+		}
+		prev = name
 	}
 }
 

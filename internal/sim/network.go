@@ -37,7 +37,15 @@ type OpStats struct {
 	DAG *trace.DAG
 
 	participants map[int]struct{}
+	// pending counts the queued events (messages, timers, the initiation
+	// itself) still belonging to the operation; the operation is complete
+	// exactly when pending returns to zero.
+	pending int
 }
+
+// Done reports whether the operation has completed: no queued event belongs
+// to it anymore.
+func (s *OpStats) Done() bool { return s.pending == 0 }
 
 // Participants returns the sorted set I_p of processors that sent or
 // received a message during the operation, always including the initiator.
@@ -84,6 +92,10 @@ type Network struct {
 	ops      map[OpID]*OpStats
 	trackOps bool
 	tracing  bool
+	onOpDone func(*OpStats)
+	// doneQ holds operations completed by Release during a delivery that
+	// belonged to a different operation; drained after each Step.
+	doneQ []*OpStats
 
 	cur        ctx
 	inCallback bool
@@ -215,6 +227,32 @@ func (nw *Network) Loads() []int64 {
 // op tracking is disabled).
 func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops[id] }
 
+// OnOpDone installs a completion handler invoked whenever the last queued
+// event of an operation has been delivered — i.e. the operation's "process"
+// has run to completion even though the network as a whole may still be
+// busy with other operations. The handler runs outside any delivery
+// context, so it may call ScheduleOp (the closed-loop workload engine
+// admits its next request from here) but not Send. Passing nil removes the
+// handler. Requires op tracking (the default); panics under WithoutOpStats.
+func (nw *Network) OnOpDone(fn func(*OpStats)) {
+	if fn != nil && !nw.trackOps {
+		panic("sim: OnOpDone requires op tracking (remove WithoutOpStats)")
+	}
+	nw.onOpDone = fn
+}
+
+// ForgetOp drops the bookkeeping of a finished operation so that long
+// workload runs do not accumulate per-op state. Forgetting an operation
+// that is still pending would lose its completion; it panics.
+func (nw *Network) ForgetOp(id OpID) {
+	if st, ok := nw.ops[id]; ok {
+		if st.pending != 0 {
+			panic(fmt.Sprintf("sim: ForgetOp(%d): operation still has %d pending events", id, st.pending))
+		}
+		delete(nw.ops, id)
+	}
+}
+
 // Ops returns the number of operations started so far.
 func (nw *Network) Ops() int { return int(nw.nextOp) }
 
@@ -241,6 +279,7 @@ func (nw *Network) ScheduleOp(at int64, p ProcID, start func(nw *Network, p Proc
 			StartedAt:    at,
 			DoneAt:       at,
 			participants: map[int]struct{}{int(p): {}},
+			pending:      1,
 		}
 		if nw.tracing {
 			st.DAG = trace.NewDAG(int(p))
@@ -266,6 +305,14 @@ func (nw *Network) Send(to ProcID, pl Payload) {
 		panic("sim: Send called outside a delivery context")
 	}
 	nw.checkProc(to, "Send")
+	nw.enqueueSend(to, pl, nw.cur.op, nw.cur.traceNode, true)
+}
+
+// enqueueSend is the shared body of Send and SendAs: load accounting,
+// per-op statistics, and the queue push, attributed to the given operation
+// and DAG parent. countPending adds the queued event to the operation's
+// pending count (Send); SendAs instead converts an existing hold.
+func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, countPending bool) {
 	from := nw.cur.proc
 	nw.sent[from]++
 	nw.msgTotal++
@@ -276,11 +323,14 @@ func (nw *Network) Send(to ProcID, pl Payload) {
 			nw.maxMsgBits = bits
 		}
 	}
-	st := nw.ops[nw.cur.op]
+	st := nw.ops[op]
 	if st != nil {
 		st.Messages++
 		st.participants[int(from)] = struct{}{}
 		st.participants[int(to)] = struct{}{}
+		if countPending {
+			st.pending++
+		}
 	}
 	msg := Message{From: from, To: to, Payload: pl}
 	nw.seq++
@@ -288,9 +338,80 @@ func (nw *Network) Send(to ProcID, pl Payload) {
 		at:     nw.now + nw.latency.Delay(msg, nw.rand),
 		seq:    nw.seq,
 		msg:    msg,
-		op:     nw.cur.op,
-		parent: nw.cur.traceNode,
+		op:     op,
+		parent: parent,
 	})
+}
+
+// OpToken is a held continuation of an operation, created with Adopt: the
+// right to attribute one future message to that operation from another
+// operation's delivery context. The zero value is invalid.
+type OpToken struct {
+	op   OpID
+	node int
+}
+
+// Valid reports whether the token holds an operation.
+func (t OpToken) Valid() bool { return t.op != 0 }
+
+// Adopt captures the current operation as a continuation token and keeps
+// the operation open (pending) until the token is spent with SendAs or
+// discarded with Release. Protocols whose replies ride other operations'
+// messages — a combining tree merging a request into an open batch, a
+// diffracting prism parking a token for a partner — use it so that the
+// merged operation's value delivery is attributed to the merged operation
+// itself: its completion (OnOpDone), load participants, and communication
+// DAG then reflect the logical operation rather than the physical carrier.
+// Must be called from within a delivery or start callback.
+func (nw *Network) Adopt() OpToken {
+	if !nw.inCallback {
+		panic("sim: Adopt called outside a delivery context")
+	}
+	if st := nw.ops[nw.cur.op]; st != nil {
+		st.pending++
+	}
+	return OpToken{op: nw.cur.op, node: nw.cur.traceNode}
+}
+
+// SendAs is Send attributed to the adopted operation instead of the
+// current one: the message is physically sent by the currently executing
+// processor, but belongs — for completion tracking, per-op stats, and DAG
+// purposes — to the token's operation, whose continuation it spends. Each
+// token must be spent (SendAs) or discarded (Release) exactly once.
+func (nw *Network) SendAs(tok OpToken, to ProcID, pl Payload) {
+	if !nw.inCallback {
+		panic("sim: SendAs called outside a delivery context")
+	}
+	if !tok.Valid() {
+		panic("sim: SendAs with an invalid token")
+	}
+	nw.checkProc(to, "SendAs")
+	// The hold converts into the queued event: pending is unchanged.
+	nw.enqueueSend(to, pl, tok.op, tok.node, false)
+}
+
+// Release discards an adopted continuation without sending, for protocols
+// whose held operation turns out to continue (or end) by other means. If
+// the release completes the operation, the OnOpDone handler fires after
+// the current delivery finishes.
+func (nw *Network) Release(tok OpToken) {
+	if !nw.inCallback {
+		panic("sim: Release called outside a delivery context")
+	}
+	if !tok.Valid() {
+		panic("sim: Release of an invalid token")
+	}
+	st := nw.ops[tok.op]
+	if st == nil {
+		return
+	}
+	st.pending--
+	if nw.now > st.DoneAt {
+		st.DoneAt = nw.now
+	}
+	if st.pending == 0 && nw.onOpDone != nil {
+		nw.doneQ = append(nw.doneQ, st)
+	}
 }
 
 // After schedules a local wakeup for the currently executing processor after
@@ -304,6 +425,9 @@ func (nw *Network) After(delay int64, pl Payload) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: After called with negative delay %d", delay))
 	}
+	if st := nw.ops[nw.cur.op]; st != nil {
+		st.pending++
+	}
 	p := nw.cur.proc
 	nw.seq++
 	nw.queue.push(event{
@@ -312,6 +436,29 @@ func (nw *Network) After(delay int64, pl Payload) {
 		msg:    Message{From: p, To: p, Payload: pl, Local: true},
 		op:     nw.cur.op,
 		parent: nw.cur.traceNode,
+	})
+}
+
+// AfterDetached is After for a maintenance wakeup that belongs to no
+// operation: it does not keep the current operation pending, and work done
+// when it fires is attributed to no op (sends from its delivery must
+// therefore use SendAs with a previously adopted token, or be genuine
+// maintenance traffic). Diffracting prisms use it for their expiry timers:
+// the parked operation is held by Adopt, so a stale timer outliving a
+// diffraction must not also pin the operation open.
+func (nw *Network) AfterDetached(delay int64, pl Payload) {
+	if !nw.inCallback {
+		panic("sim: AfterDetached called outside a delivery context")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: AfterDetached called with negative delay %d", delay))
+	}
+	p := nw.cur.proc
+	nw.seq++
+	nw.queue.push(event{
+		at:  nw.now + delay,
+		seq: nw.seq,
+		msg: Message{From: p, To: p, Payload: pl, Local: true},
 	})
 }
 
@@ -345,20 +492,40 @@ func (nw *Network) Step() (bool, error) {
 		// (index 0).
 		nw.cur.traceNode = 0
 		e.start(nw, e.msg.To)
-		return true, nil
-	}
-
-	if !e.msg.Local {
-		nw.recv[e.msg.To]++
-		if st != nil && st.DAG != nil {
-			nw.cur.traceNode = st.DAG.AddEvent(int(e.msg.To), e.parent)
-		}
 	} else {
-		// Local wakeups keep the causal position of their scheduler so that
-		// messages sent from a timer remain attached to the DAG correctly.
-		nw.cur.traceNode = e.parent
+		if !e.msg.Local {
+			nw.recv[e.msg.To]++
+			if st != nil && st.DAG != nil {
+				nw.cur.traceNode = st.DAG.AddEvent(int(e.msg.To), e.parent)
+			}
+		} else {
+			// Local wakeups keep the causal position of their scheduler so
+			// that messages sent from a timer remain attached to the DAG
+			// correctly.
+			nw.cur.traceNode = e.parent
+		}
+		nw.proto.Deliver(nw, e.msg)
 	}
-	nw.proto.Deliver(nw, e.msg)
+	nw.inCallback = false
+
+	// The delivered event no longer belongs to the operation; if it was the
+	// last one, the operation is complete. The handler runs outside the
+	// delivery context so it may schedule follow-up operations.
+	if st != nil {
+		st.pending--
+		if st.pending == 0 && nw.onOpDone != nil {
+			nw.onOpDone(st)
+		}
+	}
+	// Operations completed by Release during the delivery fire now, also
+	// outside the delivery context.
+	for len(nw.doneQ) > 0 {
+		d := nw.doneQ[0]
+		nw.doneQ = nw.doneQ[1:]
+		if d.pending == 0 && nw.onOpDone != nil {
+			nw.onOpDone(d)
+		}
+	}
 	return true, nil
 }
 
@@ -381,7 +548,8 @@ func (nw *Network) Run() error {
 // per-processor loads, time, randomness and protocol state are duplicated;
 // operation history is not carried over (the clone starts with an empty
 // operation log but keeps the operation id counter, so op ids remain
-// globally unique across original and clone).
+// globally unique across original and clone). A completion handler
+// installed with OnOpDone is not carried over either.
 func (nw *Network) Clone() (*Network, error) {
 	if nw.inCallback || nw.queue.len() != 0 {
 		return nil, ErrNotQuiescent

@@ -573,3 +573,251 @@ func TestAfterOutsideCallbackPanics(t *testing.T) {
 	}()
 	nw.After(1, tickPayload{})
 }
+
+// TestOnOpDoneFiresOncePerOp: two interleaved operations each trigger the
+// completion handler exactly once, at their own completion time.
+func TestOnOpDoneFiresOncePerOp(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(8, pp)
+	done := map[OpID]int64{}
+	nw.OnOpDone(func(st *OpStats) {
+		if _, dup := done[st.ID]; dup {
+			t.Fatalf("op %d completed twice", st.ID)
+		}
+		if !st.Done() {
+			t.Fatalf("op %d handler sees pending events", st.ID)
+		}
+		done[st.ID] = nw.Now()
+	})
+	idA := nw.ScheduleOp(0, 1, startPing(2))
+	idB := nw.ScheduleOp(0, 5, startPing(4)) // longer chain, finishes later
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completions = %d, want 2", len(done))
+	}
+	if done[idA] != nw.OpStats(idA).DoneAt || done[idB] != nw.OpStats(idB).DoneAt {
+		t.Fatalf("completion times %v do not match DoneAt", done)
+	}
+	if done[idB] <= done[idA] {
+		t.Fatalf("longer op finished first: %v", done)
+	}
+}
+
+// TestOnOpDoneTimerKeepsOpOpen: an operation with an outstanding local
+// wakeup is not complete until the wakeup fires.
+func TestOnOpDoneTimerKeepsOpOpen(t *testing.T) {
+	timers := 0
+	nw := New(2, &timerProto{fired: &timers})
+	var doneAt int64 = -1
+	nw.OnOpDone(func(st *OpStats) { doneAt = nw.Now() })
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.After(9, tickPayload{})
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 9 {
+		t.Fatalf("op completed at t=%d, want 9 (after the timer)", doneAt)
+	}
+}
+
+// TestOnOpDoneClosedLoop: the handler may admit the next operation — the
+// pattern the workload engine relies on. A chain of 5 ops started one from
+// another's completion must all run.
+func TestOnOpDoneClosedLoop(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(4, pp)
+	completions := 0
+	nw.OnOpDone(func(st *OpStats) {
+		completions++
+		if completions < 5 {
+			next := st.Initiator%4 + 1
+			nw.ScheduleOp(nw.Now()+1, next, startPing(1))
+		}
+	})
+	nw.StartOp(1, startPing(1))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completions != 5 {
+		t.Fatalf("completions = %d, want 5", completions)
+	}
+	if nw.Ops() != 5 {
+		t.Fatalf("Ops() = %d, want 5", nw.Ops())
+	}
+}
+
+func TestOnOpDoneRequiresOpTracking(t *testing.T) {
+	nw := New(2, &pingPong{}, WithoutOpStats())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.OnOpDone(func(*OpStats) {})
+}
+
+func TestForgetOp(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(2, pp)
+	id := nw.StartOp(1, startPing(0))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.OpStats(id) == nil {
+		t.Fatal("missing op stats before forget")
+	}
+	nw.ForgetOp(id)
+	if nw.OpStats(id) != nil {
+		t.Fatal("op stats survived ForgetOp")
+	}
+	nw.ForgetOp(id) // forgetting twice is a no-op
+}
+
+func TestForgetPendingOpPanics(t *testing.T) {
+	nw := New(2, &pingPong{})
+	id := nw.StartOp(1, startPing(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.ForgetOp(id)
+}
+
+// parkProto models a combining-style rendezvous: processor 3 parks the
+// first request it receives (Adopt) and, on the second, replies to both
+// initiators — the parked one via SendAs, the current one via Send.
+type parkProto struct {
+	parked ProcID
+	tok    OpToken
+}
+
+type parkReq struct{ Origin ProcID }
+type parkAck struct{}
+
+func (parkReq) Kind() string { return "park-request" }
+func (parkAck) Kind() string { return "park-ack" }
+
+func (pp *parkProto) Deliver(nw *Network, msg Message) {
+	switch pl := msg.Payload.(type) {
+	case parkReq:
+		if pp.parked == 0 {
+			pp.parked = pl.Origin
+			pp.tok = nw.Adopt()
+			return
+		}
+		nw.SendAs(pp.tok, pp.parked, parkAck{})
+		nw.Send(pl.Origin, parkAck{})
+		pp.parked = 0
+		pp.tok = OpToken{}
+	case parkAck:
+	}
+}
+
+func startParkReq(nw *Network, p ProcID) {
+	nw.Send(3, parkReq{Origin: p})
+}
+
+// TestAdoptKeepsOpOpenAcrossCarrier: an operation whose reply is carried
+// by another operation's delivery completes only when the reply lands, and
+// the reply is attributed to the adopted operation.
+func TestAdoptKeepsOpOpenAcrossCarrier(t *testing.T) {
+	pp := &parkProto{}
+	nw := New(3, pp)
+	done := map[OpID]int64{}
+	nw.OnOpDone(func(st *OpStats) { done[st.ID] = nw.Now() })
+	idA := nw.ScheduleOp(0, 1, startParkReq)
+	idB := nw.ScheduleOp(5, 2, startParkReq) // partner arrives at t=6
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A: req at t=1 (parked), ack sent at t=6, lands t=7. Without Adopt, A
+	// would have "completed" at t=1.
+	if done[idA] != 7 {
+		t.Fatalf("parked op completed at t=%d, want 7 (when its ack landed)", done[idA])
+	}
+	if done[idB] != 7 {
+		t.Fatalf("carrier op completed at t=%d, want 7", done[idB])
+	}
+	stA := nw.OpStats(idA)
+	// A's messages: its request plus its re-attributed ack.
+	if stA.Messages != 2 {
+		t.Fatalf("parked op has %d messages, want 2 (request + adopted ack)", stA.Messages)
+	}
+	if stA.DoneAt != 7 {
+		t.Fatalf("parked op DoneAt = %d, want 7", stA.DoneAt)
+	}
+}
+
+// TestReleaseCompletesOp: releasing an adopted continuation from another
+// operation's delivery completes the held op and fires its handler.
+func TestReleaseCompletesOp(t *testing.T) {
+	rp := &releaseProto{}
+	nw := New(3, rp)
+	var order []OpID
+	nw.OnOpDone(func(st *OpStats) { order = append(order, st.ID) })
+	idA := nw.ScheduleOp(0, 1, startParkReq)
+	idB := nw.ScheduleOp(5, 2, startParkReq)
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("completions = %v, want 2", order)
+	}
+	// A completes via Release during B's delivery; both fire at that step,
+	// A (queued release) after B (the delivered event's op had pending 0
+	// only after its own ack... B sends nothing, so B completes first).
+	if order[0] != idB || order[1] != idA {
+		t.Fatalf("completion order = %v, want [B=%d A=%d]", order, idB, idA)
+	}
+}
+
+// releaseProto parks the first request and releases it un-answered when
+// the second arrives (neither sends replies).
+type releaseProto struct {
+	parked ProcID
+	tok    OpToken
+}
+
+func (rp *releaseProto) Deliver(nw *Network, msg Message) {
+	if pl, ok := msg.Payload.(parkReq); ok {
+		if rp.parked == 0 {
+			rp.parked = pl.Origin
+			rp.tok = nw.Adopt()
+			return
+		}
+		nw.Release(rp.tok)
+		rp.parked = 0
+		rp.tok = OpToken{}
+	}
+}
+
+func TestAdoptOutsideCallbackPanics(t *testing.T) {
+	nw := New(2, &pingPong{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.Adopt()
+}
+
+func TestSendAsInvalidTokenPanics(t *testing.T) {
+	nw := New(2, &invalidTokProto{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.SendAs(OpToken{}, 2, tickPayload{})
+	})
+	_ = nw.Run()
+}
+
+type invalidTokProto struct{}
+
+func (invalidTokProto) Deliver(*Network, Message) {}

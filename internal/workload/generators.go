@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distcount/internal/rng"
+	"distcount/internal/sim"
+)
+
+// newUniform spreads requests uniformly over all processors with Poisson
+// arrivals — the balanced, memoryless baseline.
+func newUniform(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	return &stream{
+		name:   "uniform",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			return Request{
+				Proc: sim.ProcID(1 + r.Intn(cfg.N)),
+				Gap:  expGap(r, cfg.MeanGap),
+			}
+		}),
+	}
+}
+
+// newZipf draws initiators from a Zipf distribution with exponent s:
+// P(rank i) ∝ 1/i^s. Ranks are mapped to processor ids through a seeded
+// permutation so the hot processors are not always 1, 2, 3 — skew should
+// stress the algorithm, not its id layout. Arrivals are Poisson.
+func newZipf(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	// Cumulative weights once, binary search per draw.
+	cdf := make([]float64, cfg.N)
+	sum := 0.0
+	for i := 0; i < cfg.N; i++ {
+		sum += 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		cdf[i] = sum
+	}
+	perm := r.Perm(cfg.N)
+	return &stream{
+		name:   "zipf",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			u := r.Float64() * sum
+			rank := sort.SearchFloat64s(cdf, u)
+			if rank >= cfg.N {
+				rank = cfg.N - 1
+			}
+			return Request{
+				Proc: sim.ProcID(perm[rank] + 1),
+				Gap:  expGap(r, cfg.MeanGap),
+			}
+		}),
+	}
+}
+
+// newHotspot sends a fixed probability mass to a small randomly chosen hot
+// set — the two-tier tenant model (a few heavy tenants, a long cold tail).
+func newHotspot(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	perm := r.Perm(cfg.N)
+	h := int(math.Round(cfg.HotFrac * float64(cfg.N)))
+	if h < 1 {
+		h = 1
+	}
+	if h > cfg.N {
+		h = cfg.N
+	}
+	hot, cold := perm[:h], perm[h:]
+	return &stream{
+		name:   "hotspot",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			pool := hot
+			if len(cold) > 0 && r.Float64() >= cfg.HotProb {
+				pool = cold
+			}
+			return Request{
+				Proc: sim.ProcID(pool[r.Intn(len(pool))] + 1),
+				Gap:  expGap(r, cfg.MeanGap),
+			}
+		}),
+	}
+}
+
+// newBursty emits on-off traffic: bursts of BurstLen near-simultaneous
+// requests separated by BurstIdle quiet periods. Within a burst the gap has
+// mean 1 tick, so a burst slams the counter with concurrent arrivals. The
+// first burst starts immediately — idle periods separate bursts, they do
+// not precede the stream.
+func newBursty(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	inBurst := 0
+	first := true
+	return &stream{
+		name:   "bursty",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			var gap int64
+			switch {
+			case first:
+				first = false
+			case inBurst == 0:
+				gap = cfg.BurstIdle
+			default:
+				gap = expGap(r, 1)
+			}
+			inBurst++
+			if inBurst >= cfg.BurstLen {
+				inBurst = 0
+			}
+			return Request{
+				Proc: sim.ProcID(1 + r.Intn(cfg.N)),
+				Gap:  gap,
+			}
+		}),
+	}
+}
+
+// newRamp accelerates traffic linearly from RampFrom to RampTo ticks of
+// interarrival gap over the stream — a load test sweeping the arrival rate
+// through the point where the bottleneck saturates.
+func newRamp(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	i := 0
+	return &stream{
+		name:   "ramp",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			frac := 0.0
+			if cfg.Ops > 1 {
+				frac = float64(i) / float64(cfg.Ops-1)
+			}
+			i++
+			mean := int64(math.Round(float64(cfg.RampFrom) + frac*float64(cfg.RampTo-cfg.RampFrom)))
+			if mean < 1 {
+				mean = 1
+			}
+			return Request{
+				Proc: sim.ProcID(1 + r.Intn(cfg.N)),
+				Gap:  expGap(r, mean),
+			}
+		}),
+	}
+}
+
+// newMix chains three phases of equal length — uniform warm-up, a hotspot
+// regime, then bursts — the multi-tenant "day in the life" scenario.
+func newMix(cfg Config) Generator {
+	third := cfg.Ops / 3
+	if third < 1 {
+		// Too short for three phases: degenerate to uniform, keeping the
+		// stream length exact.
+		return Phases("mix", newUniform(cfg))
+	}
+	a, b := cfg, cfg
+	a.Ops = third
+	b.Ops = third
+	b.Seed = cfg.Seed + 1
+	c := cfg
+	c.Ops = cfg.Ops - 2*third
+	c.Seed = cfg.Seed + 2
+	return Phases("mix", newUniform(a), newHotspot(b), newBursty(c))
+}
+
+// Phases concatenates generators into one multi-phase scenario: the stream
+// of the first, then the second, and so on. The length hint is the sum of
+// the phases' hints when every phase provides one, else 0 (unknown).
+func Phases(name string, phases ...Generator) Generator {
+	length := 0
+	for _, ph := range phases {
+		sized, ok := ph.(interface{ Len() int })
+		if !ok {
+			length = 0
+			break
+		}
+		length += sized.Len()
+	}
+	i := 0
+	return &stream{
+		name:   name,
+		length: length,
+		next: func() (Request, bool) {
+			for i < len(phases) {
+				if req, ok := phases[i].Next(); ok {
+					return req, true
+				}
+				i++
+			}
+			return Request{}, false
+		},
+	}
+}
+
+// Replay emits a fixed initiator order with a fixed interarrival gap. The
+// loadgen CLI uses it to drive the engine with the lower-bound adversary's
+// worst-case operation order ("adversarial-replay"); tests use it for exact
+// schedules.
+func Replay(name string, order []sim.ProcID, gap int64) Generator {
+	if gap < 0 {
+		panic(fmt.Sprintf("workload: negative replay gap %d", gap))
+	}
+	i := 0
+	return &stream{
+		name:   name,
+		length: len(order),
+		next: func() (Request, bool) {
+			if i >= len(order) {
+				return Request{}, false
+			}
+			req := Request{Proc: order[i], Gap: gap}
+			if i == 0 {
+				req.Gap = 0
+			}
+			i++
+			return req, true
+		},
+	}
+}

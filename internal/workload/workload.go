@@ -1,0 +1,185 @@
+// Package workload provides composable, seeded scenario generators that
+// emit deterministic streams of counter-operation requests with simulated
+// arrival times — the traffic side of the workload engine (internal/engine).
+//
+// The paper proves its Ω(k) bottleneck over one canonical workload (each
+// processor increments exactly once, sequentially). Production-style
+// distributed counters are instead driven by skewed, bursty, multi-tenant
+// streams; the generators here model the standard shapes of such traffic —
+// uniform, Zipf, hotspot, on-off bursts, ramps, multi-phase mixes, and
+// replays of the lower-bound adversary's worst-case order — so that the
+// bottleneck can be studied under load rather than at quiescence.
+//
+// Every generator is a pure function of its Config (including the seed):
+// two generators built from the same Config emit identical streams, which
+// keeps engine runs reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distcount/internal/rng"
+	"distcount/internal/sim"
+)
+
+// Request is one operation request: which processor initiates, and how long
+// after the previous request's arrival it arrives (its interarrival gap, in
+// simulated ticks; 0 means simultaneous arrival).
+type Request struct {
+	Proc sim.ProcID
+	Gap  int64
+}
+
+// Generator produces a finite, deterministic stream of requests.
+type Generator interface {
+	// Name identifies the scenario (e.g. "zipf"), used in reports.
+	Name() string
+	// Next returns the next request; ok is false when the stream is
+	// exhausted.
+	Next() (Request, bool)
+}
+
+// Config parameterizes the built-in scenarios. The zero value of every
+// knob except N and Ops selects a sensible default.
+type Config struct {
+	// N is the number of processors requests may target (required).
+	N int
+	// Ops is the stream length (required).
+	Ops int
+	// Seed drives all randomness; the same Config yields the same stream.
+	Seed uint64
+	// MeanGap is the mean interarrival time in simulated ticks
+	// (default 4). Smaller means heavier offered load.
+	MeanGap int64
+
+	// ZipfS is the Zipf exponent s > 0 for the "zipf" scenario
+	// (default 1.2); larger means more skew toward a few hot processors.
+	ZipfS float64
+	// HotFrac is the fraction of processors forming the hot set of the
+	// "hotspot" scenario (default 0.1).
+	HotFrac float64
+	// HotProb is the probability a request targets the hot set
+	// (default 0.9).
+	HotProb float64
+	// BurstLen is the number of requests per burst of the "bursty"
+	// scenario (default 32).
+	BurstLen int
+	// BurstIdle is the off-period between bursts in ticks
+	// (default MeanGap * BurstLen, preserving the average rate).
+	BurstIdle int64
+	// RampFrom and RampTo are the interarrival gaps at the start and end
+	// of the "ramp" scenario (defaults 8*MeanGap and max(1, MeanGap/4)):
+	// traffic accelerates over the run.
+	RampFrom, RampTo int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.N < 1 {
+		return c, fmt.Errorf("workload: config needs N >= 1 (got %d)", c.N)
+	}
+	if c.Ops < 1 {
+		return c, fmt.Errorf("workload: config needs Ops >= 1 (got %d)", c.Ops)
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 4
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.2
+	}
+	if c.HotFrac <= 0 || c.HotFrac > 1 {
+		c.HotFrac = 0.1
+	}
+	if c.HotProb <= 0 || c.HotProb > 1 {
+		c.HotProb = 0.9
+	}
+	if c.BurstLen < 1 {
+		c.BurstLen = 32
+	}
+	if c.BurstIdle <= 0 {
+		c.BurstIdle = c.MeanGap * int64(c.BurstLen)
+	}
+	if c.RampFrom <= 0 {
+		c.RampFrom = 8 * c.MeanGap
+	}
+	if c.RampTo <= 0 {
+		c.RampTo = c.MeanGap / 4
+		if c.RampTo < 1 {
+			c.RampTo = 1
+		}
+	}
+	return c, nil
+}
+
+// stream is the common Generator implementation: a name plus a pull
+// closure, with the stream length as a sizing hint.
+type stream struct {
+	name   string
+	length int
+	next   func() (Request, bool)
+}
+
+func (s *stream) Name() string          { return s.name }
+func (s *stream) Next() (Request, bool) { return s.next() }
+
+// Len returns the total stream length — requests already pulled included —
+// a sizing hint the engine uses to pick its sampling stride up front.
+func (s *stream) Len() int { return s.length }
+
+// builders maps scenario names to constructors. Keep in sync with the
+// loadgen documentation in the README.
+func builders() map[string]func(Config) Generator {
+	return map[string]func(Config) Generator{
+		"uniform": newUniform,
+		"zipf":    newZipf,
+		"hotspot": newHotspot,
+		"bursty":  newBursty,
+		"ramp":    newRamp,
+		"mix":     newMix,
+	}
+}
+
+// Names returns all scenario names constructible with New, sorted.
+func Names() []string {
+	bs := builders()
+	out := make([]string, 0, len(bs))
+	for name := range bs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named scenario from the config.
+func New(name string, cfg Config) (Generator, error) {
+	b, ok := builders()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	}
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return b(full), nil
+}
+
+// expGap draws an exponentially distributed interarrival gap with the given
+// mean, rounded to whole ticks — the Poisson-arrival building block of the
+// open parts of every scenario.
+func expGap(r *rng.Source, mean int64) int64 {
+	u := r.Float64()
+	return int64(math.Round(-float64(mean) * math.Log(1-u)))
+}
+
+// capped decorates a pull function with a stream-length bound.
+func capped(ops int, pull func() Request) func() (Request, bool) {
+	emitted := 0
+	return func() (Request, bool) {
+		if emitted >= ops {
+			return Request{}, false
+		}
+		emitted++
+		return pull(), true
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"testing"
+
+	"distcount/internal/sim"
+)
+
+func drain(t *testing.T, g Generator) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		req, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, req)
+		if len(out) > 1_000_000 {
+			t.Fatal("generator does not terminate")
+		}
+	}
+}
+
+func baseCfg() Config {
+	return Config{N: 64, Ops: 500, Seed: 7}
+}
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("have %d scenarios, want 6: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if _, err := New("nope", baseCfg()); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New("uniform", Config{N: 0, Ops: 5}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := New("uniform", Config{N: 4, Ops: 0}); err == nil {
+		t.Fatal("Ops=0 accepted")
+	}
+}
+
+// TestEveryScenarioWellFormed: full length, in-range processors,
+// non-negative gaps, and the advertised name.
+func TestEveryScenarioWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := baseCfg()
+			g, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Name() != name {
+				t.Fatalf("Name() = %q, want %q", g.Name(), name)
+			}
+			reqs := drain(t, g)
+			if len(reqs) != cfg.Ops {
+				t.Fatalf("emitted %d requests, want %d", len(reqs), cfg.Ops)
+			}
+			for i, req := range reqs {
+				if req.Proc < 1 || int(req.Proc) > cfg.N {
+					t.Fatalf("request %d targets %v, out of [1,%d]", i, req.Proc, cfg.N)
+				}
+				if req.Gap < 0 {
+					t.Fatalf("request %d has negative gap %d", i, req.Gap)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: the same Config yields the same stream; a different seed
+// yields a different one.
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func(seed uint64) []Request {
+				cfg := baseCfg()
+				cfg.Seed = seed
+				g, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return drain(t, g)
+			}
+			a, b := mk(7), mk(7)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+			c := mk(8)
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("different seeds produced identical streams")
+			}
+		})
+	}
+}
+
+// TestZipfIsSkewed: under s=1.2 the most frequent initiator must carry far
+// more than the uniform share.
+func TestZipfIsSkewed(t *testing.T) {
+	cfg := Config{N: 50, Ops: 5000, Seed: 3}
+	g, err := New("zipf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[sim.ProcID]int{}
+	for _, req := range drain(t, g) {
+		counts[req.Proc]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniformShare := cfg.Ops / cfg.N // 100
+	if max < 4*uniformShare {
+		t.Fatalf("zipf top processor got %d ops, want >= %d (4x uniform share)", max, 4*uniformShare)
+	}
+}
+
+// TestHotspotConcentration: ~90% of requests land in the 10% hot set.
+func TestHotspotConcentration(t *testing.T) {
+	cfg := Config{N: 100, Ops: 4000, Seed: 5}
+	g, err := New("hotspot", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[sim.ProcID]int{}
+	for _, req := range drain(t, g) {
+		counts[req.Proc]++
+	}
+	// The hot set has 10 processors; collect the 10 largest counts.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	top := 0
+	for i := 0; i < 10; i++ {
+		maxIdx := 0
+		for j, c := range all {
+			if c > all[maxIdx] {
+				maxIdx = j
+			}
+			_ = c
+		}
+		top += all[maxIdx]
+		all[maxIdx] = -1
+	}
+	if frac := float64(top) / float64(cfg.Ops); frac < 0.8 {
+		t.Fatalf("hot set carries %.2f of traffic, want >= 0.8", frac)
+	}
+}
+
+// TestBurstyOnOff: bursts are separated by idle gaps far larger than the
+// within-burst gaps.
+func TestBurstyOnOff(t *testing.T) {
+	cfg := Config{N: 16, Ops: 200, Seed: 2, BurstLen: 10, BurstIdle: 1000}
+	g, err := New("bursty", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := drain(t, g)
+	if reqs[0].Gap != 0 {
+		t.Fatalf("first burst delayed by %d ticks, want 0 (idle separates bursts)", reqs[0].Gap)
+	}
+	idle := 0
+	for _, req := range reqs {
+		if req.Gap >= 1000 {
+			idle++
+		} else if req.Gap > 50 {
+			t.Fatalf("gap %d is neither burst-internal nor idle", req.Gap)
+		}
+	}
+	// 20 bursts, idle gaps between them only.
+	if want := cfg.Ops/cfg.BurstLen - 1; idle != want {
+		t.Fatalf("idle gaps = %d, want %d", idle, want)
+	}
+}
+
+// TestRampAccelerates: mean gap over the last quarter is well below the
+// first quarter.
+func TestRampAccelerates(t *testing.T) {
+	cfg := Config{N: 16, Ops: 1000, Seed: 9, RampFrom: 64, RampTo: 1}
+	g, err := New("ramp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := drain(t, g)
+	quarter := len(reqs) / 4
+	var first, last int64
+	for i := 0; i < quarter; i++ {
+		first += reqs[i].Gap
+		last += reqs[len(reqs)-1-i].Gap
+	}
+	if last*4 >= first {
+		t.Fatalf("ramp did not accelerate: first quarter %d ticks, last %d", first, last)
+	}
+}
+
+func TestPhasesConcatenates(t *testing.T) {
+	a := Replay("a", []sim.ProcID{1, 2}, 3)
+	b := Replay("b", []sim.ProcID{3}, 5)
+	g := Phases("ab", a, b)
+	reqs := drain(t, g)
+	if len(reqs) != 3 {
+		t.Fatalf("len = %d, want 3", len(reqs))
+	}
+	want := []Request{{Proc: 1, Gap: 0}, {Proc: 2, Gap: 3}, {Proc: 3, Gap: 0}}
+	for i := range want {
+		if reqs[i] != want[i] {
+			t.Fatalf("reqs[%d] = %v, want %v", i, reqs[i], want[i])
+		}
+	}
+}
+
+func TestReplayFirstArrivalImmediate(t *testing.T) {
+	g := Replay("replay", []sim.ProcID{4, 5, 6}, 7)
+	reqs := drain(t, g)
+	if reqs[0].Gap != 0 {
+		t.Fatalf("first gap = %d, want 0", reqs[0].Gap)
+	}
+	if reqs[1].Gap != 7 || reqs[2].Gap != 7 {
+		t.Fatalf("later gaps = %d/%d, want 7", reqs[1].Gap, reqs[2].Gap)
+	}
+}
+
+func TestMixCoversAllOps(t *testing.T) {
+	for _, ops := range []int{1, 2, 3, 10, 100} {
+		g, err := New("mix", Config{N: 8, Ops: ops, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := drain(t, g)
+		if len(reqs) != ops {
+			t.Fatalf("mix(ops=%d) emitted %d requests", ops, len(reqs))
+		}
+	}
+}
