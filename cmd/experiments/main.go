@@ -1,6 +1,6 @@
 // Command experiments regenerates the paper's figures and theorem-level
-// measurements (experiments E1..E14; see EXPERIMENTS.md for the index and
-// DESIGN.md for the mapping to modules).
+// measurements (experiments E1..E14; -list prints the index, and
+// docs/ARCHITECTURE.md maps the experiments' machinery to modules).
 //
 // Usage:
 //

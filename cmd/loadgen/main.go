@@ -7,12 +7,27 @@
 //
 //	loadgen -algo ctree -scenario zipf -n 256 -ops 5000 -seed 1
 //	loadgen -algo central -scenario bursty -n 64 -ops 2000 -format text
-//	loadgen -algo combining -scenario adversarial -n 27 -format csv
+//	loadgen -algo central -scenario ramprate -mode open -service 1 -format text
+//	loadgen -sweep -algos central,ctree -scenarios uniform,zipf -format csv
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
 // renders a human-readable summary, -format csv the bottleneck time
 // series. Runs are deterministic for a fixed -seed.
+//
+// With -mode open the driver admits every request at its scenario arrival
+// time regardless of how many operations are in flight (closed loop
+// throttles admission to completions instead): a bounded admission queue
+// (-queue-cap) absorbs requests whose initiator is busy, queueing delay is
+// reported separately from service latency, and a saturation knee is
+// detected from per-rate-bucket p99 divergence. Pair it with -service,
+// which gives every processor a finite per-message processing cost, to
+// observe the paper's message-load bottleneck as a throughput ceiling —
+// the "ramprate" scenario sweeps the offered rate through it.
+//
+// With -sweep the tool runs the full -algos x -scenarios x -windows x
+// -gaps grid (windows apply to closed loop only) and merges all runs into
+// one CSV (-format csv, one row per run), JSON array, or text table.
 //
 // The special scenario "adversarial" first executes the paper's
 // lower-bound adversary against the chosen algorithm (sequentially, on a
@@ -26,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"distcount/internal/adversary"
@@ -44,6 +60,21 @@ func main() {
 	}
 }
 
+// options collects the parsed flag values shared by single runs and sweeps.
+type options struct {
+	mode     engine.Mode
+	n        int
+	ops      int
+	seed     uint64
+	inflight int
+	queueCap int
+	warmup   int
+	meanGap  int64
+	service  int64
+	sample   int
+	wcfg     workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
@@ -52,15 +83,25 @@ func run(args []string, out io.Writer) error {
 		n        = fs.Int("n", 81, "number of processors (rounded up for structured algorithms)")
 		ops      = fs.Int("ops", 2000, "number of operations")
 		seed     = fs.Uint64("seed", 1, "scenario seed (runs are deterministic per seed)")
+		mode     = fs.String("mode", "closed", "admission mode: closed (window throttles) or open (admit at arrival time)")
 		inflight = fs.Int("inflight", 8, "closed-loop window: max operations concurrently in flight")
+		queueCap = fs.Int("queue-cap", 4096, "open-loop admission queue bound; overflow is dropped")
 		warmup   = fs.Int("warmup", -1, "completions excluded from measurement (default ops/10)")
 		meanGap  = fs.Int64("mean-gap", 4, "mean interarrival time in simulated ticks")
+		service  = fs.Int64("service", 0, "per-message processing cost in ticks (0 = instantaneous; saturation needs > 0)")
 		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
 		format   = fs.String("format", "json", "output format: json, text, csv")
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
 		hotFrac  = fs.Float64("hot-frac", 0.1, "hot-set fraction (scenario hotspot)")
 		hotProb  = fs.Float64("hot-prob", 0.9, "hot-set probability (scenario hotspot)")
 		burstLen = fs.Int("burst-len", 32, "operations per burst (scenario bursty)")
+		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
+		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
+		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps grid into one merged report")
+		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep")
+		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep")
+		windows  = fs.String("windows", "", "comma-separated closed-loop windows for -sweep (default: -inflight)")
+		gaps     = fs.String("gaps", "", "comma-separated mean interarrival gaps for -sweep (default: -mean-gap)")
 		list     = fs.Bool("list", false, "list algorithms and scenarios, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,47 +124,65 @@ func run(args []string, out io.Writer) error {
 		// Validated before the run so a typo does not waste the simulation.
 		return fmt.Errorf("unknown format %q (have json, text, csv)", *format)
 	}
-
-	c, err := registry.NewAsync(*algo, *n)
+	m, err := engine.ParseMode(*mode)
 	if err != nil {
 		return err
 	}
-
-	// Scenarios are sized to the actual network (structured algorithms
-	// round n up).
-	wcfg := workload.Config{
-		N:        c.N(),
-		Ops:      *ops,
-		Seed:     *seed,
-		MeanGap:  *meanGap,
-		ZipfS:    *zipfS,
-		HotFrac:  *hotFrac,
-		HotProb:  *hotProb,
-		BurstLen: *burstLen,
+	if *service < 0 {
+		return fmt.Errorf("need -service >= 0 (got %d)", *service)
 	}
-	var gen workload.Generator
-	if *scenario == "adversarial" {
-		gen, err = adversarialReplay(*algo, c.N(), *ops, *seed, *meanGap)
+	// A measurement tool must not silently ignore an explicit selection:
+	// the single-run and sweep flag families are mutually exclusive.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *sweep {
+		for _, name := range []string{"algo", "scenario"} {
+			if set[name] {
+				return fmt.Errorf("-%s is ignored by -sweep; use -algos/-scenarios", name)
+			}
+		}
+		if m == engine.Open && set["windows"] {
+			return fmt.Errorf("-windows only applies to closed-loop sweeps (open loop has no admission window)")
+		}
 	} else {
-		gen, err = workload.New(*scenario, wcfg)
+		for _, name := range []string{"algos", "scenarios", "windows", "gaps"} {
+			if set[name] {
+				return fmt.Errorf("-%s only applies with -sweep", name)
+			}
+		}
 	}
+
+	opt := options{
+		mode:     m,
+		n:        *n,
+		ops:      *ops,
+		seed:     *seed,
+		inflight: *inflight,
+		queueCap: *queueCap,
+		warmup:   *warmup,
+		meanGap:  *meanGap,
+		service:  *service,
+		sample:   *sample,
+		wcfg: workload.Config{
+			Ops:      *ops,
+			Seed:     *seed,
+			ZipfS:    *zipfS,
+			HotFrac:  *hotFrac,
+			HotProb:  *hotProb,
+			BurstLen: *burstLen,
+			RateFrom: *rateFrom,
+			RateTo:   *rateTo,
+		},
+	}
+
+	if *sweep {
+		return runSweep(out, opt, *format, *algos, *scens, *windows, *gaps)
+	}
+
+	res, err := runOne(opt, *algo, *scenario)
 	if err != nil {
 		return err
 	}
-
-	ecfg := engine.Config{
-		InFlight:    *inflight,
-		Warmup:      *warmup,
-		SampleEvery: *sample,
-	}
-	if ecfg.Warmup < 0 {
-		ecfg.Warmup = genOps(*scenario, *ops, c.N()) / 10
-	}
-	res, err := engine.Run(c, gen, ecfg)
-	if err != nil {
-		return err
-	}
-
 	switch *format {
 	case "csv":
 		return report.WriteCSV(out, res)
@@ -133,6 +192,137 @@ func run(args []string, out io.Writer) error {
 	default: // "json", validated above
 		return report.WriteJSON(out, res)
 	}
+}
+
+// runOne builds a fresh counter and scenario and executes a single engine
+// run.
+func runOne(opt options, algo, scenario string) (*engine.Result, error) {
+	var simOpts []sim.Option
+	if opt.service > 0 {
+		simOpts = append(simOpts, sim.WithServiceTime(opt.service))
+	}
+	c, err := registry.NewAsync(algo, opt.n, simOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scenarios are sized to the actual network (structured algorithms
+	// round n up).
+	wcfg := opt.wcfg
+	wcfg.N = c.N()
+	wcfg.MeanGap = opt.meanGap
+	var gen workload.Generator
+	if scenario == "adversarial" {
+		gen, err = adversarialReplay(algo, c.N(), opt.ops, opt.seed, opt.meanGap)
+	} else {
+		gen, err = workload.New(scenario, wcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ecfg := engine.Config{
+		Mode:        opt.mode,
+		InFlight:    opt.inflight,
+		QueueCap:    opt.queueCap,
+		Warmup:      opt.warmup,
+		SampleEvery: opt.sample,
+	}
+	if ecfg.Warmup < 0 {
+		ecfg.Warmup = genOps(scenario, opt.ops, c.N()) / 10
+	}
+	return engine.Run(c, gen, ecfg)
+}
+
+// runSweep executes the grid and merges every run into one report.
+func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps string) error {
+	algoList := splitList(algos)
+	scenList := splitList(scens)
+	if len(algoList) == 0 || len(scenList) == 0 {
+		return fmt.Errorf("-sweep needs non-empty -algos and -scenarios")
+	}
+	windowList := []int{opt.inflight}
+	if windows != "" {
+		var err error
+		if windowList, err = parseInts(windows, "-windows"); err != nil {
+			return err
+		}
+	}
+	if opt.mode == engine.Open {
+		// Open loop has no admission window; one pass per (algo, scenario,
+		// gap) cell. An explicit -windows list was already rejected.
+		windowList = windowList[:1]
+	}
+	gapList := []int64{opt.meanGap}
+	if gaps != "" {
+		ints, err := parseInts(gaps, "-gaps")
+		if err != nil {
+			return err
+		}
+		gapList = gapList[:0]
+		for _, g := range ints {
+			gapList = append(gapList, int64(g))
+		}
+	}
+
+	var rows []report.SweepRow
+	for _, algo := range algoList {
+		for _, scen := range scenList {
+			for _, window := range windowList {
+				for _, gap := range gapList {
+					cell := opt
+					cell.inflight = window
+					cell.meanGap = gap
+					res, err := runOne(cell, algo, scen)
+					if err != nil {
+						return fmt.Errorf("sweep cell %s/%s window %d gap %d: %w", algo, scen, window, gap, err)
+					}
+					rows = append(rows, report.SweepRow{
+						MeanGap:     gap,
+						ServiceTime: cell.service,
+						Result:      res,
+					})
+				}
+			}
+		}
+	}
+
+	switch format {
+	case "csv":
+		return report.WriteSweepCSV(out, rows)
+	case "text":
+		_, err := io.WriteString(out, report.RenderSweep(rows))
+		return err
+	default:
+		return report.WriteSweepJSON(out, rows)
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s, flagName string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%s: %q is not a positive integer", flagName, part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", flagName)
+	}
+	return out, nil
 }
 
 // genOps returns the effective stream length: the adversarial replay is

@@ -106,10 +106,124 @@ func TestRunBadArgs(t *testing.T) {
 		{"-scenario", "nope"},
 		{"-ops", "0"},
 		{"-definitely-not-a-flag"},
+		{"-mode", "half-open"},
+		{"-service", "-1"},
+		{"-sweep", "-windows", "0"},
+		{"-sweep", "-gaps", "x"},
+		{"-sweep", "-algos", ","},
+		{"-sweep", "-algos", "quorum-majority"},
+		{"-sweep", "-algo", "central"},                  // single-run flag under -sweep
+		{"-sweep", "-scenario", "zipf"},                 // single-run flag under -sweep
+		{"-sweep", "-mode", "open", "-windows", "4,16"}, // window grid meaningless open-loop
+		{"-algos", "central,ctree"},                     // sweep flag without -sweep
+		{"-windows", "4,16", "-ops", "100"},             // sweep flag without -sweep
+		{"-gaps", "2,8", "-algo", "central"},            // sweep flag without -sweep
+		{"-scenarios", "uniform", "-n", "16"},           // sweep flag without -sweep
 	} {
 		var b strings.Builder
 		if err := run(args, &b); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunOpenMode: the open loop reports its extras in every format and
+// finds the central counter's knee on a serviced rate ramp — the engine's
+// headline capability, exercised end to end through the CLI.
+func TestRunOpenMode(t *testing.T) {
+	args := []string{"-algo", "central", "-scenario", "ramprate", "-mode", "open",
+		"-service", "1", "-n", "12", "-ops", "400", "-format", "text"}
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"open loop", "admission", "saturation knee:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("open-loop output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "knee: not reached") {
+		t.Fatalf("central counter did not saturate on the serviced rate ramp:\n%s", out)
+	}
+}
+
+// TestRunSweepCSVGolden: a small sweep emits one merged CSV with the
+// documented header, exactly one row per grid cell in grid order, and the
+// whole artifact is deterministic.
+func TestRunSweepCSVGolden(t *testing.T) {
+	args := []string{"-sweep", "-algos", "central,tokenring", "-scenarios", "uniform,zipf",
+		"-windows", "2,8", "-gaps", "2", "-n", "8", "-ops", "120", "-seed", "5", "-format", "csv"}
+	mk := func() string {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := mk()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+2*2*2 {
+		t.Fatalf("sweep CSV has %d lines, want header + 8 rows:\n%s", len(lines), out)
+	}
+	wantHeader := "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
+		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
+		"queue_p50,queue_p99,dropped,peak_queue_depth," +
+		"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason"
+	if lines[0] != wantHeader {
+		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
+	}
+	wantGrid := []string{
+		"central,uniform,closed,8,120,2,2",
+		"central,uniform,closed,8,120,8,2",
+		"central,zipf,closed,8,120,2,2",
+		"central,zipf,closed,8,120,8,2",
+		"tokenring,uniform,closed,8,120,2,2",
+		"tokenring,uniform,closed,8,120,8,2",
+		"tokenring,zipf,closed,8,120,2,2",
+		"tokenring,zipf,closed,8,120,8,2",
+	}
+	cols := strings.Count(wantHeader, ",")
+	for i, prefix := range wantGrid {
+		if !strings.HasPrefix(lines[i+1], prefix+",") {
+			t.Fatalf("row %d = %q, want prefix %q", i+1, lines[i+1], prefix)
+		}
+		if got := strings.Count(lines[i+1], ","); got != cols {
+			t.Fatalf("row %d has %d commas, want %d: %q", i+1, got, cols, lines[i+1])
+		}
+	}
+	if again := mk(); again != out {
+		t.Fatal("identical sweep invocations produced different CSVs")
+	}
+}
+
+// TestRunSweepOpenJSON: an open-mode sweep merges every cell into one JSON
+// array, each element carrying its grid coordinates.
+func TestRunSweepOpenJSON(t *testing.T) {
+	args := []string{"-sweep", "-mode", "open", "-service", "1",
+		"-algos", "central,ctree", "-scenarios", "uniform,ramprate",
+		"-n", "8", "-ops", "150", "-format", "json"}
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		MeanGap     int64  `json:"mean_gap"`
+		ServiceTime int64  `json:"service_time"`
+		Algorithm   string `json:"algorithm"`
+		Scenario    string `json:"scenario"`
+		Mode        string `json:"mode"`
+		Ops         int    `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rows); err != nil {
+		t.Fatalf("invalid sweep JSON: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("sweep produced %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mode != "open" || r.ServiceTime != 1 || r.Ops != 150 {
+			t.Fatalf("row incoherent: %+v", r)
 		}
 	}
 }

@@ -61,13 +61,41 @@ type (
 	// ScenarioConfig parameterizes the built-in scenarios (size, length,
 	// seed, arrival rate, skew knobs).
 	ScenarioConfig = workload.Config
-	// WorkloadConfig tunes the closed-loop load driver (in-flight window,
-	// warmup, series sampling).
+	// WorkloadConfig tunes the load driver: admission mode (closed- or
+	// open-loop), in-flight window, admission-queue bound, warmup, series
+	// sampling, and the saturation-knee detection knobs.
 	WorkloadConfig = engine.Config
+	// WorkloadMode selects the driver's admission discipline: ClosedLoop
+	// throttles admission to completions, OpenLoop admits every request at
+	// its scenario arrival time so overload becomes measurable.
+	WorkloadMode = engine.Mode
 	// WorkloadReport is the result of one engine run: throughput, latency
-	// percentiles, measured-window load summary, and the bottleneck-load
-	// time series. internal/engine/report renders it as JSON, CSV or text.
+	// percentiles split into queueing delay and service latency,
+	// measured-window load summary, the bottleneck-load time series, and —
+	// in open-loop mode — per-rate-bucket statistics with the detected
+	// saturation knee. internal/engine/report renders it as JSON, CSV or
+	// text.
 	WorkloadReport = engine.Result
+	// SaturationKnee is the detected saturation point of an open-loop run:
+	// the offered rate at which p99 latency diverges or the admission
+	// queue overflows. A closed-loop run never reports one — its admission
+	// is throttled to completions, so it cannot drive the system past its
+	// knee.
+	SaturationKnee = engine.Knee
+	// RateBucket is one arrival-ordered slice of an open-loop run, the
+	// unit of the saturation analysis.
+	RateBucket = engine.RateBucket
+)
+
+// Admission disciplines for WorkloadConfig.Mode.
+const (
+	// ClosedLoop keeps at most WorkloadConfig.InFlight operations in
+	// flight, admitting the next request as one completes (the default).
+	ClosedLoop = engine.Closed
+	// OpenLoop admits requests at their scenario arrival time regardless
+	// of the number in flight, queueing (bounded by QueueCap) only while a
+	// request's initiator is busy.
+	OpenLoop = engine.Open
 )
 
 // NewTreeCounter returns the paper's counter for the communication tree of
@@ -118,21 +146,33 @@ func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
 	return registry.NewAsync(algorithm, n)
 }
 
+// NewAsyncCounterWithServiceTime is NewAsyncCounter on a network where
+// every processor takes service ticks to process each incoming message
+// (sim.WithServiceTime). Under this model a processor's message load m_p
+// is also time spent, so the paper's bottleneck caps throughput — run an
+// open-loop ramp (scenario "ramprate", WorkloadConfig.Mode = OpenLoop) to
+// measure the resulting saturation knee.
+func NewAsyncCounterWithServiceTime(algorithm string, n int, service int64) (AsyncCounter, error) {
+	return registry.NewAsync(algorithm, n, sim.WithServiceTime(service))
+}
+
 // Scenarios lists the built-in workload scenario names usable with
 // NewScenario.
 func Scenarios() []string { return workload.Names() }
 
 // NewScenario builds the named workload scenario (uniform, zipf, hotspot,
-// bursty, ramp, mix) from the config. The stream is a pure function of the
-// config, so runs are reproducible.
+// bursty, ramp, ramprate, mix) from the config. The stream is a pure
+// function of the config, so runs are reproducible.
 func NewScenario(name string, cfg ScenarioConfig) (Scenario, error) {
 	return workload.New(name, cfg)
 }
 
-// RunWorkload drives the counter with the scenario through the closed-loop
-// concurrent engine and reports throughput, latency percentiles, the
-// measured-window load summary, and the bottleneck-load time series, all
-// in simulated time.
+// RunWorkload drives the counter with the scenario through the concurrent
+// engine in the configured admission mode (closed loop by default) and
+// reports throughput, latency percentiles split into queueing delay and
+// service latency, the measured-window load summary, and the
+// bottleneck-load time series, all in simulated time. Open-loop runs
+// additionally report per-rate-bucket statistics and the saturation knee.
 func RunWorkload(c AsyncCounter, sc Scenario, cfg WorkloadConfig) (*WorkloadReport, error) {
 	return engine.Run(c, sc, cfg)
 }

@@ -24,12 +24,17 @@
 //     arithmetic and RunAdversary for the proof's constructive
 //     longest-communication-list workload;
 //   - the experiment harness (Experiments, RunExperiment) that regenerates
-//     every figure and theorem-level claim of the paper; see EXPERIMENTS.md;
+//     every figure and theorem-level claim of the paper;
 //   - the workload engine (NewScenario, RunWorkload): seeded traffic
-//     scenarios (uniform, Zipf, hotspot, bursty, ramp, multi-phase mixes)
-//     driven through a closed-loop concurrent load driver that measures
-//     throughput, latency percentiles, and the bottleneck-load trajectory
-//     in simulated time; cmd/loadgen is its command-line face.
+//     scenarios (uniform, Zipf, hotspot, bursty, gap and rate ramps,
+//     multi-phase mixes) driven through a concurrent load driver in
+//     closed-loop (fixed in-flight window) or open-loop mode (admit at
+//     arrival time, bounded admission queue), measuring throughput,
+//     latency percentiles split into queueing delay and service latency,
+//     the bottleneck-load trajectory, and — open loop, combined with the
+//     simulator's per-message service-time model — each algorithm's
+//     saturation knee; cmd/loadgen is its command-line face, including
+//     multi-run grid sweeps (-sweep).
 //
 // # Quick start
 //
@@ -41,6 +46,7 @@
 //	sum := distcount.Loads(c)
 //	fmt.Println(sum.MaxLoad, "messages at processor", sum.Bottleneck)
 //
-// See the examples/ directory for runnable programs and DESIGN.md for the
-// system inventory.
+// See the examples/ directory for runnable programs, docs/ARCHITECTURE.md
+// for the package map and the operation lifecycle, and docs/EXPERIMENTS.md
+// for a runnable cookbook of paper reproductions and saturation sweeps.
 package distcount

@@ -1,20 +1,40 @@
-// Package engine drives a distributed counter with a concurrent workload:
-// a closed-loop load driver that keeps a configurable number of increments
-// in flight on the simulated network at once, injecting each request with
-// sim.ScheduleOp at its scenario-assigned arrival time and admitting the
-// next request the moment an operation completes.
+// Package engine drives a distributed counter with a concurrent workload in
+// one of two admission disciplines:
+//
+//   - Closed loop (the default): a configurable number of operations is kept
+//     in flight; each request is injected at its scenario arrival time and
+//     the next one the moment an operation completes. Throughput and
+//     latency stay coupled — the driver can never push the system past its
+//     capacity, which is the right instrument for comparing algorithms at a
+//     fixed concurrency level.
+//
+//   - Open loop: requests are admitted at their generator arrival time
+//     regardless of how many operations are already in flight, with a
+//     bounded admission queue absorbing requests whose initiator is still
+//     busy (the one protocol invariant the driver must preserve is at most
+//     one operation per initiator). Offered load is therefore independent
+//     of completions, so the driver can push an algorithm past its
+//     saturation knee and measure what the closed loop structurally cannot:
+//     latency divergence under overload. Open-loop runs additionally report
+//     queueing delay (arrival to injection) separately from service latency
+//     (injection to completion), per-rate-bucket statistics, and a detected
+//     saturation knee (see Knee).
 //
 // The paper studies its Ω(k) bottleneck at quiescence — one operation at a
 // time ("enough time elapses in between any two inc requests"). The engine
 // is the instrument for the complementary question the ROADMAP asks: how
-// does the bottleneck behave under load? It measures, all in simulated
-// time, per-operation latency (from scenario arrival to completion),
-// sustained throughput over a measure window that excludes warmup, and a
-// time series of the bottleneck load m_b as operations complete.
+// does the bottleneck behave under load? Combined with the simulator's
+// receiver-side service-time model (sim.WithServiceTime), the bottleneck's
+// message load becomes a throughput ceiling, and the open-loop ramp makes
+// the paper's prediction observable as a saturation point.
 //
 // Everything runs on the single-threaded discrete-event simulator, so runs
 // are exactly reproducible for a fixed scenario seed: "concurrent" means
 // concurrent in simulated time, not goroutines.
+//
+// See docs/ARCHITECTURE.md for how the engine sits between the scenario
+// generators (internal/workload) and the exporters (internal/engine/report),
+// and docs/EXPERIMENTS.md for a runnable cookbook.
 package engine
 
 import (
@@ -28,13 +48,55 @@ import (
 	"distcount/internal/workload"
 )
 
+// Mode selects the admission discipline of the load driver.
+type Mode int
+
+const (
+	// Closed is the closed-loop mode: at most Config.InFlight operations
+	// in flight, the next request admitted on completion.
+	Closed Mode = iota
+	// Open is the open-loop mode: requests admitted at their arrival time
+	// regardless of the number in flight, queueing (bounded) only when
+	// their initiator is busy.
+	Open
+)
+
+// String returns "closed" or "open", the values used in reports and on the
+// loadgen -mode flag.
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// ParseMode converts "closed" or "open" to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "closed":
+		return Closed, nil
+	case "open":
+		return Open, nil
+	}
+	return Closed, fmt.Errorf("engine: unknown mode %q (have closed, open)", s)
+}
+
 // Config tunes the driver.
 type Config struct {
+	// Mode selects closed-loop (default) or open-loop admission.
+	Mode Mode
 	// InFlight is the closed-loop window: the maximum number of operations
 	// concurrently in flight (default 8). The driver admits requests in
 	// arrival order and never keeps more than one operation per initiating
 	// processor in flight, so a hot-spot stream may not reach the window.
+	// Ignored in open-loop mode, where concurrency is bounded only by the
+	// number of processors.
 	InFlight int
+	// QueueCap bounds the open-loop admission queue: requests that arrive
+	// while their initiator is busy wait here; a request arriving when the
+	// queue is full is dropped and counted in Result.Dropped (default
+	// 4096). Ignored in closed-loop mode.
+	QueueCap int
 	// Warmup is the number of completions excluded from latency,
 	// throughput and load-imbalance measurements while the system fills
 	// its pipeline (default 0). Must leave at least one measured op.
@@ -45,11 +107,38 @@ type Config struct {
 	// a hint the engine samples every completion and thins to 64 points
 	// afterwards.
 	SampleEvery int
+	// KneeBuckets is the number of arrival-ordered buckets the open-loop
+	// saturation analysis divides the run into (default 16).
+	KneeBuckets int
+	// KneeFactor is the saturation threshold: a bucket whose p99 latency
+	// reaches KneeFactor times the baseline bucket's p99 marks the knee
+	// (default 4).
+	KneeFactor float64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.InFlight < 1 {
+		cfg.InFlight = 8
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	if cfg.KneeBuckets < 2 {
+		cfg.KneeBuckets = 16
+	}
+	if cfg.KneeFactor <= 1 {
+		cfg.KneeFactor = 4
+	}
+	return cfg
 }
 
 // Sample is one point of the bottleneck-load time series, taken after a
 // completion. Loads are cumulative since the start of the run (the paper's
-// m_p is monotone).
+// m_p is monotone); sampling costs O(1) via the simulator's incremental
+// max-load tracker.
 type Sample struct {
 	// SimTime is the simulated time of the completion that triggered the
 	// sample.
@@ -60,14 +149,16 @@ type Sample struct {
 	// and BottleneckLoad that load.
 	Bottleneck     int   `json:"bottleneck"`
 	BottleneckLoad int64 `json:"bottleneck_load"`
-	// MeanLoad is the mean per-processor load; Gini the imbalance
-	// coefficient in [0,1].
+	// MeanLoad is the mean per-processor load.
 	MeanLoad float64 `json:"mean_load"`
-	Gini     float64 `json:"gini"`
+	// InFlight is the number of operations in flight after the completion;
+	// QueueDepth the open-loop admission-queue depth (always 0 in closed
+	// loop, whose queue is the generator itself).
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
 }
 
-// LatencyStats summarizes per-operation latencies in simulated ticks,
-// measured from scenario arrival time to completion (queueing included).
+// LatencyStats summarizes a latency distribution in simulated ticks.
 type LatencyStats struct {
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
@@ -78,21 +169,29 @@ type LatencyStats struct {
 
 // Result is the workload report of one engine run.
 type Result struct {
-	// Algorithm and Scenario identify what ran.
+	// Algorithm and Scenario identify what ran; Mode is "closed" or "open".
 	Algorithm string `json:"algorithm"`
 	Scenario  string `json:"scenario"`
+	Mode      string `json:"mode"`
 	// N is the network size; Ops the number of completed operations, of
 	// which Measured were inside the measure window.
 	N        int `json:"n"`
 	Ops      int `json:"ops"`
 	Warmup   int `json:"warmup"`
 	Measured int `json:"measured"`
-	// InFlight echoes the configured window; PeakInFlight is the largest
-	// number of operations simultaneously in flight in simulated time (an
-	// operation is in flight from its start event to its completion, so
-	// admitted-but-not-yet-arrived requests do not count).
+	// InFlight echoes the configured closed-loop window (0 in open-loop
+	// mode); PeakInFlight is the largest number of operations
+	// simultaneously in flight in simulated time (an operation is in
+	// flight from its start event to its completion, so queued or
+	// not-yet-arrived requests do not count).
 	InFlight     int `json:"in_flight"`
 	PeakInFlight int `json:"peak_in_flight"`
+	// QueueCap echoes the open-loop admission-queue bound; PeakQueueDepth
+	// is the deepest the queue got, and Dropped the number of requests
+	// shed because the queue was full. All zero in closed-loop mode.
+	QueueCap       int `json:"queue_cap,omitempty"`
+	PeakQueueDepth int `json:"peak_queue_depth,omitempty"`
+	Dropped        int `json:"dropped,omitempty"`
 	// SimTime is the simulated makespan of the run — the completion time
 	// of the last operation (trailing maintenance events such as stale
 	// prism timers are excluded); MeasureStart the simulated time at which
@@ -101,8 +200,15 @@ type Result struct {
 	MeasureStart int64 `json:"measure_start"`
 	// Throughput is measured operations per simulated tick.
 	Throughput float64 `json:"throughput"`
-	// Latency summarizes the measured operations' latencies.
-	Latency LatencyStats `json:"latency"`
+	// Latency summarizes the measured operations' end-to-end latencies
+	// (scenario arrival to completion). QueueDelay is the portion spent
+	// waiting for admission (arrival to injection: the closed loop's
+	// window throttling, the open loop's busy-initiator queue), and
+	// ServiceLatency the in-network portion (injection to completion);
+	// mean(Latency) = mean(QueueDelay) + mean(ServiceLatency).
+	Latency        LatencyStats `json:"latency"`
+	QueueDelay     LatencyStats `json:"queue_delay"`
+	ServiceLatency LatencyStats `json:"service_latency"`
 	// Messages is the total number of network messages over the whole run.
 	Messages int64 `json:"messages"`
 	// Loads summarizes the per-processor loads accumulated inside the
@@ -111,24 +217,26 @@ type Result struct {
 	Loads loadstat.Summary `json:"loads"`
 	// Series is the bottleneck-load time series over cumulative loads.
 	Series []Sample `json:"series"`
+	// Buckets is the open-loop per-rate-bucket breakdown (nil in closed
+	// loop), and Knee the detected saturation point (nil when the run
+	// never saturates — and always nil in closed loop, which throttles
+	// admission to completions and so cannot drive the system past its
+	// knee).
+	Buckets []RateBucket `json:"buckets,omitempty"`
+	Knee    *Knee        `json:"knee,omitempty"`
 
-	// Latencies holds the raw measured latencies, for percentile
-	// re-binning and benchmarks; omitted from JSON.
+	// Latencies holds the raw measured end-to-end latencies, for
+	// percentile re-binning and benchmarks; omitted from JSON.
 	Latencies []int64 `json:"-"`
 }
 
 // Run drives the counter with the scenario until the generator is
-// exhausted and every admitted operation has completed.
+// exhausted and every admitted operation has completed, in the mode
+// selected by cfg.
 func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
-	if cfg.InFlight < 1 {
-		cfg.InFlight = 8
-	}
-	if cfg.Warmup < 0 {
-		cfg.Warmup = 0
-	}
+	cfg = cfg.withDefaults()
 
 	net := c.Net()
-	n := c.N()
 	// The report's time axis, load baselines and series are all relative
 	// to a fresh network; a reused counter would silently fold its
 	// previous traffic into every metric.
@@ -136,123 +244,116 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("engine: counter %q has already run %d ops (t=%d); build a fresh counter per run",
 			c.Name(), net.Ops(), net.Now())
 	}
+	if cfg.Mode == Open {
+		return runOpen(c, gen, cfg)
+	}
+	return runClosed(c, gen, cfg)
+}
+
+// source pulls the request stream one ahead, so admission can stop at a
+// busy initiator or a future arrival without losing the request.
+type source struct {
+	gen     workload.Generator
+	n       int
+	head    workload.Request
+	have    bool
+	arrival int64 // absolute arrival time of head
+	err     error // sticky: a malformed request stops the stream
+}
+
+func newSource(gen workload.Generator, n int) *source {
+	s := &source{gen: gen, n: n}
+	s.pull()
+	return s
+}
+
+func (s *source) pull() {
+	req, ok := s.gen.Next()
+	if !ok {
+		s.have = false
+		return
+	}
+	if req.Proc < 1 || int(req.Proc) > s.n {
+		s.err = fmt.Errorf("engine: scenario %q targets processor %v outside [1,%d]",
+			s.gen.Name(), req.Proc, s.n)
+		s.have = false
+		return
+	}
+	s.arrival += req.Gap
+	s.head, s.have = req, true
+}
+
+// resolveStride picks the bottleneck-series sampling stride: from the
+// config, the scenario's length hint, or per-completion sampling thinned
+// after the run.
+func resolveStride(cfg Config, gen workload.Generator) (stride int, thinAfter bool) {
+	if cfg.SampleEvery > 0 {
+		return cfg.SampleEvery, false
+	}
+	if sized, ok := gen.(interface{ Len() int }); ok && sized.Len() > 0 {
+		stride = sized.Len() / 64
+		if stride < 1 {
+			stride = 1
+		}
+		return stride, false
+	}
+	return 1, true
+}
+
+// runClosed is the closed-loop driver.
+func runClosed(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
+	net := c.Net()
+	n := c.N()
 	res := &Result{
 		Algorithm: c.Name(),
 		Scenario:  gen.Name(),
+		Mode:      Closed.String(),
 		N:         n,
 		Warmup:    cfg.Warmup,
 		InFlight:  cfg.InFlight,
 	}
 
-	// The request stream, pulled one ahead so admission can stop at a busy
-	// initiator without losing the request.
-	var (
-		head     workload.Request
-		haveHead bool
-		arrival  int64 // absolute arrival time of head
-		genErr   error // sticky: a malformed request stops the stream
-	)
-	pull := func() {
-		req, ok := gen.Next()
-		if !ok {
-			haveHead = false
-			return
-		}
-		if req.Proc < 1 || int(req.Proc) > n {
-			genErr = fmt.Errorf("engine: scenario %q targets processor %v outside [1,%d]",
-				gen.Name(), req.Proc, n)
-			haveHead = false
-			return
-		}
-		arrival += req.Gap
-		head, haveHead = req, true
-	}
-	pull()
-	if genErr != nil {
-		return nil, genErr
+	src := newSource(gen, n)
+	if src.err != nil {
+		return nil, src.err
 	}
 
 	var (
-		busy         = make([]bool, n+1) // one op per initiator in flight
-		arrivalOf    = make(map[sim.OpID]int64)
-		inFlight     = 0
-		completed    = 0
-		measureBegan = cfg.Warmup == 0 // no warmup: measure from t=0
-		baseSent     []int64
-		baseRecv     []int64
+		busy     = make([]bool, n+1) // one op per initiator in flight
+		timesOf  = make(map[sim.OpID]opTimes)
+		inFlight = 0
+		m        = newRunMetrics(cfg.Warmup)
 	)
 
 	// admit starts requests, in arrival order, while a window slot is free
 	// and the head-of-line initiator is idle. Requests whose arrival time
-	// is in the past (the closed loop fell behind) start immediately.
+	// is in the past (the closed loop fell behind) start immediately; the
+	// wait is accounted as queueing delay.
 	admit := func() {
-		for inFlight < cfg.InFlight && haveHead && !busy[head.Proc] {
-			at := arrival
+		for inFlight < cfg.InFlight && src.have && !busy[src.head.Proc] {
+			at := src.arrival
 			if now := net.Now(); at < now {
 				at = now
 			}
-			id := c.Start(at, head.Proc)
-			arrivalOf[id] = arrival
-			busy[head.Proc] = true
+			id := c.Start(at, src.head.Proc)
+			timesOf[id] = opTimes{arrival: src.arrival, start: at}
+			busy[src.head.Proc] = true
 			inFlight++
-			pull()
+			src.pull()
 		}
 	}
 
-	// Per-op activity intervals, for the simulated-concurrency sweep; the
-	// largest completion time is the makespan.
-	var opStarts, opDones []int64
-	var lastDone int64
-
-	// Resolve the sampling stride: from the config, the scenario's length
-	// hint, or per-completion sampling thinned after the run.
-	sampleEvery := cfg.SampleEvery
-	thinAfter := false
-	if sampleEvery <= 0 {
-		if sized, ok := gen.(interface{ Len() int }); ok && sized.Len() > 0 {
-			sampleEvery = sized.Len() / 64
-			if sampleEvery < 1 {
-				sampleEvery = 1
-			}
-		} else {
-			sampleEvery = 1
-			thinAfter = true
-		}
-	}
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
 
 	net.OnOpDone(func(st *sim.OpStats) {
 		inFlight--
 		busy[st.Initiator] = false
-		completed++
-		opStarts = append(opStarts, st.StartedAt)
-		opDones = append(opDones, st.DoneAt)
-		if st.DoneAt > lastDone {
-			lastDone = st.DoneAt
-		}
-
-		lat := st.DoneAt - arrivalOf[st.ID]
-		delete(arrivalOf, st.ID)
+		tm := timesOf[st.ID]
+		delete(timesOf, st.ID)
 		net.ForgetOp(st.ID)
-
-		if completed > cfg.Warmup {
-			if !measureBegan {
-				measureBegan = true
-				res.MeasureStart = net.Now()
-				baseSent, baseRecv = net.Sent(), net.Recv()
-				// The op crossing the boundary is the first measured one.
-			}
-			res.Latencies = append(res.Latencies, lat)
-		}
-		if sampleEvery > 0 && completed%sampleEvery == 0 {
-			s := loadstat.SummarizeLoads(net.Loads())
-			res.Series = append(res.Series, Sample{
-				SimTime:        net.Now(),
-				Completed:      completed,
-				Bottleneck:     s.Bottleneck,
-				BottleneckLoad: s.MaxLoad,
-				MeanLoad:       s.Mean,
-				Gini:           s.Gini,
-			})
+		m.onDone(res, net, cfg.Warmup, st, tm)
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, sampleNow(net, n, m.completed, inFlight, 0))
 		}
 		admit()
 	})
@@ -262,36 +363,81 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 	if err := net.Run(); err != nil {
 		return nil, fmt.Errorf("engine: %s/%s: %w", res.Algorithm, res.Scenario, err)
 	}
-	if genErr != nil {
-		return nil, genErr
+	if src.err != nil {
+		return nil, src.err
 	}
-	if haveHead || inFlight != 0 {
+	if src.have || inFlight != 0 {
 		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight",
 			res.Algorithm, res.Scenario, inFlight)
 	}
+	if err := m.finalize(res, net, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	res.Ops = completed
+// opTimes carries an operation's arrival and injection times between
+// admission and completion.
+type opTimes struct {
+	arrival int64 // scenario arrival time
+	start   int64 // injection time (= arrival unless the op waited)
+}
+
+// runMetrics accumulates the per-completion measurements common to both
+// drivers and derives the result's aggregate fields, so the two admission
+// disciplines cannot drift in what they report.
+type runMetrics struct {
+	completed          int
+	opStarts, opDones  []int64 // activity intervals, for PeakInFlight
+	lastDone           int64
+	measureBegan       bool
+	baseSent, baseRecv []int64 // load snapshot at the warmup boundary
+	queueDelays        []int64
+	serviceLats        []int64
+}
+
+func newRunMetrics(warmup int) *runMetrics {
+	// No warmup: measure from t=0 with a zero load baseline.
+	return &runMetrics{measureBegan: warmup == 0}
+}
+
+// onDone records one completion: its activity interval always, and past
+// the warmup boundary its end-to-end latency split into queueing delay
+// (arrival to injection) and service latency (injection to completion).
+func (m *runMetrics) onDone(res *Result, net *sim.Network, warmup int, st *sim.OpStats, tm opTimes) {
+	m.completed++
+	m.opStarts = append(m.opStarts, st.StartedAt)
+	m.opDones = append(m.opDones, st.DoneAt)
+	if st.DoneAt > m.lastDone {
+		m.lastDone = st.DoneAt
+	}
+	if m.completed > warmup {
+		if !m.measureBegan {
+			m.measureBegan = true
+			res.MeasureStart = net.Now()
+			m.baseSent, m.baseRecv = net.Sent(), net.Recv()
+			// The op crossing the boundary is the first measured one.
+		}
+		res.Latencies = append(res.Latencies, st.DoneAt-tm.arrival)
+		m.queueDelays = append(m.queueDelays, tm.start-tm.arrival)
+		m.serviceLats = append(m.serviceLats, st.DoneAt-tm.start)
+	}
+}
+
+// finalize derives the aggregate report fields once the run has drained.
+func (m *runMetrics) finalize(res *Result, net *sim.Network, warmup int, thinAfter bool) error {
+	res.Ops = m.completed
 	res.Measured = len(res.Latencies)
 	if res.Measured == 0 {
-		return nil, fmt.Errorf("engine: warmup %d consumed all %d operations", cfg.Warmup, completed)
+		return fmt.Errorf("engine: warmup %d consumed all %d operations", warmup, m.completed)
 	}
-	res.SimTime = lastDone
+	res.SimTime = m.lastDone
 	res.Messages = net.MessagesTotal()
-	res.PeakInFlight = peakConcurrency(opStarts, opDones)
+	res.PeakInFlight = peakConcurrency(m.opStarts, m.opDones)
 	if thinAfter {
 		res.Series = thinSeries(res.Series, 64)
 	}
-
-	// Measure-window loads: final minus the snapshot at the warmup
-	// boundary (zero snapshot when there was no warmup).
-	sent, recv := net.Sent(), net.Recv()
-	if baseSent != nil {
-		for p := range sent {
-			sent[p] -= baseSent[p]
-			recv[p] -= baseRecv[p]
-		}
-	}
-	res.Loads = loadstat.Summarize(sent, recv)
+	res.Loads = measuredLoads(net, m.baseSent, m.baseRecv)
 
 	window := res.SimTime - res.MeasureStart
 	if window < 1 {
@@ -299,12 +445,46 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 	}
 	res.Throughput = float64(res.Measured) / float64(window)
 	res.Latency = summarizeLatencies(res.Latencies)
-	return res, nil
+	res.QueueDelay = summarizeLatencies(m.queueDelays)
+	res.ServiceLatency = summarizeLatencies(m.serviceLats)
+	return nil
+}
+
+// sampleNow takes one O(1) bottleneck-series point from the network's
+// incremental max-load tracker.
+func sampleNow(net *sim.Network, n, completed, inFlight, queueDepth int) Sample {
+	b, l := net.MaxLoad()
+	return Sample{
+		SimTime:        net.Now(),
+		Completed:      completed,
+		Bottleneck:     int(b),
+		BottleneckLoad: l,
+		MeanLoad:       float64(net.SumLoads()) / float64(n),
+		InFlight:       inFlight,
+		QueueDepth:     queueDepth,
+	}
+}
+
+// measuredLoads returns the measure-window load summary: final loads minus
+// the snapshot at the warmup boundary (zero snapshot when there was no
+// warmup).
+func measuredLoads(net *sim.Network, baseSent, baseRecv []int64) loadstat.Summary {
+	sent, recv := net.Sent(), net.Recv()
+	if baseSent != nil {
+		for p := range sent {
+			sent[p] -= baseSent[p]
+			recv[p] -= baseRecv[p]
+		}
+	}
+	return loadstat.Summarize(sent, recv)
 }
 
 // summarizeLatencies computes the latency digest; it does not modify its
-// argument.
+// argument. The zero digest is returned for an empty vector.
 func summarizeLatencies(lats []int64) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
 	sorted := append([]int64(nil), lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var sum float64

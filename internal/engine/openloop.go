@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+// RateBucket is one arrival-ordered slice of an open-loop run, the unit of
+// the saturation analysis: the run's operations are split into
+// Config.KneeBuckets consecutive groups by arrival, so on a ramp scenario
+// each bucket covers a narrow band of offered rates.
+type RateBucket struct {
+	// Index is the bucket's position (0-based, arrival order).
+	Index int `json:"index"`
+	// StartTime and EndTime delimit the bucket's arrival span in simulated
+	// ticks.
+	StartTime int64 `json:"start_time"`
+	EndTime   int64 `json:"end_time"`
+	// Arrivals is the number of requests arriving in the bucket, of which
+	// Completed finished and Dropped were shed at the full admission queue.
+	Arrivals  int `json:"arrivals"`
+	Completed int `json:"completed"`
+	Dropped   int `json:"dropped"`
+	// OfferedRate is Arrivals divided by the arrival span — the offered
+	// load in operations per simulated tick.
+	OfferedRate float64 `json:"offered_rate"`
+	// P50 and P99 summarize the end-to-end latency (arrival to completion)
+	// of the bucket's completed operations. Latency is attributed to the
+	// arrival bucket, not the completion bucket, so it lines up with the
+	// offered rate that caused it.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	// MaxQueueDepth and MaxBacklog are the deepest admission queue and the
+	// largest in-system population (in flight + queued) observed at the
+	// bucket's arrival instants.
+	MaxQueueDepth int `json:"max_queue_depth"`
+	MaxBacklog    int `json:"max_backlog"`
+}
+
+// Knee is the detected saturation point of an open-loop run: the first
+// rate bucket where the system diverges. Divergence means either end-to-end
+// p99 latency reaching Config.KneeFactor times the baseline bucket's p99
+// ("latency"), or the bounded admission queue overflowing into drops
+// ("queue"). The baseline is the first bucket with enough completions to
+// yield a stable p99.
+type Knee struct {
+	// Bucket indexes Result.Buckets.
+	Bucket int `json:"bucket"`
+	// OfferedRate is the bucket's offered load — the measured saturation
+	// throughput in operations per simulated tick.
+	OfferedRate float64 `json:"offered_rate"`
+	// SimTime is the arrival time at which the knee bucket opened.
+	SimTime int64 `json:"sim_time"`
+	// Reason is "latency" or "queue".
+	Reason string `json:"reason"`
+	// BaselineP99 is the pre-saturation reference p99; P99 the knee
+	// bucket's.
+	BaselineP99 float64 `json:"baseline_p99"`
+	P99         float64 `json:"p99"`
+}
+
+// opRec tracks one open-loop request through its lifecycle. Times are -1
+// until reached.
+type opRec struct {
+	arrival    int64
+	start      int64 // injection time; -1 while queued
+	done       int64 // completion time; -1 while outstanding
+	queueDepth int   // admission-queue depth observed at arrival
+	backlog    int   // in flight + queued at arrival
+	dropped    bool
+}
+
+// runOpen is the open-loop driver: it interleaves request admission with
+// event delivery in timestamp order, deciding each request's fate (inject,
+// queue, or drop) with the system state of its arrival instant.
+func runOpen(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
+	net := c.Net()
+	n := c.N()
+	res := &Result{
+		Algorithm: c.Name(),
+		Scenario:  gen.Name(),
+		Mode:      Open.String(),
+		N:         n,
+		Warmup:    cfg.Warmup,
+		QueueCap:  cfg.QueueCap,
+	}
+
+	src := newSource(gen, n)
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	var (
+		recs        []opRec
+		recOf       = make(map[sim.OpID]int)
+		busy        = make([]bool, n+1)  // one op per initiator in flight
+		queued      = make([][]int, n+1) // rec indices waiting per initiator
+		totalQueued = 0
+		inFlight    = 0
+		m           = newRunMetrics(cfg.Warmup)
+	)
+
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	// inject starts the request of recs[idx] by p at time at (its arrival,
+	// or the instant its initiator freed up).
+	inject := func(idx int, p sim.ProcID, at int64) {
+		recs[idx].start = at
+		recOf[c.Start(at, p)] = idx
+		busy[p] = true
+		inFlight++
+	}
+
+	// admit decides the head request's fate at its arrival instant: the
+	// network has delivered every earlier event, so busy/queue state is the
+	// state a real open-loop frontend would see at that moment.
+	admit := func() {
+		rec := opRec{
+			arrival:    src.arrival,
+			start:      -1,
+			done:       -1,
+			queueDepth: totalQueued,
+			backlog:    inFlight + totalQueued,
+		}
+		p := src.head.Proc
+		switch {
+		case !busy[p]:
+			recs = append(recs, rec)
+			inject(len(recs)-1, p, src.arrival)
+		case totalQueued >= cfg.QueueCap:
+			rec.dropped = true
+			res.Dropped++
+			recs = append(recs, rec)
+		default:
+			recs = append(recs, rec)
+			queued[p] = append(queued[p], len(recs)-1)
+			totalQueued++
+			if totalQueued > res.PeakQueueDepth {
+				res.PeakQueueDepth = totalQueued
+			}
+		}
+	}
+
+	net.OnOpDone(func(st *sim.OpStats) {
+		inFlight--
+		busy[st.Initiator] = false
+		idx := recOf[st.ID]
+		delete(recOf, st.ID)
+		net.ForgetOp(st.ID)
+		rec := &recs[idx]
+		rec.done = st.DoneAt
+		m.onDone(res, net, cfg.Warmup, st, opTimes{arrival: rec.arrival, start: rec.start})
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, sampleNow(net, n, m.completed, inFlight, totalQueued))
+		}
+
+		// Hand the freed initiator its oldest queued request; it starts
+		// now, and the wait is its queueing delay.
+		p := st.Initiator
+		if q := queued[p]; len(q) > 0 {
+			next := q[0]
+			queued[p] = q[1:]
+			totalQueued--
+			inject(next, p, net.Now())
+		}
+	})
+	defer net.OnOpDone(nil)
+
+	// The main loop merges two timestamp-ordered streams: scenario arrivals
+	// and simulator events. Arrivals win ties so that admission sees the
+	// pre-completion state of their tick, deterministically.
+	for {
+		for src.have {
+			if na, ok := net.NextAt(); ok && na < src.arrival {
+				break
+			}
+			admit()
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		ok, err := net.Step()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s/%s: %w", res.Algorithm, res.Scenario, err)
+		}
+		if !ok && !src.have {
+			break
+		}
+	}
+	if totalQueued != 0 || inFlight != 0 {
+		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight, %d queued",
+			res.Algorithm, res.Scenario, inFlight, totalQueued)
+	}
+
+	if err := m.finalize(res, net, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	res.Buckets = bucketize(recs, cfg.KneeBuckets)
+	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
+	return res, nil
+}
+
+// bucketize splits the op records (already in arrival order) into at most
+// buckets consecutive equal-count groups and summarizes each.
+func bucketize(recs []opRec, buckets int) []RateBucket {
+	if len(recs) == 0 {
+		return nil
+	}
+	if buckets > len(recs) {
+		buckets = len(recs)
+	}
+	out := make([]RateBucket, 0, buckets)
+	for i := 0; i < buckets; i++ {
+		lo := i * len(recs) / buckets
+		hi := (i + 1) * len(recs) / buckets
+		if lo >= hi {
+			continue
+		}
+		group := recs[lo:hi]
+		b := RateBucket{
+			Index:     len(out),
+			StartTime: group[0].arrival,
+			EndTime:   group[len(group)-1].arrival,
+			Arrivals:  len(group),
+		}
+		var lats []int64
+		for _, r := range group {
+			switch {
+			case r.dropped:
+				b.Dropped++
+			case r.done >= 0:
+				b.Completed++
+				lats = append(lats, r.done-r.arrival)
+			}
+			if r.queueDepth > b.MaxQueueDepth {
+				b.MaxQueueDepth = r.queueDepth
+			}
+			if r.backlog > b.MaxBacklog {
+				b.MaxBacklog = r.backlog
+			}
+		}
+		span := b.EndTime - b.StartTime
+		if span < 1 {
+			span = 1
+		}
+		b.OfferedRate = float64(b.Arrivals) / float64(span)
+		if len(lats) > 0 {
+			s := summarizeLatencies(lats)
+			b.P50, b.P99 = s.P50, s.P99
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// minKneeOps is the fewest completions a bucket needs for its p99 to count
+// (as baseline or as knee evidence).
+const minKneeOps = 8
+
+// detectKnee scans the buckets for the saturation point. The baseline is
+// the first bucket with at least minKneeOps completions; the knee is the
+// first later bucket that drops requests (the admission queue overflowed)
+// or whose p99 reaches factor times the baseline p99. Returns nil when the
+// run never saturates.
+func detectKnee(buckets []RateBucket, factor float64) *Knee {
+	base := -1
+	for i, b := range buckets {
+		if b.Completed >= minKneeOps {
+			base = i
+			break
+		}
+	}
+	if base < 0 {
+		return nil
+	}
+	threshold := factor * buckets[base].P99
+	if threshold < factor {
+		threshold = factor // all-zero baseline: any measurable p99 blowup counts
+	}
+	for i := base + 1; i < len(buckets); i++ {
+		b := buckets[i]
+		if b.Dropped > 0 {
+			return &Knee{
+				Bucket:      i,
+				OfferedRate: b.OfferedRate,
+				SimTime:     b.StartTime,
+				Reason:      "queue",
+				BaselineP99: buckets[base].P99,
+				P99:         b.P99,
+			}
+		}
+		if b.Completed >= minKneeOps && b.P99 >= threshold {
+			return &Knee{
+				Bucket:      i,
+				OfferedRate: b.OfferedRate,
+				SimTime:     b.StartTime,
+				Reason:      "latency",
+				BaselineP99: buckets[base].P99,
+				P99:         b.P99,
+			}
+		}
+	}
+	return nil
+}

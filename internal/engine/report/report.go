@@ -1,7 +1,12 @@
-// Package report renders and exports workload-engine results
-// (engine.Result): an indented JSON document for programmatic use, CSV of
-// the bottleneck-load time series for plotting, and a human-readable text
-// summary for terminals, reusing the loadstat formatting conventions.
+// Package report renders and exports workload-engine results.
+//
+// Two shapes are covered. A single run (engine.Result) exports as an
+// indented JSON document for programmatic use, as CSV of the
+// bottleneck-load time series for plotting, and as a human-readable text
+// summary for terminals, reusing the loadstat formatting conventions. A
+// sweep — one run per cell of an algorithm x scenario x window x rate grid
+// (loadgen -sweep) — exports as one merged CSV with a row per run, as a
+// JSON array, or as a text table, replacing ad-hoc cross-run comparisons.
 package report
 
 import (
@@ -23,14 +28,14 @@ func WriteJSON(w io.Writer, res *engine.Result) error {
 
 // WriteCSV writes the bottleneck-load time series as CSV, one row per
 // sample: sim_time, completed, bottleneck, bottleneck_load, mean_load,
-// gini.
+// in_flight, queue_depth.
 func WriteCSV(w io.Writer, res *engine.Result) error {
-	if _, err := fmt.Fprintln(w, "sim_time,completed,bottleneck,bottleneck_load,mean_load,gini"); err != nil {
+	if _, err := fmt.Fprintln(w, "sim_time,completed,bottleneck,bottleneck_load,mean_load,in_flight,queue_depth"); err != nil {
 		return err
 	}
 	for _, s := range res.Series {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.3f,%.4f\n",
-			s.SimTime, s.Completed, s.Bottleneck, s.BottleneckLoad, s.MeanLoad, s.Gini); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.3f,%d,%d\n",
+			s.SimTime, s.Completed, s.Bottleneck, s.BottleneckLoad, s.MeanLoad, s.InFlight, s.QueueDepth); err != nil {
 			return err
 		}
 	}
@@ -40,19 +45,99 @@ func WriteCSV(w io.Writer, res *engine.Result) error {
 // Render returns the human-readable text summary.
 func Render(res *engine.Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s on %s, n=%d\n", res.Scenario, res.Algorithm, res.N)
+	fmt.Fprintf(&b, "workload %s on %s, n=%d, %s loop\n", res.Scenario, res.Algorithm, res.N, res.Mode)
 	fmt.Fprintf(&b, "  ops        %d (%d warmup + %d measured), window %d (peak in flight %d)\n",
 		res.Ops, res.Warmup, res.Measured, res.InFlight, res.PeakInFlight)
+	if res.Mode == engine.Open.String() {
+		fmt.Fprintf(&b, "  admission  queue cap %d, peak depth %d, dropped %d\n",
+			res.QueueCap, res.PeakQueueDepth, res.Dropped)
+	}
 	fmt.Fprintf(&b, "  makespan   %d ticks (measure window opened at %d)\n", res.SimTime, res.MeasureStart)
 	fmt.Fprintf(&b, "  throughput %.4f ops/tick\n", res.Throughput)
 	fmt.Fprintf(&b, "  latency    mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %d ticks\n",
 		res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max)
+	fmt.Fprintf(&b, "  queueing   mean %.1f  p99 %.1f ticks, service mean %.1f  p99 %.1f ticks\n",
+		res.QueueDelay.Mean, res.QueueDelay.P99, res.ServiceLatency.Mean, res.ServiceLatency.P99)
 	fmt.Fprintf(&b, "  messages   %d total, %d in measure window\n", res.Messages, res.Loads.TotalMessages)
 	b.WriteString(loadstat.FormatSummary("measured loads", res.Loads))
 	if len(res.Series) > 0 {
 		last := res.Series[len(res.Series)-1]
-		fmt.Fprintf(&b, "  bottleneck trajectory: %d samples, final m_b=%d at processor %d (gini %.3f)\n",
-			len(res.Series), last.BottleneckLoad, last.Bottleneck, last.Gini)
+		fmt.Fprintf(&b, "  bottleneck trajectory: %d samples, final m_b=%d at processor %d\n",
+			len(res.Series), last.BottleneckLoad, last.Bottleneck)
+	}
+	if res.Knee != nil {
+		fmt.Fprintf(&b, "  saturation knee: %.4f ops/tick offered (bucket %d, t=%d, %s: p99 %.1f vs baseline %.1f)\n",
+			res.Knee.OfferedRate, res.Knee.Bucket, res.Knee.SimTime, res.Knee.Reason,
+			res.Knee.P99, res.Knee.BaselineP99)
+	} else if res.Mode == engine.Open.String() {
+		b.WriteString("  saturation knee: not reached\n")
+	}
+	return b.String()
+}
+
+// SweepRow is one cell of a sweep grid: the run's result plus the grid
+// coordinates that are not recorded inside engine.Result itself.
+type SweepRow struct {
+	// MeanGap is the scenario's mean interarrival time for this cell.
+	MeanGap int64 `json:"mean_gap"`
+	// ServiceTime is the per-message processing cost the cell's network
+	// was built with (0 = instantaneous).
+	ServiceTime int64 `json:"service_time"`
+	*engine.Result
+}
+
+// SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
+const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
+	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
+	"queue_p50,queue_p99,dropped,peak_queue_depth," +
+	"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason"
+
+// WriteSweepCSV writes the sweep as one merged CSV, a row per run, with
+// the SweepCSVHeader columns. Runs that never saturate leave knee_rate and
+// knee_reason empty.
+func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
+	if _, err := fmt.Fprintln(w, SweepCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		kneeRate, kneeReason := "", ""
+		if r.Knee != nil {
+			kneeRate = fmt.Sprintf("%.4f", r.Knee.OfferedRate)
+			kneeReason = r.Knee.Reason
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s\n",
+			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MeanGap, r.ServiceTime, r.QueueCap,
+			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
+			r.QueueDelay.P50, r.QueueDelay.P99, r.Dropped, r.PeakQueueDepth,
+			r.Messages, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
+			kneeRate, kneeReason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweepJSON writes the sweep as an indented JSON array, one element
+// per run (full engine.Result plus grid coordinates).
+func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// RenderSweep returns a text table of the sweep, one line per run.
+func RenderSweep(rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-10s %-6s %6s %6s %5s %9s %9s %9s %8s %9s\n",
+		"algo", "scenario", "mode", "window", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee")
+	for _, r := range rows {
+		knee := "-"
+		if r.Knee != nil {
+			knee = fmt.Sprintf("%.3f/%s", r.Knee.OfferedRate, r.Knee.Reason)
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %-6s %6d %6d %5d %9.4f %9.1f %9d %8d %9s\n",
+			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MeanGap, r.N,
+			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.Dropped, knee)
 	}
 	return b.String()
 }

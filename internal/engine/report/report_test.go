@@ -8,6 +8,7 @@ import (
 
 	"distcount/internal/engine"
 	"distcount/internal/registry"
+	"distcount/internal/sim"
 	"distcount/internal/workload"
 )
 
@@ -85,17 +86,108 @@ func TestCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "sim_time,completed,bottleneck") {
 		t.Fatalf("CSV header wrong: %q", lines[0])
 	}
-	if cols := strings.Count(lines[1], ","); cols != 5 {
-		t.Fatalf("CSV row has %d commas, want 5: %q", cols, lines[1])
+	if cols := strings.Count(lines[1], ","); cols != 6 {
+		t.Fatalf("CSV row has %d commas, want 6: %q", cols, lines[1])
 	}
 }
 
 func TestRender(t *testing.T) {
 	res := sampleResult(t)
 	out := Render(res)
-	for _, frag := range []string{"zipf", "central", "throughput", "p99", "bottleneck"} {
+	for _, frag := range []string{"zipf", "central", "closed loop", "throughput", "p99", "queueing", "bottleneck"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("text report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func openResult(t *testing.T) *engine.Result {
+	t.Helper()
+	c, err := registry.NewAsync("central", 12, sim.WithServiceTime(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New("ramprate", workload.Config{N: 12, Ops: 400, Seed: 1, RateFrom: 0.1, RateTo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(c, gen, engine.Config{Mode: engine.Open, Warmup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRenderOpen: the open-loop text summary surfaces the admission queue
+// and the saturation knee.
+func TestRenderOpen(t *testing.T) {
+	out := Render(openResult(t))
+	for _, frag := range []string{"open loop", "admission", "queue cap", "saturation knee"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("open-loop text report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestSweepCSV: one header plus one row per run, knee columns filled only
+// when a knee was found.
+func TestSweepCSV(t *testing.T) {
+	rows := []SweepRow{
+		{MeanGap: 4, Result: sampleResult(t)},
+		{MeanGap: 2, ServiceTime: 1, Result: openResult(t)},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sweep CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != SweepCSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	wantCols := strings.Count(SweepCSVHeader, ",")
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != wantCols {
+			t.Fatalf("row has %d commas, want %d: %q", got, wantCols, line)
+		}
+	}
+	if !strings.HasSuffix(lines[1], ",,") {
+		t.Fatalf("closed-loop row should leave knee columns empty: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",open,") || strings.HasSuffix(lines[2], ",,") {
+		t.Fatalf("open-loop knee row wrong: %q", lines[2])
+	}
+}
+
+// TestSweepJSON: the array flattens each run's result with its grid
+// coordinates.
+func TestSweepJSON(t *testing.T) {
+	rows := []SweepRow{{MeanGap: 4, Result: sampleResult(t)}}
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d rows, want 1", len(decoded))
+	}
+	for _, key := range []string{"mean_gap", "algorithm", "scenario", "mode", "throughput"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Fatalf("sweep JSON row missing %q:\n%s", key, buf.String())
+		}
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	out := RenderSweep([]SweepRow{{MeanGap: 4, Result: sampleResult(t)}})
+	for _, frag := range []string{"algo", "central", "zipf", "knee"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("sweep table missing %q:\n%s", frag, out)
 		}
 	}
 }

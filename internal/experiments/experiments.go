@@ -3,8 +3,10 @@
 // — its "evaluation" is four figures plus the lemmas and theorems of
 // Sections 3 and 4 — so each experiment either re-renders a figure from a
 // real simulated execution or measures the quantity a theorem bounds and
-// prints it next to the bound. EXPERIMENTS.md records paper-vs-measured for
-// each entry; bench_test.go exposes each experiment as a benchmark.
+// prints it next to the bound. Each entry's Artifact field names the
+// paper figure or theorem it reproduces (cmd/experiments -list prints the
+// index; docs/EXPERIMENTS.md shows how to run them); bench_test.go exposes
+// each experiment as a benchmark.
 //
 // Every experiment supports a Quick mode (reduced sizes) used by the test
 // suite; the full mode is what cmd/experiments and the benchmarks run.

@@ -1,0 +1,84 @@
+package loadstat
+
+import "fmt"
+
+// MaxTracker maintains the bottleneck of a growing load vector
+// incrementally: Add(p, delta) costs O(1), against the O(n log n) of
+// re-running SummarizeLoads over the full vector. The workload engine's
+// bottleneck time series samples it once per completion, which makes
+// large-n saturation sweeps feasible.
+//
+// Loads are monotone (message counts never decrease), which is what makes
+// the O(1) update sound: the maximum can only be displaced upward. The
+// tracker reproduces SummarizeLoads' tie-break exactly — the bottleneck is
+// the smallest processor id among those carrying the maximum load — so the
+// two stay interchangeable (see TestMaxTrackerMatchesSummarizeLoads).
+type MaxTracker struct {
+	loads []int64 // indexed by processor id; slot 0 unused
+	sum   int64
+	max   int64
+	proc  int // smallest id at max load; 0 until any load is nonzero
+}
+
+// NewMaxTracker returns a tracker over n processors with all loads zero.
+func NewMaxTracker(n int) *MaxTracker {
+	if n < 1 {
+		panic(fmt.Sprintf("loadstat: MaxTracker needs n >= 1 (got %d)", n))
+	}
+	return &MaxTracker{loads: make([]int64, n+1)}
+}
+
+// Add increases processor p's load by delta (>= 0).
+func (t *MaxTracker) Add(p int, delta int64) {
+	if p < 1 || p >= len(t.loads) {
+		panic(fmt.Sprintf("loadstat: MaxTracker.Add(%d) out of range [1,%d]", p, len(t.loads)-1))
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("loadstat: MaxTracker.Add delta %d < 0 (loads are monotone)", delta))
+	}
+	t.loads[p] += delta
+	t.sum += delta
+	l := t.loads[p]
+	// The invariant "proc = smallest id among argmax" survives because any
+	// processor whose load equals the current max passed through exactly
+	// this comparison at the moment it reached it.
+	if l > t.max || (l == t.max && l > 0 && (t.proc == 0 || p < t.proc)) {
+		t.max = l
+		t.proc = p
+	}
+}
+
+// Max returns the bottleneck processor and its load m_b. With all loads
+// zero it reports processor 1 with load 0, matching SummarizeLoads.
+func (t *MaxTracker) Max() (proc int, load int64) {
+	if t.proc == 0 {
+		return 1, 0
+	}
+	return t.proc, t.max
+}
+
+// Sum returns the sum of all loads (= 2 x total messages when loads count
+// sends plus receives).
+func (t *MaxTracker) Sum() int64 { return t.sum }
+
+// Mean returns the mean per-processor load.
+func (t *MaxTracker) Mean() float64 { return float64(t.sum) / float64(len(t.loads)-1) }
+
+// N returns the number of processors tracked.
+func (t *MaxTracker) N() int { return len(t.loads) - 1 }
+
+// Loads returns a copy of the tracked load vector (slot 0 unused), usable
+// with SummarizeLoads for a full-distribution snapshot.
+func (t *MaxTracker) Loads() []int64 {
+	out := make([]int64, len(t.loads))
+	copy(out, t.loads)
+	return out
+}
+
+// Clone returns an independent copy of the tracker.
+func (t *MaxTracker) Clone() *MaxTracker {
+	cp := *t
+	cp.loads = make([]int64, len(t.loads))
+	copy(cp.loads, t.loads)
+	return &cp
+}

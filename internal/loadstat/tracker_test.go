@@ -1,0 +1,101 @@
+package loadstat
+
+import (
+	"testing"
+
+	"distcount/internal/rng"
+)
+
+// TestMaxTrackerMatchesSummarizeLoads: after every increment of a long
+// random sequence, the O(1) tracker agrees with the full SummarizeLoads
+// rescan on bottleneck, load, sum, and mean — ties included.
+func TestMaxTrackerMatchesSummarizeLoads(t *testing.T) {
+	const n = 17
+	r := rng.New(99)
+	tr := NewMaxTracker(n)
+	for i := 0; i < 3000; i++ {
+		// Small id range on purpose: lots of exact-tie collisions.
+		p := 1 + r.Intn(n)
+		tr.Add(p, int64(r.Intn(3))) // delta 0 included
+		want := SummarizeLoads(tr.Loads())
+		proc, load := tr.Max()
+		if proc != want.Bottleneck || load != want.MaxLoad {
+			t.Fatalf("step %d: tracker = (p%d, %d), SummarizeLoads = (p%d, %d)\nloads: %v",
+				i, proc, load, want.Bottleneck, want.MaxLoad, tr.Loads())
+		}
+		if tr.Sum() != want.SumLoads {
+			t.Fatalf("step %d: sum %d != %d", i, tr.Sum(), want.SumLoads)
+		}
+		if tr.Mean() != want.Mean {
+			t.Fatalf("step %d: mean %v != %v", i, tr.Mean(), want.Mean)
+		}
+	}
+}
+
+// TestMaxTrackerTieBreak: the smallest processor id among those at the
+// maximum wins, exactly as in SummarizeLoads.
+func TestMaxTrackerTieBreak(t *testing.T) {
+	tr := NewMaxTracker(5)
+	tr.Add(4, 7)
+	if p, l := tr.Max(); p != 4 || l != 7 {
+		t.Fatalf("Max = (p%d, %d), want (p4, 7)", p, l)
+	}
+	tr.Add(2, 7) // ties at 7: smaller id takes over
+	if p, _ := tr.Max(); p != 2 {
+		t.Fatalf("tie at 7 reports p%d, want p2", p)
+	}
+	tr.Add(5, 8) // strictly larger: p5 takes over
+	if p, l := tr.Max(); p != 5 || l != 8 {
+		t.Fatalf("Max = (p%d, %d), want (p5, 8)", p, l)
+	}
+	tr.Add(2, 1) // p2 rejoins the max from below
+	if p, _ := tr.Max(); p != 2 {
+		t.Fatalf("tie at 8 reports p%d, want p2", p)
+	}
+}
+
+// TestMaxTrackerZero: all-zero loads report processor 1, the
+// SummarizeLoads convention.
+func TestMaxTrackerZero(t *testing.T) {
+	tr := NewMaxTracker(3)
+	if p, l := tr.Max(); p != 1 || l != 0 {
+		t.Fatalf("Max on zero loads = (p%d, %d), want (p1, 0)", p, l)
+	}
+	tr.Add(2, 0)
+	if p, _ := tr.Max(); p != 1 {
+		t.Fatalf("zero-delta Add moved the bottleneck to p%d", p)
+	}
+}
+
+// TestMaxTrackerClone: clones evolve independently.
+func TestMaxTrackerClone(t *testing.T) {
+	tr := NewMaxTracker(4)
+	tr.Add(3, 5)
+	cl := tr.Clone()
+	cl.Add(1, 9)
+	if p, l := tr.Max(); p != 3 || l != 5 {
+		t.Fatalf("original changed by clone: (p%d, %d)", p, l)
+	}
+	if p, l := cl.Max(); p != 1 || l != 9 {
+		t.Fatalf("clone = (p%d, %d), want (p1, 9)", p, l)
+	}
+}
+
+// TestMaxTrackerPanics: out-of-range ids and negative deltas are bugs.
+func TestMaxTrackerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"proc 0":         func() { NewMaxTracker(2).Add(0, 1) },
+		"proc past n":    func() { NewMaxTracker(2).Add(3, 1) },
+		"negative delta": func() { NewMaxTracker(2).Add(1, -1) },
+		"n < 1":          func() { NewMaxTracker(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

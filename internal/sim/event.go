@@ -10,6 +10,10 @@ type event struct {
 	op     OpID
 	parent int // trace node index of the sending event within op's DAG
 	start  func(nw *Network, p ProcID)
+	// reserved marks a delivery deferred by the service-time model: the
+	// event holds a reservation for its receiver's service slot at `at`
+	// and must not be deferred again.
+	reserved bool
 }
 
 // eventHeap is a binary min-heap of events ordered by (at, seq). A hand

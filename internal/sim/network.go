@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"distcount/internal/loadstat"
 	"distcount/internal/rng"
 	"distcount/internal/trace"
 )
@@ -82,11 +83,23 @@ type Network struct {
 	queue eventHeap
 
 	sent, recv []int64 // indexed by ProcID; slot 0 unused
+	// tracker maintains the running maximum load (the paper's bottleneck
+	// m_b) incrementally, so samplers never have to rescan the load vector.
+	tracker    *loadstat.MaxTracker
 	msgTotal   int64
 	bitsTotal  int64
 	maxMsgBits int
 	events     int64
 	maxEvents  int64
+
+	// service is the receiver-side processing cost in ticks (0 = messages
+	// are processed instantly, the paper's pure latency model); freeAt[p]
+	// is the first tick at which processor p may process its next network
+	// message, and nextSlot[p] the next unreserved service slot (deferred
+	// deliveries each reserve one, so a message is deferred at most once).
+	service  int64
+	freeAt   []int64
+	nextSlot []int64
 
 	nextOp   OpID
 	ops      map[OpID]*OpStats
@@ -131,6 +144,26 @@ func WithMaxEvents(budget int64) Option {
 	return func(nw *Network) { nw.maxEvents = budget }
 }
 
+// WithServiceTime gives every processor a finite processing rate: a
+// processor handles at most one incoming network message per s ticks, and
+// messages reaching a busy processor wait at the receiver (in deterministic
+// send order) until it frees up. Operation starts and local timers are
+// exempt — the cost models message handling, the quantity the paper counts.
+//
+// The default (0) is the paper's pure latency model, in which a processor
+// can absorb unboundedly many messages per tick and therefore never
+// saturates no matter how large its load m_b grows. With s > 0 the
+// lower-bound story becomes observable in the time domain: a processor
+// receiving messages for a fraction f of all operations caps system
+// throughput at 1/(f·s) operations per tick, so the bottleneck's message
+// load sets the saturation knee the open-loop engine measures.
+func WithServiceTime(s int64) Option {
+	if s < 0 {
+		panic(fmt.Sprintf("sim: negative service time %d", s))
+	}
+	return func(nw *Network) { nw.service = s }
+}
+
 // New creates a network of n processors running the given protocol.
 func New(n int, proto Protocol, opts ...Option) *Network {
 	if n < 1 {
@@ -143,6 +176,9 @@ func New(n int, proto Protocol, opts ...Option) *Network {
 		rand:      rng.New(1),
 		sent:      make([]int64, n+1),
 		recv:      make([]int64, n+1),
+		tracker:   loadstat.NewMaxTracker(n),
+		freeAt:    make([]int64, n+1),
+		nextSlot:  make([]int64, n+1),
 		maxEvents: 500_000_000,
 		ops:       make(map[OpID]*OpStats),
 		trackOps:  true,
@@ -221,6 +257,36 @@ func (nw *Network) Loads() []int64 {
 		out[p] = nw.sent[p] + nw.recv[p]
 	}
 	return out
+}
+
+// MaxLoad returns the current bottleneck processor b and its message load
+// m_b, maintained incrementally in O(1) per message (smallest id wins
+// ties, matching loadstat.SummarizeLoads). The workload engine's
+// bottleneck time series samples this once per completion instead of
+// rescanning the load vector.
+func (nw *Network) MaxLoad() (ProcID, int64) {
+	p, l := nw.tracker.Max()
+	return ProcID(p), l
+}
+
+// SumLoads returns the exact sum of all message loads m_p accumulated so
+// far (sends plus completed receives) in O(1). Unlike 2·MessagesTotal it
+// does not count the receive half of messages still in flight, so
+// SumLoads/n is the true mean per-processor load mid-run.
+func (nw *Network) SumLoads() int64 { return nw.tracker.Sum() }
+
+// ServiceTime returns the per-message processing cost configured with
+// WithServiceTime (0 = instantaneous processing).
+func (nw *Network) ServiceTime() int64 { return nw.service }
+
+// NextAt returns the simulated time of the earliest queued event; ok is
+// false when the queue is empty. The open-loop workload engine peeks it to
+// interleave request admission with event delivery in timestamp order.
+func (nw *Network) NextAt() (int64, bool) {
+	if nw.queue.len() == 0 {
+		return 0, false
+	}
+	return nw.queue.evs[0].at, true
 }
 
 // OpStats returns the statistics of an operation, or nil if unknown (or if
@@ -315,6 +381,7 @@ func (nw *Network) Send(to ProcID, pl Payload) {
 func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, countPending bool) {
 	from := nw.cur.proc
 	nw.sent[from]++
+	nw.tracker.Add(int(from), 1)
 	nw.msgTotal++
 	if sized, ok := pl.(BitSized); ok {
 		bits := sized.Bits()
@@ -476,6 +543,30 @@ func (nw *Network) Step() (bool, error) {
 		return false, fmt.Errorf("%w (%d events)", ErrEventBudget, nw.maxEvents)
 	}
 	e := nw.queue.pop()
+	// Receiver-side service: a network message reaching a processor that
+	// is still busy — or that has outstanding slot reservations, which
+	// means earlier arrivals are still waiting — reserves the receiver's
+	// next free service slot and re-enters the heap at that time, marked
+	// reserved. Slots are reserved in first-pop order — i.e. arrival order
+	// (at, seq), which is deterministic — and a reserved event is never
+	// deferred again (an unreserved event popping at the same tick as an
+	// outstanding slot defers rather than stealing it), so a backlog of k
+	// messages costs O(k) extra heap operations, not O(k²), and drains
+	// FIFO with no starvation.
+	if nw.service > 0 && e.start == nil && !e.msg.Local && !e.reserved {
+		to := e.msg.To
+		if free := nw.freeAt[to]; free > e.at || nw.nextSlot[to] > free {
+			slot := free
+			if nw.nextSlot[to] > slot {
+				slot = nw.nextSlot[to]
+			}
+			nw.nextSlot[to] = slot + nw.service
+			e.at = slot
+			e.reserved = true
+			nw.queue.push(e)
+			return true, nil
+		}
+	}
 	nw.now = e.at
 
 	st := nw.ops[e.op]
@@ -495,6 +586,10 @@ func (nw *Network) Step() (bool, error) {
 	} else {
 		if !e.msg.Local {
 			nw.recv[e.msg.To]++
+			nw.tracker.Add(int(e.msg.To), 1)
+			if nw.service > 0 {
+				nw.freeAt[e.msg.To] = e.at + nw.service
+			}
 			if st != nil && st.DAG != nil {
 				nw.cur.traceNode = st.DAG.AddEvent(int(e.msg.To), e.parent)
 			}
@@ -568,11 +663,15 @@ func (nw *Network) Clone() (*Network, error) {
 		queue:      nw.queue.clone(),
 		sent:       make([]int64, len(nw.sent)),
 		recv:       make([]int64, len(nw.recv)),
+		tracker:    nw.tracker.Clone(),
 		msgTotal:   nw.msgTotal,
 		bitsTotal:  nw.bitsTotal,
 		maxMsgBits: nw.maxMsgBits,
 		events:     nw.events,
 		maxEvents:  nw.maxEvents,
+		service:    nw.service,
+		freeAt:     make([]int64, len(nw.freeAt)),
+		nextSlot:   make([]int64, len(nw.nextSlot)),
 		nextOp:     nw.nextOp,
 		ops:        make(map[OpID]*OpStats),
 		trackOps:   nw.trackOps,
@@ -580,6 +679,8 @@ func (nw *Network) Clone() (*Network, error) {
 	}
 	copy(out.sent, nw.sent)
 	copy(out.recv, nw.recv)
+	copy(out.freeAt, nw.freeAt)
+	copy(out.nextSlot, nw.nextSlot)
 	return out, nil
 }
 

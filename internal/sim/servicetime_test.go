@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+
+	"distcount/internal/loadstat"
+	"distcount/internal/rng"
+)
+
+// sinkProto records the delivery time and sender of every message; replies
+// nothing.
+type sinkPayload struct{}
+
+func (sinkPayload) Kind() string { return "sink" }
+
+type sinkProto struct {
+	deliveries []int64
+	senders    []ProcID
+}
+
+func (s *sinkProto) Deliver(nw *Network, msg Message) {
+	s.deliveries = append(s.deliveries, nw.Now())
+	s.senders = append(s.senders, msg.From)
+}
+
+func (s *sinkProto) CloneProtocol() Protocol {
+	return &sinkProto{
+		deliveries: append([]int64(nil), s.deliveries...),
+		senders:    append([]ProcID(nil), s.senders...),
+	}
+}
+
+func sendTo(target ProcID) func(nw *Network, p ProcID) {
+	return func(nw *Network, p ProcID) { nw.Send(target, sinkPayload{}) }
+}
+
+// TestServiceTimeSerializesReceiver: three messages reaching one processor
+// in the same tick are processed one per service slot, in deterministic
+// send order; without a service time they all land at once.
+func TestServiceTimeSerializesReceiver(t *testing.T) {
+	run := func(opts ...Option) []int64 {
+		s := &sinkProto{}
+		nw := New(4, s, opts...)
+		for _, p := range []ProcID{2, 3, 4} {
+			nw.StartOp(p, sendTo(1))
+		}
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.deliveries
+	}
+
+	instant := run()
+	if want := []int64{1, 1, 1}; !equalInt64s(instant, want) {
+		t.Fatalf("instant deliveries = %v, want %v", instant, want)
+	}
+	spaced := run(WithServiceTime(3))
+	if want := []int64{1, 4, 7}; !equalInt64s(spaced, want) {
+		t.Fatalf("service-3 deliveries = %v, want %v", spaced, want)
+	}
+}
+
+// scriptedLatency replays a fixed sequence of delays in draw order.
+type scriptedLatency struct {
+	delays []int64
+	i      *int
+}
+
+func (l scriptedLatency) Delay(Message, *rng.Source) int64 {
+	d := l.delays[*l.i]
+	*l.i++
+	return d
+}
+
+// TestServiceTimeNoSlotStealing: under variable latency, a message that
+// was *sent* earlier (smaller sequence number) but *arrives* at the exact
+// tick of another message's reserved service slot must not steal the
+// slot — arrivals are served FIFO by arrival time.
+func TestServiceTimeNoSlotStealing(t *testing.T) {
+	s := &sinkProto{}
+	// Send order (= delay draw order): W from p2 (delay 15), A from p3
+	// (delay 10), B from p4 (delay 11). Arrival order: A@10, B@11, W@15.
+	// With service 5: A served at 10 (free at 15), B reserves slot 15, W
+	// arrives exactly at tick 15 with a smaller seq than B's re-pushed
+	// event — it must wait for slot 20, not overtake B.
+	nw := New(4, s, WithLatency(scriptedLatency{delays: []int64{15, 10, 11}, i: new(int)}),
+		WithServiceTime(5))
+	for _, p := range []ProcID{2, 3, 4} {
+		nw.StartOp(p, sendTo(1))
+	}
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{10, 15, 20}; !equalInt64s(s.deliveries, want) {
+		t.Fatalf("deliveries = %v, want %v (FIFO by arrival)", s.deliveries, want)
+	}
+	// The identities are the point: B (from p4, arrived 11) gets slot 15;
+	// W (from p2, arrived 15) waits for slot 20 despite its smaller seq.
+	if s.senders[1] != 4 || s.senders[2] != 2 {
+		t.Fatalf("senders = %v, want [p3 p4 p2] (slot stolen by send order)", s.senders)
+	}
+}
+
+// TestServiceTimeAffectsOpCompletion: a deferred delivery pushes the
+// operation's DoneAt to the actual processing time, so the workload
+// engine's latencies include receiver-side queueing.
+func TestServiceTimeAffectsOpCompletion(t *testing.T) {
+	s := &sinkProto{}
+	nw := New(3, s, WithServiceTime(5))
+	var dones []int64
+	nw.OnOpDone(func(st *OpStats) { dones = append(dones, st.DoneAt) })
+	nw.StartOp(2, sendTo(1))
+	nw.StartOp(3, sendTo(1))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{1, 6}; !equalInt64s(dones, want) {
+		t.Fatalf("op completions = %v, want %v", dones, want)
+	}
+}
+
+// TestServiceTimeExemptsLocalAndStarts: local timers and op initiations do
+// not consume service slots.
+func TestServiceTimeExemptsLocalAndStarts(t *testing.T) {
+	tp := &timerProto{fired: new(int)}
+	nw := New(2, tp, WithServiceTime(50))
+	nw.StartOp(1, func(nw *Network, p ProcID) {
+		nw.After(3, tickPayload{})
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Now() != 3 {
+		t.Fatalf("timer fired at %d, want 3 (service time must not defer local wakeups)", nw.Now())
+	}
+}
+
+// TestServiceTimeCloneCarriesState: a clone mid-history keeps the service
+// configuration and the receivers' busy-until state.
+func TestServiceTimeCloneCarriesState(t *testing.T) {
+	s := &sinkProto{}
+	nw := New(4, s, WithServiceTime(4))
+	nw.StartOp(2, sendTo(1))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := nw.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both continue identically: the next message to p1 at the cloned time
+	// must wait out p1's service slot from the pre-clone delivery.
+	for _, n := range []*Network{nw, cl} {
+		n.StartOp(3, sendTo(1))
+		if err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := nw.Protocol().(*sinkProto).deliveries
+	b := cl.Protocol().(*sinkProto).deliveries
+	if !equalInt64s(a, b) {
+		t.Fatalf("clone diverged: %v vs %v", a, b)
+	}
+	if last := a[len(a)-1]; last != 5 {
+		t.Fatalf("post-clone delivery at %d, want 5 (slot from t=1 + service 4)", last)
+	}
+}
+
+// TestMaxLoadMatchesSummarize: the O(1) incremental bottleneck equals the
+// full O(n log n) summary at every quiescent point of a run.
+func TestMaxLoadMatchesSummarize(t *testing.T) {
+	pp := &pingPong{}
+	nw := New(7, pp)
+	for i := 0; i < 25; i++ {
+		nw.StartOp(ProcID(i%7+1), startPing(i%5))
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := loadstat.SummarizeLoads(nw.Loads())
+		proc, load := nw.MaxLoad()
+		if int(proc) != want.Bottleneck || load != want.MaxLoad {
+			t.Fatalf("op %d: MaxLoad = (p%d, %d), SummarizeLoads = (p%d, %d)",
+				i, proc, load, want.Bottleneck, want.MaxLoad)
+		}
+	}
+}
+
+// TestMaxLoadZero: a fresh network reports processor 1 with load 0, the
+// SummarizeLoads convention.
+func TestMaxLoadZero(t *testing.T) {
+	nw := New(3, &pingPong{})
+	p, l := nw.MaxLoad()
+	if p != 1 || l != 0 {
+		t.Fatalf("MaxLoad on fresh network = (p%d, %d), want (p1, 0)", p, l)
+	}
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -146,6 +146,38 @@ func newRamp(cfg Config) Generator {
 	}
 }
 
+// newRampRate sweeps the offered rate linearly from RateFrom to RateTo
+// operations per tick over the stream — the saturation-sweep workload of
+// the open-loop engine. Where "ramp" interpolates integer interarrival
+// gaps (and so cannot offer more than one request per tick), "ramprate"
+// draws exponential interarrival times in fractional ticks and carries the
+// remainder across requests: a rate of 2.0 emits gap-0 pairs at the right
+// density, so the sweep can cross any algorithm's capacity.
+func newRampRate(cfg Config) Generator {
+	r := rng.New(cfg.Seed)
+	i := 0
+	carry := 0.0
+	return &stream{
+		name:   "ramprate",
+		length: cfg.Ops,
+		next: capped(cfg.Ops, func() Request {
+			frac := 0.0
+			if cfg.Ops > 1 {
+				frac = float64(i) / float64(cfg.Ops-1)
+			}
+			i++
+			rate := cfg.RateFrom + frac*(cfg.RateTo-cfg.RateFrom)
+			carry += -math.Log(1-r.Float64()) / rate
+			gap := int64(carry)
+			carry -= float64(gap)
+			return Request{
+				Proc: sim.ProcID(1 + r.Intn(cfg.N)),
+				Gap:  gap,
+			}
+		}),
+	}
+}
+
 // newMix chains three phases of equal length — uniform warm-up, a hotspot
 // regime, then bursts — the multi-tenant "day in the life" scenario.
 func newMix(cfg Config) Generator {

@@ -6,9 +6,10 @@
 // processor increments exactly once, sequentially). Production-style
 // distributed counters are instead driven by skewed, bursty, multi-tenant
 // streams; the generators here model the standard shapes of such traffic —
-// uniform, Zipf, hotspot, on-off bursts, ramps, multi-phase mixes, and
-// replays of the lower-bound adversary's worst-case order — so that the
-// bottleneck can be studied under load rather than at quiescence.
+// uniform, Zipf, hotspot, on-off bursts, gap ramps, offered-rate sweeps
+// ("ramprate", the open-loop engine's saturation workload), multi-phase
+// mixes, and replays of the lower-bound adversary's worst-case order — so
+// that the bottleneck can be studied under load rather than at quiescence.
 //
 // Every generator is a pure function of its Config (including the seed):
 // two generators built from the same Config emit identical streams, which
@@ -73,6 +74,13 @@ type Config struct {
 	// of the "ramp" scenario (defaults 8*MeanGap and max(1, MeanGap/4)):
 	// traffic accelerates over the run.
 	RampFrom, RampTo int64
+	// RateFrom and RateTo are the offered rates, in operations per tick,
+	// at the start and end of the "ramprate" scenario (defaults
+	// 1/(8*MeanGap) and 2.0). Unlike the gap-based "ramp", rates are not
+	// limited to one request per tick — fractional interarrival gaps are
+	// carried across requests — so a saturation sweep can drive the
+	// offered rate through and beyond any algorithm's capacity.
+	RateFrom, RateTo float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -109,6 +117,12 @@ func (c Config) withDefaults() (Config, error) {
 			c.RampTo = 1
 		}
 	}
+	if c.RateFrom <= 0 {
+		c.RateFrom = 1 / float64(8*c.MeanGap)
+	}
+	if c.RateTo <= 0 {
+		c.RateTo = 2
+	}
 	return c, nil
 }
 
@@ -131,12 +145,13 @@ func (s *stream) Len() int { return s.length }
 // loadgen documentation in the README.
 func builders() map[string]func(Config) Generator {
 	return map[string]func(Config) Generator{
-		"uniform": newUniform,
-		"zipf":    newZipf,
-		"hotspot": newHotspot,
-		"bursty":  newBursty,
-		"ramp":    newRamp,
-		"mix":     newMix,
+		"uniform":  newUniform,
+		"zipf":     newZipf,
+		"hotspot":  newHotspot,
+		"bursty":   newBursty,
+		"ramp":     newRamp,
+		"ramprate": newRampRate,
+		"mix":      newMix,
 	}
 }
 

@@ -27,8 +27,8 @@ func baseCfg() Config {
 
 func TestNamesStable(t *testing.T) {
 	names := Names()
-	if len(names) != 6 {
-		t.Fatalf("have %d scenarios, want 6: %v", len(names), names)
+	if len(names) != 7 {
+		t.Fatalf("have %d scenarios, want 7: %v", len(names), names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
