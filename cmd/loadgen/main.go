@@ -8,7 +8,9 @@
 //	loadgen -algo ctree -scenario zipf -n 256 -ops 5000 -seed 1
 //	loadgen -algo central -scenario bursty -n 64 -ops 2000 -format text
 //	loadgen -algo central -scenario ramprate -mode open -service 1 -format text
+//	loadgen -algo tokenring -scenario uniform -verify -format text
 //	loadgen -sweep -algos central,ctree -scenarios uniform,zipf -format csv
+//	loadgen -sweep -algos all -scenarios ramprate -mode open -service 1 -format text
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -25,9 +27,21 @@
 // observe the paper's message-load bottleneck as a throughput ceiling —
 // the "ramprate" scenario sweeps the offered rate through it.
 //
+// With -verify the engine additionally collects every operation's
+// delivered value and checks it against the algorithm's claimed
+// consistency level: linearizability for central/ctree/combining,
+// quiescent consistency for the counting and diffracting networks, and
+// duplicate-value accounting for the protocols that are only sequentially
+// correct (tokenring, quorum-*).
+//
 // With -sweep the tool runs the full -algos x -scenarios x -windows x
 // -gaps grid (windows apply to closed loop only) and merges all runs into
 // one CSV (-format csv, one row per run), JSON array, or text table.
+// "-algos all" expands to every registered algorithm and "-scenarios all"
+// to every scenario. Cells run concurrently on a -parallel worker pool
+// (each owns an independent network; output order stays deterministic),
+// and a cell that fails is reported as a skipped row with its reason
+// instead of aborting the sweep.
 //
 // The special scenario "adversarial" first executes the paper's
 // lower-bound adversary against the chosen algorithm (sequentially, on a
@@ -41,8 +55,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"distcount/internal/adversary"
 	"distcount/internal/counter"
@@ -72,6 +88,7 @@ type options struct {
 	meanGap  int64
 	service  int64
 	sample   int
+	verify   bool
 	wcfg     workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
 }
 
@@ -90,6 +107,7 @@ func run(args []string, out io.Writer) error {
 		meanGap  = fs.Int64("mean-gap", 4, "mean interarrival time in simulated ticks")
 		service  = fs.Int64("service", 0, "per-message processing cost in ticks (0 = instantaneous; saturation needs > 0)")
 		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
+		verify   = fs.Bool("verify", false, "check delivered values against the algorithm's claimed consistency level")
 		format   = fs.String("format", "json", "output format: json, text, csv")
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
 		hotFrac  = fs.Float64("hot-frac", 0.1, "hot-set fraction (scenario hotspot)")
@@ -98,10 +116,11 @@ func run(args []string, out io.Writer) error {
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps grid into one merged report")
-		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep")
-		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep")
+		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep, or \"all\" for every registered algorithm")
+		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep, or \"all\" for every scenario")
 		windows  = fs.String("windows", "", "comma-separated closed-loop windows for -sweep (default: -inflight)")
 		gaps     = fs.String("gaps", "", "comma-separated mean interarrival gaps for -sweep (default: -mean-gap)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for -sweep cells (each cell owns an independent network)")
 		list     = fs.Bool("list", false, "list algorithms and scenarios, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -144,8 +163,11 @@ func run(args []string, out io.Writer) error {
 		if m == engine.Open && set["windows"] {
 			return fmt.Errorf("-windows only applies to closed-loop sweeps (open loop has no admission window)")
 		}
+		if *parallel < 1 {
+			return fmt.Errorf("need -parallel >= 1 (got %d)", *parallel)
+		}
 	} else {
-		for _, name := range []string{"algos", "scenarios", "windows", "gaps"} {
+		for _, name := range []string{"algos", "scenarios", "windows", "gaps", "parallel"} {
 			if set[name] {
 				return fmt.Errorf("-%s only applies with -sweep", name)
 			}
@@ -163,6 +185,7 @@ func run(args []string, out io.Writer) error {
 		meanGap:  *meanGap,
 		service:  *service,
 		sample:   *sample,
+		verify:   *verify,
 		wcfg: workload.Config{
 			Ops:      *ops,
 			Seed:     *seed,
@@ -176,7 +199,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *sweep {
-		return runSweep(out, opt, *format, *algos, *scens, *windows, *gaps)
+		return runSweep(out, opt, *format, *algos, *scens, *windows, *gaps, *parallel)
 	}
 
 	res, err := runOne(opt, *algo, *scenario)
@@ -227,6 +250,7 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 		QueueCap:    opt.queueCap,
 		Warmup:      opt.warmup,
 		SampleEvery: opt.sample,
+		Verify:      opt.verify,
 	}
 	if ecfg.Warmup < 0 {
 		ecfg.Warmup = genOps(scenario, opt.ops, c.N()) / 10
@@ -234,10 +258,29 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	return engine.Run(c, gen, ecfg)
 }
 
-// runSweep executes the grid and merges every run into one report.
-func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps string) error {
+// sweepCell is one grid coordinate of a sweep; idx fixes its output slot so
+// parallel execution keeps row order deterministic.
+type sweepCell struct {
+	idx        int
+	algo, scen string
+	window     int
+	gap        int64
+}
+
+// runSweep executes the grid — cells spread over a worker pool, each cell
+// owning an independent counter and network — and merges every run into one
+// report in grid order. A cell that fails is reported as a skipped row with
+// its reason, never silently dropped; the sweep itself errors only when no
+// cell at all could run.
+func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps string, parallel int) error {
 	algoList := splitList(algos)
 	scenList := splitList(scens)
+	if len(algoList) == 1 && algoList[0] == "all" {
+		algoList = registry.Names()
+	}
+	if len(scenList) == 1 && scenList[0] == "all" {
+		scenList = workload.Names()
+	}
 	if len(algoList) == 0 || len(scenList) == 0 {
 		return fmt.Errorf("-sweep needs non-empty -algos and -scenarios")
 	}
@@ -265,26 +308,40 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 		}
 	}
 
-	var rows []report.SweepRow
+	var cells []sweepCell
 	for _, algo := range algoList {
 		for _, scen := range scenList {
 			for _, window := range windowList {
 				for _, gap := range gapList {
-					cell := opt
-					cell.inflight = window
-					cell.meanGap = gap
-					res, err := runOne(cell, algo, scen)
-					if err != nil {
-						return fmt.Errorf("sweep cell %s/%s window %d gap %d: %w", algo, scen, window, gap, err)
-					}
-					rows = append(rows, report.SweepRow{
-						MeanGap:     gap,
-						ServiceTime: cell.service,
-						Result:      res,
-					})
+					cells = append(cells, sweepCell{idx: len(cells), algo: algo, scen: scen, window: window, gap: gap})
 				}
 			}
 		}
+	}
+
+	rows := make([]report.SweepRow, len(cells))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for _, cl := range cells {
+		wg.Add(1)
+		go func(cl sweepCell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[cl.idx] = runCell(opt, cl)
+		}(cl)
+	}
+	wg.Wait()
+
+	skipped := 0
+	for _, r := range rows {
+		if r.Skipped != "" {
+			skipped++
+		}
+	}
+	if skipped == len(rows) {
+		return fmt.Errorf("sweep: all %d cells failed; first: %s/%s: %s",
+			len(rows), rows[0].Algorithm, rows[0].Scenario, rows[0].Skipped)
 	}
 
 	switch format {
@@ -296,6 +353,26 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 	default:
 		return report.WriteSweepJSON(out, rows)
 	}
+}
+
+// runCell executes one sweep cell, converting any error — including a
+// protocol panic, so one broken cell cannot take down the whole sweep —
+// into a skipped row that keeps the cell's coordinates.
+func runCell(opt options, cl sweepCell) (row report.SweepRow) {
+	defer func() {
+		if r := recover(); r != nil {
+			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, opt.n, cl.window, cl.gap, opt.service,
+				fmt.Errorf("panic: %v", r))
+		}
+	}()
+	cell := opt
+	cell.inflight = cl.window
+	cell.meanGap = cl.gap
+	res, err := runOne(cell, cl.algo, cl.scen)
+	if err != nil {
+		return report.SkippedRow(cl.algo, cl.scen, opt.mode, opt.n, cl.window, cl.gap, opt.service, err)
+	}
+	return report.SweepRow{MeanGap: cl.gap, ServiceTime: cell.service, Result: res}
 }
 
 // splitList splits a comma-separated flag value, dropping empty elements.

@@ -93,10 +93,15 @@ func TestRunList(t *testing.T) {
 	}
 }
 
-func TestRunRejectsSequentialAlgo(t *testing.T) {
+// TestRunQuorumAsync: the quorum counters — formerly rejected as
+// sequential-only — run through the concurrent engine like everything else.
+func TestRunQuorumAsync(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-algo", "quorum-majority", "-n", "9"}, &b); err == nil {
-		t.Fatal("sequential-only algorithm accepted")
+	if err := run([]string{"-algo", "quorum-majority", "-n", "9", "-ops", "100", "-format", "text"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "quorum-majority") {
+		t.Fatalf("report not labelled:\n%s", b.String())
 	}
 }
 
@@ -111,7 +116,7 @@ func TestRunBadArgs(t *testing.T) {
 		{"-sweep", "-windows", "0"},
 		{"-sweep", "-gaps", "x"},
 		{"-sweep", "-algos", ","},
-		{"-sweep", "-algos", "quorum-majority"},
+		{"-sweep", "-parallel", "0"},
 		{"-sweep", "-algo", "central"},                  // single-run flag under -sweep
 		{"-sweep", "-scenario", "zipf"},                 // single-run flag under -sweep
 		{"-sweep", "-mode", "open", "-windows", "4,16"}, // window grid meaningless open-loop
@@ -119,6 +124,7 @@ func TestRunBadArgs(t *testing.T) {
 		{"-windows", "4,16", "-ops", "100"},             // sweep flag without -sweep
 		{"-gaps", "2,8", "-algo", "central"},            // sweep flag without -sweep
 		{"-scenarios", "uniform", "-n", "16"},           // sweep flag without -sweep
+		{"-parallel", "2", "-algo", "central"},          // sweep flag without -sweep
 	} {
 		var b strings.Builder
 		if err := run(args, &b); err == nil {
@@ -169,7 +175,8 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	wantHeader := "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 		"queue_p50,queue_p99,dropped,peak_queue_depth," +
-		"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason"
+		"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
+		"verify_property,verify_violations,verify_duplicates,skipped"
 	if lines[0] != wantHeader {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
 	}
@@ -194,6 +201,94 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	}
 	if again := mk(); again != out {
 		t.Fatal("identical sweep invocations produced different CSVs")
+	}
+}
+
+// TestRunVerify: -verify attaches the value-correctness report; the
+// linearizable central counter passes with zero violations, while the
+// token ring — sequentially correct only — shows duplicate values under
+// concurrency, reported as a measurement rather than a failure.
+func TestRunVerify(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-algo", "central", "-scenario", "uniform", "-n", "12", "-ops", "200",
+		"-verify", "-format", "text"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "verification (linearizable): 200 ops, 0 violations") {
+		t.Fatalf("central verification line missing or wrong:\n%s", b.String())
+	}
+
+	b.Reset()
+	args = []string{"-algo", "tokenring", "-scenario", "uniform", "-n", "12", "-ops", "200",
+		"-mean-gap", "1", "-verify", "-format", "text"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "verification (sequential):") || !strings.Contains(out, ", 0 violations") {
+		t.Fatalf("tokenring verification line missing or failing:\n%s", out)
+	}
+	if strings.Contains(out, "(0 duplicates") {
+		t.Fatalf("tokenring produced no duplicate values under concurrency:\n%s", out)
+	}
+}
+
+// TestRunSweepAllAlgos: "-algos all" expands to the full registry, and the
+// parallel sweep produces the same deterministic artifact as a serial one.
+func TestRunSweepAllAlgos(t *testing.T) {
+	mk := func(extra ...string) string {
+		args := append([]string{"-sweep", "-algos", "all", "-scenarios", "uniform",
+			"-n", "8", "-ops", "60", "-format", "csv"}, extra...)
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := mk("-parallel", "4")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 1 + 12; len(lines) != want {
+		t.Fatalf("-algos all produced %d lines, want %d (every registered algorithm):\n%s", len(lines), want, out)
+	}
+	for _, algo := range []string{"quorum-majority", "tokenring", "cnet-periodic", "difftree"} {
+		if !strings.Contains(out, algo+",uniform,") {
+			t.Fatalf("-algos all missing %s:\n%s", algo, out)
+		}
+	}
+	// No cell may skip: the skipped reason is the last CSV column.
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",") {
+			t.Fatalf("skipped cell in full-registry sweep: %q", line)
+		}
+	}
+	if serial := mk("-parallel", "1"); serial != out {
+		t.Fatal("parallel and serial sweeps produced different artifacts")
+	}
+}
+
+// TestRunSweepReportsSkippedCells: a cell that cannot run (unknown
+// scenario in the grid) is reported with its reason, and the remaining
+// cells still run.
+func TestRunSweepReportsSkippedCells(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-sweep", "-algos", "central", "-scenarios", "uniform,nope",
+		"-n", "8", "-ops", "60", "-format", "text"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SKIPPED:") || !strings.Contains(out, "nope") {
+		t.Fatalf("skipped cell not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "central") || !strings.Contains(out, "uniform") {
+		t.Fatalf("surviving cell missing:\n%s", out)
+	}
+
+	// A grid with no runnable cell at all is an error, not an empty report.
+	b.Reset()
+	if err := run([]string{"-sweep", "-algos", "central", "-scenarios", "nope", "-format", "csv"}, &b); err == nil {
+		t.Fatal("all-skipped sweep did not error")
 	}
 }
 

@@ -85,6 +85,20 @@ type (
 	// RateBucket is one arrival-ordered slice of an open-loop run, the
 	// unit of the saturation analysis.
 	RateBucket = engine.RateBucket
+	// ValuedCounter is an AsyncCounter whose delivered values can be read
+	// back per operation, enabling workload-integrated correctness
+	// verification; every algorithm in this repository qualifies.
+	ValuedCounter = counter.Valued
+	// ConsistencyLevel is the strongest value-correctness guarantee an
+	// algorithm claims under concurrent operation (sequential-only,
+	// quiescent, or linearizable); the engine's verification checks the
+	// claimed level.
+	ConsistencyLevel = counter.Consistency
+	// VerificationReport quantifies the value correctness of one
+	// concurrent run: duplicates, gaps, real-time order violations, and
+	// the total violation count against the claimed consistency level.
+	// Attached to WorkloadReport when WorkloadConfig.Verify is set.
+	VerificationReport = verify.Report
 )
 
 // Admission disciplines for WorkloadConfig.Mode.
@@ -135,13 +149,16 @@ func NewTracedCounter(algorithm string, n int) (Counter, error) {
 }
 
 // AsyncAlgorithms lists the algorithms that support concurrent operation
-// and are therefore usable with NewAsyncCounter and RunWorkload.
+// and are therefore usable with NewAsyncCounter and RunWorkload. Since the
+// per-initiator op-state refactor this is every registered algorithm —
+// identical to Algorithms().
 func AsyncAlgorithms() []string { return registry.AsyncNames() }
 
 // NewAsyncCounter builds the named counter configured for concurrent
 // operation: increments may be injected while earlier ones are still in
-// flight. Algorithms whose protocol admits only one outstanding operation
-// (the quorum counters) are rejected.
+// flight. Every initiator owns its operation state, so any algorithm works;
+// the combining and diffracting trees are built with their merge windows
+// open, and the paper's tree without its sequential-only instrumentation.
 func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
 	return registry.NewAsync(algorithm, n)
 }
@@ -173,6 +190,9 @@ func NewScenario(name string, cfg ScenarioConfig) (Scenario, error) {
 // service latency, the measured-window load summary, and the
 // bottleneck-load time series, all in simulated time. Open-loop runs
 // additionally report per-rate-bucket statistics and the saturation knee.
+// With WorkloadConfig.Verify set, every completed operation's value is
+// checked against the algorithm's claimed consistency level and the
+// VerificationReport is attached to the result.
 func RunWorkload(c AsyncCounter, sc Scenario, cfg WorkloadConfig) (*WorkloadReport, error) {
 	return engine.Run(c, sc, cfg)
 }

@@ -124,8 +124,25 @@ func TestWorkloadFacade(t *testing.T) {
 		t.Fatalf("report incoherent: %+v", rep)
 	}
 
-	if _, err := distcount.NewAsyncCounter("quorum-majority", 9); err == nil {
-		t.Fatal("sequential-only algorithm accepted as async")
+	// Every registered algorithm is async-capable since the per-initiator
+	// op-state refactor, including the quorum counters.
+	if got, want := len(algos), len(distcount.Algorithms()); got != want {
+		t.Fatalf("AsyncAlgorithms has %d entries, Algorithms %d; they must match", got, want)
+	}
+	qc, err := distcount.NewAsyncCounter("quorum-majority", 9)
+	if err != nil {
+		t.Fatalf("quorum-majority must build async: %v", err)
+	}
+	qs, err := distcount.NewScenario("uniform", distcount.ScenarioConfig{N: qc.N(), Ops: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrep, err := distcount.RunWorkload(qc, qs, distcount.WorkloadConfig{InFlight: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qrep.Verification == nil || qrep.Verification.Ops != 50 {
+		t.Fatalf("verification missing or incomplete: %+v", qrep.Verification)
 	}
 	if _, err := distcount.NewScenario("bogus", distcount.ScenarioConfig{N: 4, Ops: 4}); err == nil {
 		t.Fatal("bogus scenario accepted")

@@ -130,18 +130,18 @@ func NewTree(k int, state RootState, opts ...Option) *Tree {
 // state, running the network to quiescence, and returns the root's reply.
 func (t *Tree) Do(p sim.ProcID, req any) (any, error) {
 	t.proto.curReq = req
-	t.proto.resultReady = false
-	t.net.StartOp(p, t.proto.initiate)
+	id := t.net.StartOp(p, t.proto.initiate)
 	if err := t.net.Run(); err != nil {
 		return nil, err
 	}
 	if t.proto.checks != nil {
 		t.proto.checks.endOp()
 	}
-	if !t.proto.resultReady {
+	reply, ok := t.TakeReply(id)
+	if !ok {
 		return nil, fmt.Errorf("core: operation by %v terminated without a reply", p)
 	}
-	return t.proto.result, nil
+	return reply, nil
 }
 
 // Start schedules an operation by p at the given simulated time WITHOUT
@@ -160,7 +160,6 @@ func (t *Tree) Start(at int64, p sim.ProcID, req any) sim.OpID {
 	if t.proto.checks != nil {
 		panic("core: concurrent Start requires WithoutChecks (lemma windows assume sequential operations)")
 	}
-	t.proto.replied[p] = false
 	return t.net.ScheduleOp(at, p, func(nw *sim.Network, p sim.ProcID) {
 		t.proto.initiateReq(nw, p, req)
 	})
@@ -169,7 +168,14 @@ func (t *Tree) Start(at int64, p sim.ProcID, req any) sim.OpID {
 // ReplyOf returns the last reply delivered to processor p; ok is false if
 // none arrived since p's last Start.
 func (t *Tree) ReplyOf(p sim.ProcID) (any, bool) {
-	return t.proto.replyOf[p], t.proto.replied[p]
+	return t.proto.ops.Last(p)
+}
+
+// TakeReply returns the reply delivered to the completed operation id and
+// forgets it; ok is false when the operation is unknown, unfinished, or
+// already read.
+func (t *Tree) TakeReply(id sim.OpID) (any, bool) {
+	return t.proto.ops.Take(id)
 }
 
 // K returns the arity of the communication tree.
@@ -285,7 +291,10 @@ type Counter struct {
 	*Tree
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // New creates the counter for the tree of arity k over exactly n = k^(k+1)
 // processors.
@@ -321,6 +330,20 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 	return c.Tree.Start(at, p, nil)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) {
+	reply, ok := c.TakeReply(id)
+	if !ok {
+		return 0, false
+	}
+	return reply.(int), true
+}
+
+// Consistency implements counter.Valued: the root applies operations in
+// arrival order and replies directly to initiators, so values respect
+// real-time order under every schedule (experiment E13).
+func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"distcount/internal/counter"
 	"distcount/internal/sim"
 )
 
@@ -103,14 +104,11 @@ type proto struct {
 
 	// curReq is the request of the operation being initiated (sequential
 	// model: at most one in flight).
-	curReq      any
-	result      any
-	resultReady bool
-	// replyOf/replied record, per leaf, the last reply delivered — the
-	// readout used by the concurrent (pipelined) mode, where many
-	// operations are in flight at once.
-	replyOf []any
-	replied []bool
+	curReq any
+	// ops tracks the in-flight operation per initiating leaf and records
+	// each operation's delivered reply — shared with every other counter
+	// implementation via counter.Ops.
+	ops *counter.Ops[struct{}, any]
 
 	stats  Stats
 	checks *checker // nil when invariant checking is off
@@ -142,8 +140,7 @@ func newProto(k, retireAge int, state RootState, checks bool) *proto {
 		nodes:      make([]node, g.nodeCount()),
 		leafParent: make([]sim.ProcID, g.n+1),
 		leafLoad:   make([]int64, g.n+1),
-		replyOf:    make([]any, g.n+1),
-		replied:    make([]bool, g.n+1),
+		ops:        counter.NewOps[struct{}, any](),
 		fwd:        make(map[fwdKey]sim.ProcID),
 	}
 	for i := 0; i <= k; i++ {
@@ -191,6 +188,7 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 }
 
 func (pr *proto) initiateReq(nw *sim.Network, p sim.ProcID, req any) {
+	pr.ops.Begin(nw, p)
 	pr.stats.Ops++
 	if pr.checks != nil {
 		pr.checks.beginOp()
@@ -210,10 +208,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		pr.handleInc(nw, pl)
 	case valuePayload:
 		pr.leafLoad[msg.To]++
-		pr.result = pl.Reply
-		pr.resultReady = true
-		pr.replyOf[msg.To] = pl.Reply
-		pr.replied[msg.To] = true
+		pr.ops.Finish(nw, msg.To, pl.Reply)
 	case newIDPayload:
 		if pl.Target == leafTarget {
 			pr.leafLoad[msg.To]++
@@ -412,8 +407,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 	}
 	cp.leafParent = append([]sim.ProcID(nil), pr.leafParent...)
 	cp.leafLoad = append([]int64(nil), pr.leafLoad...)
-	cp.replyOf = append([]any(nil), pr.replyOf...)
-	cp.replied = append([]bool(nil), pr.replied...)
+	cp.ops = pr.ops.Clone(nil)
 	cp.fwd = make(map[fwdKey]sim.ProcID, len(pr.fwd))
 	for k, v := range pr.fwd {
 		cp.fwd[k] = v

@@ -47,16 +47,72 @@ type Cloneable interface {
 // model; protocols not designed for it remain message-accountable (every
 // operation terminates and loads the network realistically) but may assign
 // duplicate values, which is exactly what the linearizability experiments
-// (E13) study. The engine therefore measures load, latency and throughput,
-// never return values.
+// (E13) and the engine's opt-in verification study. Every implementation in
+// this repository is Async: per-initiator operation state is kept in the
+// shared Ops table, so operations from distinct initiators never share
+// mutable protocol state.
 //
-// Callers must keep at most one operation per initiator in flight: most
-// implementations hold per-processor reply slots that a second concurrent
-// operation by the same processor would clobber.
+// Callers must keep at most one operation per initiator in flight; the
+// shared op table enforces this by panicking on overlap (Ops.Begin).
 type Async interface {
 	Counter
 	// Start schedules one increment by p at absolute simulated time at
 	// (>= Net().Now()) and returns its operation id without running the
 	// network. Completion is observable via the network's OnOpDone handler.
 	Start(at int64, p sim.ProcID) sim.OpID
+}
+
+// Consistency is the strongest value-correctness guarantee a counter claims
+// under concurrent operation. Sequential correctness (values 0, 1, 2, ...
+// when operations run one at a time) holds for every implementation; the
+// levels below describe what survives when operations overlap, and they
+// select which property the engine's verification checks.
+type Consistency int
+
+const (
+	// SequentialOnly marks protocols that are correct only in the paper's
+	// sequential model: overlapping operations may receive duplicate values
+	// (the token ring's holder releases the token toward several
+	// destinations; replicated read/write quorums cannot make the
+	// read-increment-write atomic). Verification reports their duplicate
+	// counts as a measurement, not a violation.
+	SequentialOnly Consistency = iota
+	// Quiescent marks quiescently consistent protocols: every value is
+	// handed out exactly once, but an operation may receive a smaller value
+	// than an operation that completed before it started (counting
+	// networks, diffracting trees — Herlihy/Shavit/Waarts).
+	Quiescent
+	// Linearizable marks protocols whose values also respect real-time
+	// order: a single serialization point assigns values monotonically
+	// within each operation's lifetime (the central holder, the paper's
+	// tree root, the combining tree's root).
+	Linearizable
+)
+
+// String returns the level name used in reports ("sequential",
+// "quiescent", "linearizable").
+func (c Consistency) String() string {
+	switch c {
+	case Quiescent:
+		return "quiescent"
+	case Linearizable:
+		return "linearizable"
+	default:
+		return "sequential"
+	}
+}
+
+// Valued is an Async counter whose delivered values can be read back per
+// operation, enabling engine-integrated correctness verification and the
+// shared sequential driver (RunInc). Every implementation in this
+// repository is Valued via the shared Ops table.
+type Valued interface {
+	Async
+	// OpValue returns the value delivered to the completed operation id and
+	// forgets it (long workload runs must not accumulate per-op state). ok
+	// is false when the operation is unknown, unfinished, or already read.
+	OpValue(id sim.OpID) (int, bool)
+	// Consistency is the strongest guarantee the algorithm claims under
+	// concurrent operation; the engine verifies the claimed property.
+	Consistency() Consistency
 }

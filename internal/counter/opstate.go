@@ -1,0 +1,171 @@
+package counter
+
+import (
+	"fmt"
+
+	"distcount/internal/sim"
+)
+
+// Ops is the per-initiator operation bookkeeping shared by every counter
+// implementation: each initiating processor owns at most one in-flight
+// operation with protocol-specific state S (a quorum probe, a traversal, or
+// nothing at all), and every completed operation's delivered value V is
+// recorded under its simulator operation id.
+//
+// The type replaces the ad-hoc single-op result slots (result/resultReady)
+// and per-processor delivery arrays (valueOf/delivered) the implementations
+// grew independently, and it is what makes all of them concurrency-capable
+// in the same way: state is keyed by initiator, never global, so operations
+// from distinct initiators cannot clobber each other. Begin enforces the
+// Async contract — at most one operation per initiator in flight — by
+// panicking on overlap instead of silently corrupting state, and Finish
+// panics when an operation completes in a foreign operation's delivery
+// context, the canonical symptom of cross-op state bleed.
+//
+// Values are read either per operation with Take (the engine's verification
+// path and the shared sequential driver RunInc) or per initiator with Last
+// (the readout the concurrent experiments use). Take consumes the value so
+// long workload runs do not accumulate per-op state; the per-initiator slot
+// always keeps the most recent value.
+type Ops[S, V any] struct {
+	// inflight holds each initiator's open operation; absent when idle.
+	inflight map[sim.ProcID]*opEntry[S]
+	// values holds delivered values of completed operations until consumed.
+	values map[sim.OpID]V
+	// lastVal/lastOK expose the most recent value per initiator.
+	lastVal map[sim.ProcID]V
+	lastOK  map[sim.ProcID]bool
+}
+
+// opEntry pairs an operation's protocol state with its simulator id, so
+// Finish can assert it completes in its own delivery context.
+type opEntry[S any] struct {
+	op sim.OpID
+	st S
+}
+
+// NewOps creates an empty operation table.
+func NewOps[S, V any]() *Ops[S, V] {
+	return &Ops[S, V]{
+		inflight: make(map[sim.ProcID]*opEntry[S]),
+		values:   make(map[sim.OpID]V),
+		lastVal:  make(map[sim.ProcID]V),
+		lastOK:   make(map[sim.ProcID]bool),
+	}
+}
+
+// Begin opens initiator p's operation and returns its zero-valued state for
+// the protocol to fill. It must run inside the operation's start callback
+// (it captures the current operation id) and panics if p already has an
+// operation in flight: callers — the workload engine, the sequential driver
+// — are required to keep at most one operation per initiator open, and a
+// violation would corrupt per-initiator state in ways that only surface as
+// wrong values much later.
+func (o *Ops[S, V]) Begin(nw *sim.Network, p sim.ProcID) *S {
+	id := nw.CurrentOp()
+	if id == 0 {
+		panic("counter: Begin called outside an operation context")
+	}
+	if e, ok := o.inflight[p]; ok {
+		panic(fmt.Sprintf("counter: initiator %v already has operation %d in flight (starting %d)", p, e.op, id))
+	}
+	e := &opEntry[S]{op: id}
+	o.inflight[p] = e
+	o.lastOK[p] = false
+	return &e.st
+}
+
+// Get returns initiator p's in-flight operation state. It panics when p has
+// none — receiving a protocol message for an idle initiator means the
+// message was stray or the state was dropped early, both protocol bugs.
+func (o *Ops[S, V]) Get(p sim.ProcID) *S {
+	e, ok := o.inflight[p]
+	if !ok {
+		panic(fmt.Sprintf("counter: initiator %v has no operation in flight", p))
+	}
+	return &e.st
+}
+
+// InFlight reports whether initiator p currently has an open operation.
+func (o *Ops[S, V]) InFlight(p sim.ProcID) bool {
+	_, ok := o.inflight[p]
+	return ok
+}
+
+// Finish completes initiator p's operation with the delivered value v,
+// recording it under the operation's id and as p's most recent value, and
+// frees p for its next operation. It must run in the completing operation's
+// own delivery context: a mismatch means a value was routed through the
+// wrong operation's causal chain (cross-op state bleed) and panics.
+func (o *Ops[S, V]) Finish(nw *sim.Network, p sim.ProcID, v V) {
+	e, ok := o.inflight[p]
+	if !ok {
+		panic(fmt.Sprintf("counter: Finish for initiator %v with no operation in flight", p))
+	}
+	if cur := nw.CurrentOp(); cur != e.op {
+		panic(fmt.Sprintf("counter: operation %d of initiator %v finished in context of operation %d", e.op, p, cur))
+	}
+	delete(o.inflight, p)
+	o.values[e.op] = v
+	o.lastVal[p] = v
+	o.lastOK[p] = true
+}
+
+// Take returns the value delivered to the completed operation id and
+// forgets it, so drivers running unbounded operation streams do not
+// accumulate per-op state. ok is false when the operation is unknown, still
+// in flight, or already consumed.
+func (o *Ops[S, V]) Take(id sim.OpID) (V, bool) {
+	v, ok := o.values[id]
+	if ok {
+		delete(o.values, id)
+	}
+	return v, ok
+}
+
+// Last returns the most recent value delivered to initiator p; ok is false
+// when none arrived since p's last Begin.
+func (o *Ops[S, V]) Last(p sim.ProcID) (V, bool) {
+	return o.lastVal[p], o.lastOK[p]
+}
+
+// Clone returns an independent deep copy. deepState, when non-nil, deep-
+// copies one operation's protocol state (needed when S holds slices or
+// maps); nil keeps the shallow copy, sufficient for value-only states.
+func (o *Ops[S, V]) Clone(deepState func(*S) S) *Ops[S, V] {
+	cp := NewOps[S, V]()
+	for p, e := range o.inflight {
+		ne := &opEntry[S]{op: e.op, st: e.st}
+		if deepState != nil {
+			ne.st = deepState(&e.st)
+		}
+		cp.inflight[p] = ne
+	}
+	for id, v := range o.values {
+		cp.values[id] = v
+	}
+	for p, v := range o.lastVal {
+		cp.lastVal[p] = v
+	}
+	for p, ok := range o.lastOK {
+		cp.lastOK[p] = ok
+	}
+	return cp
+}
+
+// RunInc drives one increment by p through the concurrent Start path and
+// runs the network to quiescence — the shared body of every
+// implementation's sequential Inc method (the paper's execution model:
+// "enough time elapses in between any two inc requests").
+func RunInc(c Valued, p sim.ProcID) (int, error) {
+	net := c.Net()
+	id := c.Start(net.Now(), p)
+	if err := net.Run(); err != nil {
+		return 0, err
+	}
+	v, ok := c.OpValue(id)
+	if !ok {
+		return 0, fmt.Errorf("%s: operation by %v terminated without a value", c.Name(), p)
+	}
+	return v, nil
+}

@@ -1,0 +1,162 @@
+package counter
+
+import (
+	"testing"
+
+	"distcount/internal/sim"
+)
+
+// echoProto is a minimal protocol for exercising Ops: an operation sends
+// one message to a server processor (1), which replies with a running
+// value; the reply finishes the operation.
+type echoProto struct {
+	val int
+	ops *Ops[struct{}, int]
+}
+
+type (
+	echoReq  struct{ Origin sim.ProcID }
+	echoResp struct{ Val int }
+)
+
+func (echoReq) Kind() string  { return "echo-req" }
+func (echoResp) Kind() string { return "echo-resp" }
+
+func (pr *echoProto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.ops.Begin(nw, p)
+	nw.Send(1, echoReq{Origin: p})
+}
+
+func (pr *echoProto) Deliver(nw *sim.Network, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case echoReq:
+		nw.Send(pl.Origin, echoResp{Val: pr.val})
+		pr.val++
+	case echoResp:
+		pr.ops.Finish(nw, msg.To, pl.Val)
+	}
+}
+
+func newEcho(n int) (*sim.Network, *echoProto) {
+	pr := &echoProto{ops: NewOps[struct{}, int]()}
+	return sim.New(n, pr, sim.WithSeed(1)), pr
+}
+
+func TestOpsLifecycle(t *testing.T) {
+	net, pr := newEcho(4)
+	id2 := net.ScheduleOp(0, 2, pr.initiate)
+	id3 := net.ScheduleOp(0, 3, pr.initiate)
+	// Begin runs when the start event delivers: after two steps both
+	// operations are open concurrently.
+	for i := 0; i < 2; i++ {
+		if _, err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pr.ops.InFlight(2) || !pr.ops.InFlight(3) {
+		t.Fatal("started operations not in flight")
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.ops.InFlight(2) || pr.ops.InFlight(3) {
+		t.Fatal("completed operations still in flight")
+	}
+	v2, ok2 := pr.ops.Take(id2)
+	v3, ok3 := pr.ops.Take(id3)
+	if !ok2 || !ok3 {
+		t.Fatalf("values not recorded: (%v,%v) (%v,%v)", v2, ok2, v3, ok3)
+	}
+	if v2 == v3 {
+		t.Fatalf("distinct operations got the same value %d", v2)
+	}
+	// Take consumes.
+	if _, ok := pr.ops.Take(id2); ok {
+		t.Fatal("Take did not consume the value")
+	}
+	// Last keeps the most recent per-initiator value.
+	if lv, ok := pr.ops.Last(2); !ok || lv != v2 {
+		t.Fatalf("Last(2) = (%d,%v), want (%d,true)", lv, ok, v2)
+	}
+}
+
+func TestOpsBeginRejectsOverlap(t *testing.T) {
+	net, pr := newEcho(4)
+	net.ScheduleOp(0, 2, pr.initiate)
+	net.ScheduleOp(0, 2, pr.initiate) // second op by the same initiator
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping operations by one initiator did not panic")
+		}
+	}()
+	_ = net.Run()
+}
+
+func TestOpsBeginOutsideContext(t *testing.T) {
+	net, pr := newEcho(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin outside an operation context did not panic")
+		}
+	}()
+	pr.ops.Begin(net, 1)
+}
+
+func TestOpsGetStray(t *testing.T) {
+	_, pr := newEcho(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get for an idle initiator did not panic")
+		}
+	}()
+	pr.ops.Get(2)
+}
+
+func TestOpsCloneIndependence(t *testing.T) {
+	net, pr := newEcho(4)
+	id := net.ScheduleOp(0, 2, pr.initiate)
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cp := pr.ops.Clone(nil)
+	if v, ok := cp.Take(id); !ok || v != 0 {
+		t.Fatalf("clone lost recorded value: (%d,%v)", v, ok)
+	}
+	// Consuming from the clone must not affect the original.
+	if v, ok := pr.ops.Take(id); !ok || v != 0 {
+		t.Fatalf("original lost value after clone consumed it: (%d,%v)", v, ok)
+	}
+}
+
+// TestRunIncSequence: the shared sequential driver produces 0, 1, 2, ...
+// through a Valued wrapper.
+func TestRunIncSequence(t *testing.T) {
+	net, pr := newEcho(4)
+	c := &echoCounter{net: net, pr: pr}
+	for want := 0; want < 6; want++ {
+		p := sim.ProcID(want%3 + 2)
+		v, err := RunInc(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("RunInc returned %d, want %d", v, want)
+		}
+	}
+}
+
+// echoCounter adapts echoProto to the Valued interface for RunInc.
+type echoCounter struct {
+	net *sim.Network
+	pr  *echoProto
+}
+
+func (c *echoCounter) Name() string                    { return "echo" }
+func (c *echoCounter) N() int                          { return c.net.N() }
+func (c *echoCounter) Net() *sim.Network               { return c.net }
+func (c *echoCounter) Inc(p sim.ProcID) (int, error)   { return RunInc(c, p) }
+func (c *echoCounter) Consistency() Consistency        { return Linearizable }
+func (c *echoCounter) OpValue(id sim.OpID) (int, bool) { return c.pr.ops.Take(id) }
+func (c *echoCounter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.pr.initiate)
+}

@@ -27,23 +27,23 @@ func (reqPayload) Kind() string { return "inc-request" }
 func (valPayload) Kind() string { return "value" }
 
 // proto is the protocol: all state lives at the holder (the counter value);
-// initiators keep only the pending reply slot.
+// initiators keep only their in-flight operation entry in the shared op
+// table.
 type proto struct {
 	holder sim.ProcID
 	val    int
 
-	// result delivery to the driver (one op in flight at a time).
-	result      int
-	resultReady bool
+	ops *counter.Ops[struct{}, int]
 }
 
 var _ sim.CloneableProtocol = (*proto)(nil)
 
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.ops.Begin(nw, p)
 	if p == pr.holder {
 		// The holder increments locally: accessing your own memory costs no
 		// messages in the paper's model.
-		pr.deliverResult(pr.val)
+		pr.ops.Finish(nw, p, pr.val)
 		pr.val++
 		return
 	}
@@ -56,19 +56,15 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		nw.Send(pl.Origin, valPayload{Val: pr.val})
 		pr.val++
 	case valPayload:
-		pr.deliverResult(pl.Val)
+		pr.ops.Finish(nw, msg.To, pl.Val)
 	default:
 		panic(fmt.Sprintf("central: unexpected payload %T", msg.Payload))
 	}
 }
 
-func (pr *proto) deliverResult(v int) {
-	pr.result = v
-	pr.resultReady = true
-}
-
 func (pr *proto) CloneProtocol() sim.Protocol {
 	cp := *pr
+	cp.ops = pr.ops.Clone(nil)
 	return &cp
 }
 
@@ -78,7 +74,10 @@ type Counter struct {
 	proto *proto
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // Option configures the counter.
 type Option func(*config)
@@ -104,7 +103,7 @@ func New(n int, opts ...Option) *Counter {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &proto{holder: cfg.holder}
+	pr := &proto{holder: cfg.holder, ops: counter.NewOps[struct{}, int]()}
 	return &Counter{
 		net:   sim.New(n, pr, cfg.simOpts...),
 		proto: pr,
@@ -125,24 +124,23 @@ func (c *Counter) Holder() sim.ProcID { return c.proto.holder }
 
 // Inc implements counter.Counter.
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.proto.resultReady = false
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.resultReady {
-		return 0, fmt.Errorf("central: operation by %v terminated without a value", p)
-	}
-	return c.proto.result, nil
+	return counter.RunInc(c, p)
 }
 
 // Start implements counter.Async: it schedules p's operation without
-// running the network. The holder serves each request independently, so the
-// protocol is correct under concurrency; only the sequential result slot is
-// unusable (concurrent drivers measure loads, not values).
+// running the network. The holder serves each request independently and
+// assigns values atomically in request-arrival order, so the counter stays
+// linearizable under concurrency.
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 	return c.net.ScheduleOp(at, p, c.proto.initiate)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: the holder is a single
+// serialization point, so values respect real-time order.
+func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -66,13 +66,10 @@ type proto struct {
 	// stageWire[s][w] is the balancer index handling wire w in stage s.
 	stageWire [][]int
 	// wireCount[w] is the next value output wire w will hand out.
-	wireCount   []int
-	result      int
-	resultReady bool
-	// valueOf/delivered record the last value per initiator (the readout
-	// of the concurrent mode).
-	valueOf   []int
-	delivered []bool
+	wireCount []int
+	// ops tracks the in-flight traversal per initiator and records each
+	// operation's delivered value.
+	ops *counter.Ops[struct{}, int]
 }
 
 var _ sim.CloneableProtocol = (*proto)(nil)
@@ -112,8 +109,7 @@ func newProto(n, width int, construction Construction) *proto {
 		n:         n,
 		width:     width,
 		wireCount: make([]int, width),
-		valueOf:   make([]int, n+1),
-		delivered: make([]bool, n+1),
+		ops:       counter.NewOps[struct{}, int](),
 	}
 	for w := 0; w < width; w++ {
 		pr.wireCount[w] = w
@@ -201,6 +197,7 @@ func (pr *proto) wireOwner(w int) sim.ProcID {
 }
 
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.ops.Begin(nw, p)
 	// The entry wire is a strictly local choice (the initiator's own id):
 	// counting networks deliver exact counts for ANY input distribution,
 	// and a global entry rotation would be shared state the paper's
@@ -235,10 +232,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		pr.wireCount[pl.Wire] += pr.width
 		nw.Send(pl.Origin, valuePayload{Val: val})
 	case valuePayload:
-		pr.result = pl.Val
-		pr.resultReady = true
-		pr.valueOf[msg.To] = pl.Val
-		pr.delivered[msg.To] = true
+		pr.ops.Finish(nw, msg.To, pl.Val)
 	default:
 		panic(fmt.Sprintf("cnet: unexpected payload %T", msg.Payload))
 	}
@@ -248,8 +242,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 	cp := *pr
 	cp.balancers = append([]balancer(nil), pr.balancers...)
 	cp.wireCount = append([]int(nil), pr.wireCount...)
-	cp.valueOf = append([]int(nil), pr.valueOf...)
-	cp.delivered = append([]bool(nil), pr.delivered...)
+	cp.ops = pr.ops.Clone(nil)
 	// stageWire is immutable after construction and can be shared.
 	return &cp
 }
@@ -261,7 +254,10 @@ type Counter struct {
 	construction Construction
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // Option configures the counter.
 type Option func(*cfg)
@@ -343,15 +339,7 @@ func (c *Counter) WireCounts() []int {
 
 // Inc implements counter.Counter (sequential mode).
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.proto.resultReady = false
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.resultReady {
-		return 0, fmt.Errorf("cnet: operation by %v terminated without a value", p)
-	}
-	return c.proto.result, nil
+	return counter.RunInc(c, p)
 }
 
 // Start begins p's operation without draining the network (the concurrent
@@ -360,14 +348,20 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 // linearizable under concurrency (Herlihy/Shavit/Waarts), which experiment
 // E13 demonstrates against the paper's tree counter.
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
-	c.proto.delivered[p] = false
 	return c.net.ScheduleOp(at, p, c.proto.initiate)
 }
 
 // ValueOf returns the value delivered to p's last operation.
 func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
-	return c.proto.valueOf[p], c.proto.delivered[p]
+	return c.proto.ops.Last(p)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: the step property guarantees
+// exactly-once values under any schedule, but not real-time order [HSW].
+func (c *Counter) Consistency() counter.Consistency { return counter.Quiescent }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -95,11 +95,10 @@ type proto struct {
 	nodes  []cnode
 	// leafParent[p] is the inner node above leaf p (-1 when n == 1).
 	leafParent []int
-	// valueOf[p] is the last value delivered to leaf p; fresh deliveries
-	// set delivered[p].
-	valueOf   []int
-	delivered []bool
-	val       int // used only in the degenerate n == 1 case
+	// ops tracks the in-flight operation per initiator and records each
+	// operation's delivered value.
+	ops *counter.Ops[struct{}, int]
+	val int // used only in the degenerate n == 1 case
 
 	// combined counts requests that were merged into an existing batch —
 	// the quantity the concurrency experiment watches.
@@ -132,8 +131,7 @@ func newProto(n int, window int64) *proto {
 		n:          n,
 		window:     window,
 		leafParent: make([]int, n+1),
-		valueOf:    make([]int, n+1),
-		delivered:  make([]bool, n+1),
+		ops:        counter.NewOps[struct{}, int](),
 	}
 	for p := range pr.leafParent {
 		pr.leafParent[p] = -1
@@ -145,11 +143,10 @@ func newProto(n int, window int64) *proto {
 }
 
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
-	pr.delivered[p] = false
+	pr.ops.Begin(nw, p)
 	if pr.n == 1 {
-		pr.valueOf[p] = pr.val
+		pr.ops.Finish(nw, p, pr.val)
 		pr.val++
-		pr.delivered[p] = true
 		return
 	}
 	parent := pr.leafParent[p]
@@ -168,8 +165,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 	case respPayload:
 		pr.handleResp(nw, pl)
 	case valuePayload:
-		pr.valueOf[msg.To] = pl.Val
-		pr.delivered[msg.To] = true
+		pr.ops.Finish(nw, msg.To, pl.Val)
 	case windowTimer:
 		nd := &pr.nodes[pl.Node]
 		if nd.pending != nil && nd.pending.seq == pl.Seq {
@@ -278,8 +274,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 		}
 	}
 	cp.leafParent = append([]int(nil), pr.leafParent...)
-	cp.valueOf = append([]int(nil), pr.valueOf...)
-	cp.delivered = append([]bool(nil), pr.delivered...)
+	cp.ops = pr.ops.Clone(nil)
 	return &cp
 }
 
@@ -289,7 +284,10 @@ type Counter struct {
 	proto *proto
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // Option configures the counter.
 type Option func(*cfg)
@@ -346,14 +344,7 @@ func (c *Counter) RootHost() sim.ProcID {
 
 // Inc implements counter.Counter (sequential mode).
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.delivered[p] {
-		return 0, fmt.Errorf("combining: operation by %v terminated without a value", p)
-	}
-	return c.proto.valueOf[p], nil
+	return counter.RunInc(c, p)
 }
 
 // Start begins p's operation without running the network; used by the
@@ -367,8 +358,17 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 // ValueOf returns the value delivered to p's last operation; ok is false if
 // none was delivered.
 func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
-	return c.proto.valueOf[p], c.proto.delivered[p]
+	return c.proto.ops.Last(p)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: the root assigns value ranges to
+// batches in arrival order, and an operation joins only batches that close
+// after it started, so values respect real-time order — combining keeps
+// linearizability while removing the root's message hot spot.
+func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -71,8 +71,9 @@ type proto struct {
 	nodes           []dnode // heap-indexed, root at 1; len = width
 	leafCount       []int
 
-	valueOf   []int
-	delivered []bool
+	// ops tracks the in-flight token per initiator and records each
+	// operation's delivered value.
+	ops *counter.Ops[struct{}, int]
 
 	// diffracted counts token pairs that bypassed a toggle.
 	diffracted int64
@@ -97,8 +98,7 @@ func newProto(n, width int, window int64) *proto {
 		window:    window,
 		nodes:     make([]dnode, width), // slots 1..width-1 used
 		leafCount: make([]int, width),
-		valueOf:   make([]int, n+1),
-		delivered: make([]bool, n+1),
+		ops:       counter.NewOps[struct{}, int](),
 		toggles:   make([]int64, width),
 	}
 	for i := 1; i < width; i++ {
@@ -115,7 +115,7 @@ func (pr *proto) leafOwner(idx int) sim.ProcID {
 }
 
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
-	pr.delivered[p] = false
+	pr.ops.Begin(nw, p)
 	nw.Send(pr.nodes[1].host, tokenPayload{Node: 1, Level: 0, Idx: 0, Origin: p})
 }
 
@@ -207,8 +207,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		pr.leafCount[pl.Idx] += pr.width
 		nw.Send(pl.Origin, valuePayload{Val: val})
 	case valuePayload:
-		pr.valueOf[msg.To] = pl.Val
-		pr.delivered[msg.To] = true
+		pr.ops.Finish(nw, msg.To, pl.Val)
 	default:
 		panic(fmt.Sprintf("difftree: unexpected payload %T", msg.Payload))
 	}
@@ -225,8 +224,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 		}
 	}
 	cp.leafCount = append([]int(nil), pr.leafCount...)
-	cp.valueOf = append([]int(nil), pr.valueOf...)
-	cp.delivered = append([]bool(nil), pr.delivered...)
+	cp.ops = pr.ops.Clone(nil)
 	cp.toggles = append([]int64(nil), pr.toggles...)
 	return &cp
 }
@@ -237,7 +235,10 @@ type Counter struct {
 	proto *proto
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // Option configures the counter.
 type Option func(*cfg)
@@ -308,14 +309,7 @@ func (c *Counter) RootHost() sim.ProcID { return c.proto.nodes[1].host }
 
 // Inc implements counter.Counter (sequential mode).
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.delivered[p] {
-		return 0, fmt.Errorf("difftree: operation by %v terminated without a value", p)
-	}
-	return c.proto.valueOf[p], nil
+	return counter.RunInc(c, p)
 }
 
 // Start begins p's operation without draining the network (concurrent
@@ -326,8 +320,17 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 
 // ValueOf returns the value delivered to p's last operation.
 func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
-	return c.proto.valueOf[p], c.proto.delivered[p]
+	return c.proto.ops.Last(p)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: like the counting network, the
+// tree of toggles (with or without diffraction) preserves the step property
+// under any schedule but a token stalled before its leaf counter can be
+// overtaken, so real-time order is not guaranteed.
+func (c *Counter) Consistency() counter.Consistency { return counter.Quiescent }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -12,6 +12,16 @@
 // quorums are small but the root is in nearly all of them. None reach the
 // O(k) of the paper's counter — static quorum systems cannot, which is why
 // the paper's Section 4 scheme is dynamic.
+//
+// Every initiator owns its in-flight probe state (counter.Ops), so any
+// number of operations from distinct initiators may be in flight at once —
+// the workload engine's regime. Under concurrency the counter remains
+// message-accountable and terminating, but two overlapping operations can
+// read the same version and hand out the same value: read/write quorum
+// replication cannot make the read-increment-write atomic (that is the
+// classic register-consensus gap), so the counter is sequentially correct
+// only, and the engine's verification measures its duplicate values rather
+// than claiming a property it lacks.
 package quorumctr
 
 import (
@@ -42,10 +52,9 @@ type replica struct {
 	val, ver int
 }
 
-// opState tracks the initiator's in-flight operation (at most one in the
-// sequential model).
+// opState is one initiator's in-flight quorum probe: the quorum it chose,
+// the outstanding read/ack counts, and the best (version, value) seen.
 type opState struct {
-	origin       sim.ProcID
 	quorum       []int
 	awaitReads   int
 	awaitAcks    int
@@ -61,10 +70,9 @@ type proto struct {
 	// model has no shared memory. Over the canonical workload (each
 	// processor once) this spreads quorums exactly like a round robin.
 	localOps []int
-	cur      *opState
-
-	result      int
-	resultReady bool
+	// ops keys each initiator's probe state and records delivered values
+	// per operation.
+	ops *counter.Ops[opState, int]
 }
 
 var _ sim.CloneableProtocol = (*proto)(nil)
@@ -72,10 +80,10 @@ var _ sim.CloneableProtocol = (*proto)(nil)
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 	idx := int(p) - 1 + pr.sys.N()*pr.localOps[p]
 	pr.localOps[p]++
-	q := pr.sys.Quorum(idx)
-	st := &opState{origin: p, quorum: q, bestVal: -1, ver: -1}
-	pr.cur = st
-	for _, member := range q {
+	st := pr.ops.Begin(nw, p)
+	st.quorum = pr.sys.Quorum(idx)
+	st.bestVal, st.ver = -1, -1
+	for _, member := range st.quorum {
 		if member == int(p) {
 			// Local replica: no messages needed to read your own memory.
 			pr.observe(st, pr.replicas[member])
@@ -85,7 +93,7 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 		nw.Send(sim.ProcID(member), readReq{Origin: p})
 	}
 	if st.awaitReads == 0 {
-		pr.startWrite(nw, st)
+		pr.startWrite(nw, p, st)
 	}
 }
 
@@ -96,25 +104,19 @@ func (pr *proto) observe(st *opState, r replica) {
 	}
 }
 
-func (pr *proto) startWrite(nw *sim.Network, st *opState) {
+func (pr *proto) startWrite(nw *sim.Network, origin sim.ProcID, st *opState) {
 	val, ver := st.bestVal+1, st.ver+1
 	for _, member := range st.quorum {
-		if member == int(st.origin) {
+		if member == int(origin) {
 			pr.replicas[member] = replica{val: val, ver: ver}
 			continue
 		}
 		st.awaitAcks++
-		nw.Send(sim.ProcID(member), writeReq{Origin: st.origin, Val: val, Ver: ver})
+		nw.Send(sim.ProcID(member), writeReq{Origin: origin, Val: val, Ver: ver})
 	}
 	if st.awaitAcks == 0 {
-		pr.finish(st)
+		pr.ops.Finish(nw, origin, st.bestVal)
 	}
-}
-
-func (pr *proto) finish(st *opState) {
-	pr.result = st.bestVal
-	pr.resultReady = true
-	pr.cur = nil
 }
 
 func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
@@ -123,14 +125,11 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		r := pr.replicas[msg.To]
 		nw.Send(pl.Origin, readResp{Val: r.val, Ver: r.ver})
 	case readResp:
-		st := pr.cur
-		if st == nil || st.origin != msg.To {
-			panic("quorumctr: stray read response")
-		}
+		st := pr.ops.Get(msg.To)
 		pr.observe(st, replica{val: pl.Val, ver: pl.Ver})
 		st.awaitReads--
 		if st.awaitReads == 0 {
-			pr.startWrite(nw, st)
+			pr.startWrite(nw, msg.To, st)
 		}
 	case writeReq:
 		r := &pr.replicas[msg.To]
@@ -139,13 +138,10 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		}
 		nw.Send(pl.Origin, writeAck{})
 	case writeAck:
-		st := pr.cur
-		if st == nil || st.origin != msg.To {
-			panic("quorumctr: stray write ack")
-		}
+		st := pr.ops.Get(msg.To)
 		st.awaitAcks--
 		if st.awaitAcks == 0 {
-			pr.finish(st)
+			pr.ops.Finish(nw, msg.To, st.bestVal)
 		}
 	default:
 		panic(fmt.Sprintf("quorumctr: unexpected payload %T", msg.Payload))
@@ -156,11 +152,11 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 	cp := *pr
 	cp.replicas = append([]replica(nil), pr.replicas...)
 	cp.localOps = append([]int(nil), pr.localOps...)
-	if pr.cur != nil {
-		st := *pr.cur
-		st.quorum = append([]int(nil), pr.cur.quorum...)
-		cp.cur = &st
-	}
+	cp.ops = pr.ops.Clone(func(st *opState) opState {
+		d := *st
+		d.quorum = append([]int(nil), st.quorum...)
+		return d
+	})
 	return &cp
 }
 
@@ -171,7 +167,10 @@ type Counter struct {
 	name  string
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // New creates a counter over sys.N() processors using the given quorum
 // system. The replica of processor 1 starts at (0, 0); all replicas start
@@ -181,6 +180,7 @@ func New(sys quorum.System, simOpts ...sim.Option) *Counter {
 		sys:      sys,
 		replicas: make([]replica, sys.N()+1),
 		localOps: make([]int, sys.N()+1),
+		ops:      counter.NewOps[opState, int](),
 	}
 	return &Counter{
 		net:   sim.New(sys.N(), pr, simOpts...),
@@ -203,16 +203,24 @@ func (c *Counter) System() quorum.System { return c.proto.sys }
 
 // Inc implements counter.Counter.
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.proto.resultReady = false
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.resultReady {
-		return 0, fmt.Errorf("quorumctr: operation by %v terminated without a value", p)
-	}
-	return c.proto.result, nil
+	return counter.RunInc(c, p)
 }
+
+// Start implements counter.Async: it schedules p's operation without
+// running the network. Each initiator owns its probe state, so operations
+// from distinct initiators proceed independently; see the package comment
+// for what concurrency does to value uniqueness.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	return c.net.ScheduleOp(at, p, c.proto.initiate)
+}
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: replicated read/write quorums
+// cannot make the read-increment-write atomic, so overlapping operations
+// may duplicate values — the counter is sequentially correct only.
+func (c *Counter) Consistency() counter.Consistency { return counter.SequentialOnly }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -34,8 +34,7 @@ type proto struct {
 	holder sim.ProcID // current token holder
 	val    int
 
-	result      int
-	resultReady bool
+	ops *counter.Ops[struct{}, int]
 }
 
 var _ sim.CloneableProtocol = (*proto)(nil)
@@ -48,8 +47,9 @@ func (pr *proto) next(p sim.ProcID) sim.ProcID {
 }
 
 func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+	pr.ops.Begin(nw, p)
 	if p == pr.holder {
-		pr.deliverResult(pr.val)
+		pr.ops.Finish(nw, p, pr.val)
 		pr.val++
 		return
 	}
@@ -85,7 +85,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 		if msg.To == pl.Dest {
 			pr.holder = msg.To
 			pr.val = pl.Val
-			pr.deliverResult(pr.val)
+			pr.ops.Finish(nw, msg.To, pr.val)
 			pr.val++
 			return
 		}
@@ -95,13 +95,9 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 	}
 }
 
-func (pr *proto) deliverResult(v int) {
-	pr.result = v
-	pr.resultReady = true
-}
-
 func (pr *proto) CloneProtocol() sim.Protocol {
 	cp := *pr
+	cp.ops = pr.ops.Clone(nil)
 	return &cp
 }
 
@@ -111,12 +107,15 @@ type Counter struct {
 	proto *proto
 }
 
-var _ counter.Cloneable = (*Counter)(nil)
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
 
 // New creates a token-ring counter over n processors; processor 1 initially
 // holds the token and the value 0.
 func New(n int, simOpts ...sim.Option) *Counter {
-	pr := &proto{n: n, holder: 1}
+	pr := &proto{n: n, holder: 1, ops: counter.NewOps[struct{}, int]()}
 	return &Counter{net: sim.New(n, pr, simOpts...), proto: pr}
 }
 
@@ -134,15 +133,7 @@ func (c *Counter) Holder() sim.ProcID { return c.proto.holder }
 
 // Inc implements counter.Counter.
 func (c *Counter) Inc(p sim.ProcID) (int, error) {
-	c.proto.resultReady = false
-	c.net.StartOp(p, c.proto.initiate)
-	if err := c.net.Run(); err != nil {
-		return 0, err
-	}
-	if !c.proto.resultReady {
-		return 0, fmt.Errorf("tokenring: operation by %v terminated without a value", p)
-	}
-	return c.proto.result, nil
+	return counter.RunInc(c, p)
 }
 
 // Start implements counter.Async: it schedules p's operation without
@@ -154,6 +145,14 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 	return c.net.ScheduleOp(at, p, c.proto.initiate)
 }
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
+
+// Consistency implements counter.Valued: the ring is correct only in the
+// sequential model — the engine's verification measures its duplicate
+// values under concurrency rather than claiming a property it lacks.
+func (c *Counter) Consistency() counter.Consistency { return counter.SequentialOnly }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

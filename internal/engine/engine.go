@@ -45,6 +45,7 @@ import (
 	"distcount/internal/counter"
 	"distcount/internal/loadstat"
 	"distcount/internal/sim"
+	"distcount/internal/verify"
 	"distcount/internal/workload"
 )
 
@@ -114,6 +115,15 @@ type Config struct {
 	// reaches KneeFactor times the baseline bucket's p99 marks the knee
 	// (default 4).
 	KneeFactor float64
+	// Verify enables post-run value-correctness checking: every completed
+	// operation's delivered value is collected and evaluated against the
+	// algorithm's claimed consistency level (linearizability for
+	// central/ctree/combining, quiescent consistency for the counting and
+	// diffracting networks, duplicate-value accounting for the protocols
+	// that are only sequentially correct). The result is attached as
+	// Result.Verification. Requires a counter.Valued implementation — every
+	// algorithm in this repository qualifies.
+	Verify bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -224,6 +234,10 @@ type Result struct {
 	// knee).
 	Buckets []RateBucket `json:"buckets,omitempty"`
 	Knee    *Knee        `json:"knee,omitempty"`
+	// Verification is the value-correctness report of the run (nil unless
+	// Config.Verify was set): the delivered values evaluated against the
+	// algorithm's claimed consistency level.
+	Verification *verify.Report `json:"verification,omitempty"`
 
 	// Latencies holds the raw measured end-to-end latencies, for
 	// percentile re-binning and benchmarks; omitted from JSON.
@@ -244,10 +258,17 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("engine: counter %q has already run %d ops (t=%d); build a fresh counter per run",
 			c.Name(), net.Ops(), net.Now())
 	}
-	if cfg.Mode == Open {
-		return runOpen(c, gen, cfg)
+	var vf *verifier
+	if cfg.Verify {
+		var err error
+		if vf, err = newVerifier(c); err != nil {
+			return nil, err
+		}
 	}
-	return runClosed(c, gen, cfg)
+	if cfg.Mode == Open {
+		return runOpen(c, gen, cfg, vf)
+	}
+	return runClosed(c, gen, cfg, vf)
 }
 
 // source pulls the request stream one ahead, so admission can stop at a
@@ -301,7 +322,7 @@ func resolveStride(cfg Config, gen workload.Generator) (stride int, thinAfter bo
 }
 
 // runClosed is the closed-loop driver.
-func runClosed(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
+func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) (*Result, error) {
 	net := c.Net()
 	n := c.N()
 	res := &Result{
@@ -350,6 +371,9 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config) (*Result, er
 		busy[st.Initiator] = false
 		tm := timesOf[st.ID]
 		delete(timesOf, st.ID)
+		if vf != nil {
+			vf.observe(st)
+		}
 		net.ForgetOp(st.ID)
 		m.onDone(res, net, cfg.Warmup, st, tm)
 		if m.completed%sampleEvery == 0 {
@@ -372,6 +396,9 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config) (*Result, er
 	}
 	if err := m.finalize(res, net, cfg.Warmup, thinAfter); err != nil {
 		return nil, err
+	}
+	if vf != nil {
+		res.Verification = vf.report()
 	}
 	return res, nil
 }

@@ -76,7 +76,7 @@ type opRec struct {
 // runOpen is the open-loop driver: it interleaves request admission with
 // event delivery in timestamp order, deciding each request's fate (inject,
 // queue, or drop) with the system state of its arrival instant.
-func runOpen(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
+func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) (*Result, error) {
 	net := c.Net()
 	n := c.N()
 	res := &Result{
@@ -149,6 +149,9 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config) (*Result, erro
 		busy[st.Initiator] = false
 		idx := recOf[st.ID]
 		delete(recOf, st.ID)
+		if vf != nil {
+			vf.observe(st)
+		}
 		net.ForgetOp(st.ID)
 		rec := &recs[idx]
 		rec.done = st.DoneAt
@@ -201,6 +204,9 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config) (*Result, erro
 	}
 	res.Buckets = bucketize(recs, cfg.KneeBuckets)
 	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
+	if vf != nil {
+		res.Verification = vf.report()
+	}
 	return res, nil
 }
 

@@ -72,29 +72,62 @@ func Render(res *engine.Result) string {
 	} else if res.Mode == engine.Open.String() {
 		b.WriteString("  saturation knee: not reached\n")
 	}
+	if v := res.Verification; v != nil {
+		fmt.Fprintf(&b, "  verification (%s): %d ops, %d violations (%d duplicates, %d gaps, %d order violations)\n",
+			v.Property, v.Ops, v.Violations, v.Duplicates, v.Gaps, v.OrderViolations)
+		if v.First != "" {
+			fmt.Fprintf(&b, "    first violation: %s\n", v.First)
+		}
+	}
 	return b.String()
 }
 
 // SweepRow is one cell of a sweep grid: the run's result plus the grid
-// coordinates that are not recorded inside engine.Result itself.
+// coordinates that are not recorded inside engine.Result itself. A cell
+// that failed to run carries the reason in Skipped and a Result holding
+// only its grid coordinates — exporters always render it, so a sweep can
+// never silently drop part of its grid.
 type SweepRow struct {
 	// MeanGap is the scenario's mean interarrival time for this cell.
 	MeanGap int64 `json:"mean_gap"`
 	// ServiceTime is the per-message processing cost the cell's network
 	// was built with (0 = instantaneous).
 	ServiceTime int64 `json:"service_time"`
+	// Skipped is the reason this cell could not run (empty for completed
+	// cells); its Result carries coordinates but no measurements.
+	Skipped string `json:"skipped,omitempty"`
 	*engine.Result
+}
+
+// SkippedRow builds the placeholder row for a sweep cell that failed to
+// run, preserving the cell's grid coordinates for the exporters.
+func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, service int64, reason error) SweepRow {
+	return SweepRow{
+		MeanGap:     gap,
+		ServiceTime: service,
+		Skipped:     reason.Error(),
+		Result: &engine.Result{
+			Algorithm: algo,
+			Scenario:  scenario,
+			Mode:      mode.String(),
+			N:         n,
+			InFlight:  window,
+		},
+	}
 }
 
 // SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
 const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 	"queue_p50,queue_p99,dropped,peak_queue_depth," +
-	"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason"
+	"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
+	"verify_property,verify_violations,verify_duplicates,skipped"
 
 // WriteSweepCSV writes the sweep as one merged CSV, a row per run, with
 // the SweepCSVHeader columns. Runs that never saturate leave knee_rate and
-// knee_reason empty.
+// knee_reason empty; runs without verification leave the verify_* columns
+// empty; skipped cells carry their reason in the final column (commas and
+// newlines replaced so the row stays one record).
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	if _, err := fmt.Fprintln(w, SweepCSVHeader); err != nil {
 		return err
@@ -105,16 +138,38 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			kneeRate = fmt.Sprintf("%.4f", r.Knee.OfferedRate)
 			kneeReason = r.Knee.Reason
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s\n",
+		vProp, vViol, vDup := "", "", ""
+		if v := r.Verification; v != nil {
+			vProp = v.Property
+			vViol = fmt.Sprintf("%d", v.Violations)
+			vDup = fmt.Sprintf("%d", v.Duplicates)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
 			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MeanGap, r.ServiceTime, r.QueueCap,
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Dropped, r.PeakQueueDepth,
 			r.Messages, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
-			kneeRate, kneeReason); err != nil {
+			kneeRate, kneeReason, vProp, vViol, vDup, csvField(r.Skipped)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// csvField makes an arbitrary message safe as one unquoted CSV field:
+// separators and record breaks become semicolons, and double quotes —
+// common in Go error text via %q — become single quotes so RFC-4180
+// readers do not reject the row as a bare quote in an unquoted field.
+func csvField(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '\n', '\r':
+			return ';'
+		case '"':
+			return '\''
+		}
+		return r
+	}, s)
 }
 
 // WriteSweepJSON writes the sweep as an indented JSON array, one element
@@ -125,19 +180,37 @@ func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
 	return enc.Encode(rows)
 }
 
-// RenderSweep returns a text table of the sweep, one line per run.
+// RenderSweep returns a text table of the sweep, one line per run. Skipped
+// cells render with their reason instead of measurements, and failed
+// verifications flag their violation count.
 func RenderSweep(rows []SweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-10s %-6s %6s %6s %5s %9s %9s %9s %8s %9s\n",
-		"algo", "scenario", "mode", "window", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee")
+	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %6s %5s %9s %9s %9s %8s %12s %12s\n",
+		"algo", "scenario", "mode", "window", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee", "verify")
 	for _, r := range rows {
+		if r.Skipped != "" {
+			fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %6d %5d SKIPPED: %s\n",
+				r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MeanGap, r.N, r.Skipped)
+			continue
+		}
 		knee := "-"
 		if r.Knee != nil {
 			knee = fmt.Sprintf("%.3f/%s", r.Knee.OfferedRate, r.Knee.Reason)
 		}
-		fmt.Fprintf(&b, "%-12s %-10s %-6s %6d %6d %5d %9.4f %9.1f %9d %8d %9s\n",
+		vcol := "-"
+		if v := r.Verification; v != nil {
+			switch {
+			case v.Violations > 0:
+				vcol = fmt.Sprintf("FAIL:%d", v.Violations)
+			case v.Duplicates > 0:
+				vcol = fmt.Sprintf("pass+%ddup", v.Duplicates)
+			default:
+				vcol = "pass"
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %6d %5d %9.4f %9.1f %9d %8d %12s %12s\n",
 			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MeanGap, r.N,
-			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.Dropped, knee)
+			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.Dropped, knee, vcol)
 	}
 	return b.String()
 }

@@ -129,35 +129,82 @@ func TestRenderOpen(t *testing.T) {
 	}
 }
 
-// TestSweepCSV: one header plus one row per run, knee columns filled only
-// when a knee was found.
+// TestSweepCSV: one header plus one row per run; knee columns filled only
+// when a knee was found, verify columns only when verification ran, and
+// skipped cells keep their coordinates with the reason in the last column.
 func TestSweepCSV(t *testing.T) {
 	rows := []SweepRow{
 		{MeanGap: 4, Result: sampleResult(t)},
 		{MeanGap: 2, ServiceTime: 1, Result: openResult(t)},
+		SkippedRow("quorum-grid", "uniform", engine.Closed, 12, 8, 4, 0,
+			errStub("no such scenario, with, commas")),
 	}
 	var buf bytes.Buffer
 	if err := WriteSweepCSV(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("sweep CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	if len(lines) != 4 {
+		t.Fatalf("sweep CSV has %d lines, want 4:\n%s", len(lines), buf.String())
 	}
 	if lines[0] != SweepCSVHeader {
 		t.Fatalf("header = %q", lines[0])
 	}
-	wantCols := strings.Count(SweepCSVHeader, ",")
+	header := strings.Split(SweepCSVHeader, ",")
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
 	for _, line := range lines[1:] {
-		if got := strings.Count(line, ","); got != wantCols {
-			t.Fatalf("row has %d commas, want %d: %q", got, wantCols, line)
+		if got := strings.Count(line, ","); got != len(header)-1 {
+			t.Fatalf("row has %d commas, want %d: %q", got, len(header)-1, line)
 		}
 	}
-	if !strings.HasSuffix(lines[1], ",,") {
+	closed := strings.Split(lines[1], ",")
+	if closed[col("knee_rate")] != "" || closed[col("knee_reason")] != "" {
 		t.Fatalf("closed-loop row should leave knee columns empty: %q", lines[1])
 	}
-	if !strings.Contains(lines[2], ",open,") || strings.HasSuffix(lines[2], ",,") {
+	open := strings.Split(lines[2], ",")
+	if open[col("mode")] != "open" || open[col("knee_rate")] == "" {
 		t.Fatalf("open-loop knee row wrong: %q", lines[2])
+	}
+	skipped := strings.Split(lines[3], ",")
+	if skipped[col("algo")] != "quorum-grid" || !strings.Contains(skipped[col("skipped")], "no such scenario") {
+		t.Fatalf("skipped row wrong: %q", lines[3])
+	}
+}
+
+// errStub is a trivial error for exporter tests.
+type errStub string
+
+func (e errStub) Error() string { return string(e) }
+
+// TestSweepCSVVerification: a verified run fills the verify_* columns.
+func TestSweepCSVVerification(t *testing.T) {
+	c, err := registry.NewAsync("central", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New("uniform", workload.Config{N: 12, Ops: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(c, gen, engine.Config{InFlight: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, []SweepRow{{MeanGap: 4, Result: res}}); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")[1]
+	if !strings.Contains(row, ",linearizable,0,0,") {
+		t.Fatalf("verify columns missing from row: %q", row)
 	}
 }
 

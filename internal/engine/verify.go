@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"fmt"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+	"distcount/internal/verify"
+)
+
+// verifier collects each completed operation's delivered value during a run
+// so the post-run evaluation (verify.Evaluate) can check the algorithm's
+// claimed consistency level. Collection happens in the completion handler,
+// before the driver forgets the operation, and costs O(1) per op; the
+// engine's default runs skip it entirely (Config.Verify).
+type verifier struct {
+	c       counter.Valued
+	vals    []verify.TimedValue
+	missing int
+}
+
+// newVerifier wraps the counter for value collection. Every implementation
+// in this repository is counter.Valued; the error guards external
+// implementations driven through the public API.
+func newVerifier(c counter.Async) (*verifier, error) {
+	vc, ok := c.(counter.Valued)
+	if !ok {
+		return nil, fmt.Errorf("engine: verification needs per-operation values, which %q does not expose (counter.Valued)", c.Name())
+	}
+	return &verifier{c: vc}, nil
+}
+
+// observe consumes the value of a completed operation; it must run before
+// the driver forgets the op.
+func (v *verifier) observe(st *sim.OpStats) {
+	val, ok := v.c.OpValue(st.ID)
+	if !ok {
+		v.missing++
+		return
+	}
+	v.vals = append(v.vals, verify.TimedValue{Op: st.ID, Value: val, Start: st.StartedAt, End: st.DoneAt})
+}
+
+// report evaluates the collected values against the claimed consistency
+// level.
+func (v *verifier) report() *verify.Report {
+	rep := verify.Evaluate(v.c.Consistency(), v.vals, v.missing)
+	return &rep
+}

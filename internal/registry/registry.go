@@ -1,6 +1,15 @@
 // Package registry provides name-based construction of every counter
 // implementation in the repository, used by the command-line tools and the
 // experiment harness to iterate over algorithms uniformly.
+//
+// There is one factory path: every registered algorithm builds as a
+// counter.Async (all implementations keep per-initiator operation state via
+// counter.Ops), and a single Config selects the construction regime —
+// sequential (combining/diffraction windows closed, ctree lemma
+// instrumentation on) or concurrent (windows open so request merging
+// engages, instrumentation off because its per-operation accounting assumes
+// the paper's sequential model). New and NewAsync are thin wrappers over
+// NewWith with the respective defaults, and AsyncNames == Names.
 package registry
 
 import (
@@ -19,50 +28,88 @@ import (
 	"distcount/internal/sim"
 )
 
-// Factory builds a counter for (at least) n processors. The returned
-// counter's N() may exceed n for algorithms with structural size
-// constraints (the paper's tree).
-type Factory func(n int, simOpts ...sim.Option) counter.Counter
+// Config selects the construction regime of a counter. The zero value is
+// the sequential regime of the paper's model.
+type Config struct {
+	// Window is the combining/diffraction window in simulated ticks for the
+	// algorithms whose effectiveness depends on concurrency (combining
+	// trees and diffracting prisms merge requests that arrive within the
+	// window). Zero keeps the windows closed — the sequential regime, in
+	// which nothing ever merges.
+	Window int64
+	// Checks enables the ctree lemma instrumentation, whose per-operation
+	// windows assume the sequential model; concurrent construction must
+	// leave it off.
+	Checks bool
+	// SimOpts are forwarded to the underlying network.
+	SimOpts []sim.Option
+}
+
+// Sequential returns the construction regime of the paper's model: windows
+// closed, instrumentation on.
+func Sequential(simOpts ...sim.Option) Config {
+	return Config{Checks: true, SimOpts: simOpts}
+}
+
+// Concurrent returns the construction regime of the workload engine:
+// combining/diffraction windows open at DefaultWindow, instrumentation off.
+func Concurrent(simOpts ...sim.Option) Config {
+	return Config{Window: DefaultWindow, SimOpts: simOpts}
+}
+
+// DefaultWindow is the combining/diffraction window, in simulated ticks,
+// used by the concurrent regime. One network hop is one tick under the
+// default unit latency.
+const DefaultWindow = 4
+
+// Factory builds a counter for (at least) n processors in the regime the
+// config selects. The returned counter's N() may exceed n for algorithms
+// with structural size constraints (the paper's tree).
+type Factory func(n int, cfg Config) counter.Async
 
 // factories maps algorithm names to constructors. Keep in sync with the
 // documentation in the README's "algorithms" section.
 func factories() map[string]Factory {
 	return map[string]Factory{
-		"central": func(n int, simOpts ...sim.Option) counter.Counter {
-			return central.New(n, central.WithSimOptions(simOpts...))
+		"central": func(n int, cfg Config) counter.Async {
+			return central.New(n, central.WithSimOptions(cfg.SimOpts...))
 		},
-		"tokenring": func(n int, simOpts ...sim.Option) counter.Counter {
-			return tokenring.New(n, simOpts...)
+		"tokenring": func(n int, cfg Config) counter.Async {
+			return tokenring.New(n, cfg.SimOpts...)
 		},
-		"ctree": func(n int, simOpts ...sim.Option) counter.Counter {
-			return core.NewForSize(n, core.WithSimOptions(simOpts...))
+		"ctree": func(n int, cfg Config) counter.Async {
+			opts := []core.Option{core.WithSimOptions(cfg.SimOpts...)}
+			if !cfg.Checks {
+				opts = append(opts, core.WithoutChecks())
+			}
+			return core.NewForSize(n, opts...)
 		},
-		"combining": func(n int, simOpts ...sim.Option) counter.Counter {
-			return combining.New(n, combining.WithSimOptions(simOpts...))
+		"combining": func(n int, cfg Config) counter.Async {
+			return combining.New(n, combining.WithWindow(cfg.Window), combining.WithSimOptions(cfg.SimOpts...))
 		},
-		"cnet": func(n int, simOpts ...sim.Option) counter.Counter {
-			return cnet.New(n, cnet.WithSimOptions(simOpts...))
+		"cnet": func(n int, cfg Config) counter.Async {
+			return cnet.New(n, cnet.WithSimOptions(cfg.SimOpts...))
 		},
-		"cnet-periodic": func(n int, simOpts ...sim.Option) counter.Counter {
-			return cnet.New(n, cnet.WithConstruction(cnet.Periodic), cnet.WithSimOptions(simOpts...))
+		"cnet-periodic": func(n int, cfg Config) counter.Async {
+			return cnet.New(n, cnet.WithConstruction(cnet.Periodic), cnet.WithSimOptions(cfg.SimOpts...))
 		},
-		"difftree": func(n int, simOpts ...sim.Option) counter.Counter {
-			return difftree.New(n, difftree.WithSimOptions(simOpts...))
+		"difftree": func(n int, cfg Config) counter.Async {
+			return difftree.New(n, difftree.WithWindow(cfg.Window), difftree.WithSimOptions(cfg.SimOpts...))
 		},
-		"quorum-singleton": func(n int, simOpts ...sim.Option) counter.Counter {
-			return quorumctr.New(quorum.NewSingleton(n), simOpts...)
+		"quorum-singleton": func(n int, cfg Config) counter.Async {
+			return quorumctr.New(quorum.NewSingleton(n), cfg.SimOpts...)
 		},
-		"quorum-majority": func(n int, simOpts ...sim.Option) counter.Counter {
-			return quorumctr.New(quorum.NewMajority(n), simOpts...)
+		"quorum-majority": func(n int, cfg Config) counter.Async {
+			return quorumctr.New(quorum.NewMajority(n), cfg.SimOpts...)
 		},
-		"quorum-grid": func(n int, simOpts ...sim.Option) counter.Counter {
-			return quorumctr.New(quorum.NewGrid(n), simOpts...)
+		"quorum-grid": func(n int, cfg Config) counter.Async {
+			return quorumctr.New(quorum.NewGrid(n), cfg.SimOpts...)
 		},
-		"quorum-tree": func(n int, simOpts ...sim.Option) counter.Counter {
-			return quorumctr.New(quorum.NewTree(n), simOpts...)
+		"quorum-tree": func(n int, cfg Config) counter.Async {
+			return quorumctr.New(quorum.NewTree(n), cfg.SimOpts...)
 		},
-		"quorum-wall": func(n int, simOpts ...sim.Option) counter.Counter {
-			return quorumctr.New(quorum.NewWall(n), simOpts...)
+		"quorum-wall": func(n int, cfg Config) counter.Async {
+			return quorumctr.New(quorum.NewWall(n), cfg.SimOpts...)
 		},
 	}
 }
@@ -78,53 +125,36 @@ func Names() []string {
 	return out
 }
 
-// New builds the named counter over (at least) n processors.
-func New(name string, n int, simOpts ...sim.Option) (counter.Counter, error) {
+// NewWith builds the named counter over (at least) n processors in the
+// regime the config selects.
+func NewWith(name string, n int, cfg Config) (counter.Async, error) {
 	f, ok := factories()[name]
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown algorithm %q (have %v)", name, Names())
 	}
-	return f(n, simOpts...), nil
+	return f(n, cfg), nil
 }
 
-// asyncWindow is the combining/diffraction window, in simulated ticks,
-// used by NewAsync for the algorithms whose effectiveness depends on
-// concurrency (combining trees and diffracting prisms merge requests that
-// arrive within the window). One network hop is one tick under the default
-// unit latency.
-const asyncWindow = 4
+// New builds the named counter in the sequential regime of the paper's
+// model (windows closed, ctree instrumentation on).
+func New(name string, n int, simOpts ...sim.Option) (counter.Counter, error) {
+	return NewWith(name, n, Sequential(simOpts...))
+}
 
 // NewAsync builds the named counter configured for concurrent operation
 // (counter.Async): many increments in flight on the simulated network at
-// once, as driven by the workload engine. Algorithms whose protocol admits
-// only one outstanding operation system-wide (the quorum counters keep a
-// single in-flight quorum access and panic on stray responses) are
-// rejected. The paper's tree is built without its lemma instrumentation,
-// whose per-operation windows assume the sequential model; the combining
-// tree and diffracting tree are built with a nonzero window (asyncWindow)
-// so the mechanisms they were invented for actually engage.
+// once, as driven by the workload engine. Every registered algorithm
+// supports this — per-initiator operation state is universal — so the only
+// construction difference from New is the regime: the combining tree and
+// diffracting tree get a nonzero window (DefaultWindow) so the mechanisms
+// they were invented for actually engage, and the paper's tree is built
+// without its lemma instrumentation, whose per-operation windows assume
+// the sequential model.
 func NewAsync(name string, n int, simOpts ...sim.Option) (counter.Async, error) {
-	switch name {
-	case "ctree":
-		return core.NewForSize(n, core.WithoutChecks(), core.WithSimOptions(simOpts...)), nil
-	case "combining":
-		return combining.New(n, combining.WithWindow(asyncWindow), combining.WithSimOptions(simOpts...)), nil
-	case "difftree":
-		return difftree.New(n, difftree.WithWindow(asyncWindow), difftree.WithSimOptions(simOpts...)), nil
-	}
-	c, err := New(name, n, simOpts...)
-	if err != nil {
-		return nil, err
-	}
-	a, ok := c.(counter.Async)
-	if !ok {
-		return nil, fmt.Errorf("registry: algorithm %q does not support concurrent operation (have %v)", name, AsyncNames())
-	}
-	return a, nil
+	return NewWith(name, n, Concurrent(simOpts...))
 }
 
-// AsyncNames returns the algorithms NewAsync accepts, sorted. Keep in sync
-// with the Start methods on the counter implementations.
-func AsyncNames() []string {
-	return []string{"central", "cnet", "cnet-periodic", "combining", "ctree", "difftree", "tokenring"}
-}
+// AsyncNames returns the algorithms NewAsync accepts — since the
+// per-initiator op-state refactor, every registered algorithm, i.e. exactly
+// Names().
+func AsyncNames() []string { return Names() }

@@ -63,34 +63,27 @@ func TestAsyncNamesAllConcurrent(t *testing.T) {
 	}
 }
 
-// TestAsyncRejectsSequentialOnly: quorum counters keep a single in-flight
-// operation and must be rejected, with an error listing the alternatives.
-func TestAsyncRejectsSequentialOnly(t *testing.T) {
-	_, err := NewAsync("quorum-majority", 9)
-	if err == nil {
-		t.Fatal("quorum-majority accepted as async")
+// TestAsyncNamesEqualNames: since the per-initiator op-state refactor,
+// every registered algorithm is async-capable — the two lists must be
+// identical, and every name must build through NewAsync as counter.Valued.
+func TestAsyncNamesEqualNames(t *testing.T) {
+	names, async := Names(), AsyncNames()
+	if len(names) != len(async) {
+		t.Fatalf("AsyncNames (%d) != Names (%d)", len(async), len(names))
 	}
-	if !strings.Contains(err.Error(), "ctree") {
-		t.Fatalf("error does not list async algorithms: %v", err)
-	}
-}
-
-// TestAsyncNamesSubsetOfNames: the async list must stay in sync with the
-// factory registry.
-func TestAsyncNamesSubsetOfNames(t *testing.T) {
-	all := map[string]bool{}
-	for _, name := range Names() {
-		all[name] = true
-	}
-	prev := ""
-	for _, name := range AsyncNames() {
-		if !all[name] {
-			t.Fatalf("async algorithm %q is not registered", name)
+	for i := range names {
+		if names[i] != async[i] {
+			t.Fatalf("AsyncNames[%d] = %q, Names[%d] = %q", i, async[i], i, names[i])
 		}
-		if name <= prev {
-			t.Fatalf("AsyncNames not sorted: %v", AsyncNames())
+	}
+	for _, name := range async {
+		a, err := NewAsync(name, 9)
+		if err != nil {
+			t.Fatalf("NewAsync(%s): %v", name, err)
 		}
-		prev = name
+		if _, ok := a.(counter.Valued); !ok {
+			t.Fatalf("%s: async counter does not implement counter.Valued", name)
+		}
 	}
 }
 

@@ -293,6 +293,18 @@ func (nw *Network) NextAt() (int64, bool) {
 // op tracking is disabled).
 func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops[id] }
 
+// CurrentOp returns the id of the operation the currently executing delivery
+// or start callback belongs to, and 0 outside a callback or inside a
+// detached maintenance event (AfterDetached). Protocols use it to key
+// per-operation state — e.g. recording which operation a delivered counter
+// value belongs to — without threading the id through every payload.
+func (nw *Network) CurrentOp() OpID {
+	if !nw.inCallback {
+		return 0
+	}
+	return nw.cur.op
+}
+
 // OnOpDone installs a completion handler invoked whenever the last queued
 // event of an operation has been delivered — i.e. the operation's "process"
 // has run to completion even though the network as a whole may still be

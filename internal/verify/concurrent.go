@@ -1,0 +1,107 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"distcount/internal/counter"
+)
+
+// Report quantifies the value correctness of one concurrent run against the
+// consistency level the algorithm claims (counter.Consistency). Unlike the
+// boolean checks (Linearizable, QuiescentConsistent), which stop at the
+// first problem, the report counts everything, so the workload engine can
+// attach it to a result and a sweep can compare algorithms: tokenring's
+// duplicate count under load is a measurement, not a test failure.
+type Report struct {
+	// Property is the claimed consistency level being verified:
+	// "sequential", "quiescent", or "linearizable".
+	Property string `json:"property"`
+	// Ops is the number of completed operations whose values were checked;
+	// Missing counts completed operations that never received a value
+	// (a protocol bug for every implementation in this repository).
+	Ops     int `json:"ops"`
+	Missing int `json:"missing,omitempty"`
+	// Duplicates is the number of operations that received a value some
+	// earlier-checked operation also received; Gaps the number of values in
+	// [0, Ops) never handed out. Both are zero exactly when the values form
+	// a bijection onto {0..Ops-1} (quiescent consistency).
+	Duplicates int `json:"duplicates"`
+	Gaps       int `json:"gaps"`
+	// OrderViolations is the number of operations that received a value not
+	// larger than some operation that completed before they started — the
+	// real-time order condition of linearizability.
+	OrderViolations int `json:"order_violations"`
+	// Violations counts the failures of the claimed property: for
+	// "linearizable" duplicates + gaps + order violations, for "quiescent"
+	// duplicates + gaps, for "sequential" nothing (no concurrent claim is
+	// made; duplicates and gaps remain reported as measurements). Missing
+	// values always count as violations.
+	Violations int `json:"violations"`
+	// First describes the first detected violation, empty when none.
+	First string `json:"first_violation,omitempty"`
+}
+
+// Evaluate checks the values of a concurrent run against the claimed
+// consistency level and returns the quantitative report. missing is the
+// number of completed operations whose value could not be read back.
+func Evaluate(level counter.Consistency, vals []TimedValue, missing int) Report {
+	rep := Report{Property: level.String(), Ops: len(vals), Missing: missing}
+
+	// Exactly-once accounting: duplicates and gaps relative to {0..Ops-1}.
+	seen := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		if seen[v.Value] {
+			rep.Duplicates++
+			if rep.First == "" && level != counter.SequentialOnly {
+				rep.First = fmt.Sprintf("value %d handed out more than once", v.Value)
+			}
+			continue
+		}
+		seen[v.Value] = true
+	}
+	for v := 0; v < len(vals); v++ {
+		if !seen[v] {
+			rep.Gaps++
+			if rep.First == "" && level != counter.SequentialOnly {
+				rep.First = fmt.Sprintf("value %d never handed out", v)
+			}
+		}
+	}
+
+	// Real-time order: scan operations by start time, tracking the largest
+	// value among operations completed strictly before each start (the same
+	// sweep as Linearizable, counting instead of stopping).
+	byEnd := append([]TimedValue(nil), vals...)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+	byStart := append([]TimedValue(nil), vals...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+	maxDone, ei := -1, 0
+	for _, b := range byStart {
+		for ei < len(byEnd) && byEnd[ei].End < b.Start {
+			if byEnd[ei].Value > maxDone {
+				maxDone = byEnd[ei].Value
+			}
+			ei++
+		}
+		if maxDone >= b.Value {
+			rep.OrderViolations++
+			if rep.First == "" && level == counter.Linearizable {
+				rep.First = fmt.Sprintf("op %d got value %d although an operation with value >= %d completed before it started",
+					b.Op, b.Value, maxDone)
+			}
+		}
+	}
+
+	switch level {
+	case counter.Linearizable:
+		rep.Violations = rep.Duplicates + rep.Gaps + rep.OrderViolations
+	case counter.Quiescent:
+		rep.Violations = rep.Duplicates + rep.Gaps
+	}
+	rep.Violations += rep.Missing
+	if rep.Missing > 0 && rep.First == "" {
+		rep.First = fmt.Sprintf("%d operations completed without delivering a value", rep.Missing)
+	}
+	return rep
+}
