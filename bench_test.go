@@ -294,7 +294,7 @@ func BenchmarkWorkloadEngine(b *testing.B) {
 		b.Run(fmt.Sprintf("%s/%s/n=%d", cfg.algo, cfg.scen, cfg.n), func(b *testing.B) {
 			var rep *distcount.WorkloadReport
 			for i := 0; i < b.N; i++ {
-				c, err := registry.NewAsync(cfg.algo, cfg.n)
+				c, err := registry.NewWith(cfg.algo, cfg.n, registry.Concurrent())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -324,7 +324,7 @@ func BenchmarkWorkloadEngineWindow(b *testing.B) {
 		b.Run(fmt.Sprintf("ctree/window=%d", window), func(b *testing.B) {
 			var rep *distcount.WorkloadReport
 			for i := 0; i < b.N; i++ {
-				c, err := registry.NewAsync("ctree", 256)
+				c, err := registry.NewWith("ctree", 256, registry.Concurrent())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,7 @@
 //	loadgen -algo tokenring -scenario uniform -verify -format text
 //	loadgen -sweep -algos central,ctree -scenarios uniform,zipf -format csv
 //	loadgen -sweep -algos all -scenarios ramprate -mode open -service 1 -format text
+//	loadgen -study scaling -format text
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -35,13 +36,24 @@
 // correct (tokenring, quorum-*).
 //
 // With -sweep the tool runs the full -algos x -scenarios x -windows x
-// -gaps grid (windows apply to closed loop only) and merges all runs into
-// one CSV (-format csv, one row per run), JSON array, or text table.
-// "-algos all" expands to every registered algorithm and "-scenarios all"
-// to every scenario. Cells run concurrently on a -parallel worker pool
-// (each owns an independent network; output order stays deterministic),
-// and a cell that fails is reported as a skipped row with its reason
-// instead of aborting the sweep.
+// -gaps x -ns grid (windows apply to closed loop only) and merges all
+// runs into one CSV (-format csv, one row per run), JSON array, or text
+// table. "-algos all" expands to every registered algorithm and
+// "-scenarios all" to every scenario; -ns makes the network size a grid
+// dimension. Cells run concurrently on a -parallel worker pool (each owns
+// an independent network; output order stays deterministic), and a cell
+// that fails is reported as a skipped row with its reason instead of
+// aborting the sweep.
+//
+// With -study scaling the tool packages the knee-vs-n experiment of
+// docs/EXPERIMENTS.md §4: one open-loop ramprate cell per (algorithm, n)
+// over -ns at the base merge window (-window), a merge-window sub-sweep
+// (-windows) at the largest n for the request-merging algorithms, a
+// log-log fit of knee_rate against n, and a per-algorithm verdict —
+// bottleneck-bound, merge-bound, or scales-with-n — rendered as text,
+// CSV (one row per measured point), or JSON. Unset knobs default to
+// saturating values (-service 1, -rate-to 8, -ops 4000, -knee-buckets
+// 48).
 //
 // The special scenario "adversarial" first executes the paper's
 // lower-bound adversary against the chosen algorithm (sequentially, on a
@@ -76,26 +88,29 @@ func main() {
 	}
 }
 
-// options collects the parsed flag values shared by single runs and sweeps.
+// options collects the parsed flag values shared by single runs, sweeps,
+// and studies.
 type options struct {
-	mode     engine.Mode
-	n        int
-	ops      int
-	seed     uint64
-	inflight int
-	queueCap int
-	warmup   int
-	meanGap  int64
-	service  int64
-	sample   int
-	verify   bool
-	wcfg     workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
+	mode        engine.Mode
+	n           int
+	ops         int
+	seed        uint64
+	inflight    int
+	queueCap    int
+	warmup      int
+	meanGap     int64
+	service     int64
+	sample      int
+	window      int64 // combining/diffraction merge window
+	kneeBuckets int   // open-loop rate buckets (0 = engine default)
+	verify      bool
+	wcfg        workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		algo     = fs.String("algo", "ctree", "algorithm: "+strings.Join(registry.AsyncNames(), ", "))
+		algo     = fs.String("algo", "ctree", "algorithm: "+strings.Join(registry.Names(), ", "))
 		scenario = fs.String("scenario", "uniform", "scenario: "+strings.Join(workload.Names(), ", ")+", adversarial")
 		n        = fs.Int("n", 81, "number of processors (rounded up for structured algorithms)")
 		ops      = fs.Int("ops", 2000, "number of operations")
@@ -107,6 +122,8 @@ func run(args []string, out io.Writer) error {
 		meanGap  = fs.Int64("mean-gap", 4, "mean interarrival time in simulated ticks")
 		service  = fs.Int64("service", 0, "per-message processing cost in ticks (0 = instantaneous; saturation needs > 0)")
 		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
+		window   = fs.Int64("window", registry.DefaultWindow, "combining/diffraction merge window in ticks (request-merging algorithms only)")
+		kneeBk   = fs.Int("knee-buckets", 0, "open-loop rate buckets for the saturation analysis (0 = engine default; more buckets = finer knee resolution)")
 		verify   = fs.Bool("verify", false, "check delivered values against the algorithm's claimed consistency level")
 		format   = fs.String("format", "json", "output format: json, text, csv")
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
@@ -115,19 +132,21 @@ func run(args []string, out io.Writer) error {
 		burstLen = fs.Int("burst-len", 32, "operations per burst (scenario bursty)")
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
-		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps grid into one merged report")
-		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep, or \"all\" for every registered algorithm")
+		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps x -ns grid into one merged report")
+		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts`)
+		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep/-study, or \"all\" for every registered algorithm (-study default: all)")
 		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep, or \"all\" for every scenario")
-		windows  = fs.String("windows", "", "comma-separated closed-loop windows for -sweep (default: -inflight)")
+		windows  = fs.String("windows", "", "comma-separated closed-loop admission windows for -sweep (default: -inflight); merge-window sub-sweep for -study (default: 1,4,64)")
 		gaps     = fs.String("gaps", "", "comma-separated mean interarrival gaps for -sweep (default: -mean-gap)")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for -sweep cells (each cell owns an independent network)")
+		ns       = fs.String("ns", "", "comma-separated processor counts: the n grid dimension for -sweep and -study (default: -n)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for -sweep/-study cells (each cell owns an independent network)")
 		list     = fs.Bool("list", false, "list algorithms and scenarios, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
-		fmt.Fprintln(out, "algorithms:", strings.Join(registry.AsyncNames(), ", "))
+		fmt.Fprintln(out, "algorithms:", strings.Join(registry.Names(), ", "))
 		fmt.Fprintln(out, "scenarios: ", strings.Join(workload.Names(), ", ")+", adversarial")
 		return nil
 	}
@@ -151,10 +170,19 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need -service >= 0 (got %d)", *service)
 	}
 	// A measurement tool must not silently ignore an explicit selection:
-	// the single-run and sweep flag families are mutually exclusive.
+	// the single-run, sweep, and study flag families are mutually exclusive.
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *sweep {
+	if *window < 0 {
+		return fmt.Errorf("need -window >= 0 (got %d)", *window)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("need -parallel >= 1 (got %d)", *parallel)
+	}
+	switch {
+	case *sweep && *study != "":
+		return fmt.Errorf("-sweep and -study are mutually exclusive")
+	case *sweep:
 		for _, name := range []string{"algo", "scenario"} {
 			if set[name] {
 				return fmt.Errorf("-%s is ignored by -sweep; use -algos/-scenarios", name)
@@ -163,29 +191,41 @@ func run(args []string, out io.Writer) error {
 		if m == engine.Open && set["windows"] {
 			return fmt.Errorf("-windows only applies to closed-loop sweeps (open loop has no admission window)")
 		}
-		if *parallel < 1 {
-			return fmt.Errorf("need -parallel >= 1 (got %d)", *parallel)
+	case *study != "":
+		if *study != "scaling" {
+			return fmt.Errorf("unknown study %q (have scaling)", *study)
 		}
-	} else {
-		for _, name := range []string{"algos", "scenarios", "windows", "gaps", "parallel"} {
+		for _, name := range []string{"algo", "scenario", "scenarios", "gaps"} {
 			if set[name] {
-				return fmt.Errorf("-%s only applies with -sweep", name)
+				return fmt.Errorf("-%s is ignored by -study scaling (always open-loop ramprate over -algos)", name)
+			}
+		}
+		if set["mode"] && m != engine.Open {
+			return fmt.Errorf("-study scaling is an open-loop experiment; drop -mode %s", m)
+		}
+		m = engine.Open
+	default:
+		for _, name := range []string{"algos", "scenarios", "windows", "gaps", "ns", "parallel"} {
+			if set[name] {
+				return fmt.Errorf("-%s only applies with -sweep or -study", name)
 			}
 		}
 	}
 
 	opt := options{
-		mode:     m,
-		n:        *n,
-		ops:      *ops,
-		seed:     *seed,
-		inflight: *inflight,
-		queueCap: *queueCap,
-		warmup:   *warmup,
-		meanGap:  *meanGap,
-		service:  *service,
-		sample:   *sample,
-		verify:   *verify,
+		mode:        m,
+		n:           *n,
+		ops:         *ops,
+		seed:        *seed,
+		inflight:    *inflight,
+		queueCap:    *queueCap,
+		warmup:      *warmup,
+		meanGap:     *meanGap,
+		service:     *service,
+		sample:      *sample,
+		window:      *window,
+		kneeBuckets: *kneeBk,
+		verify:      *verify,
 		wcfg: workload.Config{
 			Ops:      *ops,
 			Seed:     *seed,
@@ -198,8 +238,31 @@ func run(args []string, out io.Writer) error {
 		},
 	}
 
+	nsList := []int{opt.n}
+	if *ns != "" {
+		var err error
+		if nsList, err = parseInts(*ns, "-ns"); err != nil {
+			return err
+		}
+	}
+
 	if *sweep {
-		return runSweep(out, opt, *format, *algos, *scens, *windows, *gaps, *parallel)
+		return runSweep(out, opt, *format, *algos, *scens, *windows, *gaps, nsList, *parallel)
+	}
+	if *study != "" {
+		scfg := studyConfig{
+			algos:          *algos,
+			algosSet:       set["algos"],
+			opsSet:         set["ops"],
+			ns:             nsList,
+			nsSet:          set["ns"],
+			windows:        *windows,
+			serviceSet:     set["service"],
+			rateToSet:      set["rate-to"],
+			kneeBucketsSet: set["knee-buckets"],
+			parallel:       *parallel,
+		}
+		return runScalingStudy(out, opt, *format, scfg)
 	}
 
 	res, err := runOne(opt, *algo, *scenario)
@@ -224,7 +287,9 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	if opt.service > 0 {
 		simOpts = append(simOpts, sim.WithServiceTime(opt.service))
 	}
-	c, err := registry.NewAsync(algo, opt.n, simOpts...)
+	rcfg := registry.Concurrent(simOpts...)
+	rcfg.Window = opt.window
+	c, err := registry.NewWith(algo, opt.n, rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +315,7 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 		QueueCap:    opt.queueCap,
 		Warmup:      opt.warmup,
 		SampleEvery: opt.sample,
+		KneeBuckets: opt.kneeBuckets,
 		Verify:      opt.verify,
 	}
 	if ecfg.Warmup < 0 {
@@ -258,13 +324,17 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	return engine.Run(c, gen, ecfg)
 }
 
-// sweepCell is one grid coordinate of a sweep; idx fixes its output slot so
-// parallel execution keeps row order deterministic.
+// sweepCell is one grid coordinate of a sweep or study; idx fixes its
+// output slot so parallel execution keeps row order deterministic. inflight
+// is the closed-loop admission window; mwin the merge window the cell's
+// counter is built with.
 type sweepCell struct {
 	idx        int
 	algo, scen string
-	window     int
+	n          int
+	inflight   int
 	gap        int64
+	mwin       int64
 }
 
 // runSweep executes the grid — cells spread over a worker pool, each cell
@@ -272,12 +342,9 @@ type sweepCell struct {
 // report in grid order. A cell that fails is reported as a skipped row with
 // its reason, never silently dropped; the sweep itself errors only when no
 // cell at all could run.
-func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps string, parallel int) error {
-	algoList := splitList(algos)
+func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps string, nsList []int, parallel int) error {
+	algoList := expandAlgos(algos)
 	scenList := splitList(scens)
-	if len(algoList) == 1 && algoList[0] == "all" {
-		algoList = registry.Names()
-	}
 	if len(scenList) == 1 && scenList[0] == "all" {
 		scenList = workload.Names()
 	}
@@ -293,7 +360,7 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 	}
 	if opt.mode == engine.Open {
 		// Open loop has no admission window; one pass per (algo, scenario,
-		// gap) cell. An explicit -windows list was already rejected.
+		// gap, n) cell. An explicit -windows list was already rejected.
 		windowList = windowList[:1]
 	}
 	gapList := []int64{opt.meanGap}
@@ -313,12 +380,37 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 		for _, scen := range scenList {
 			for _, window := range windowList {
 				for _, gap := range gapList {
-					cells = append(cells, sweepCell{idx: len(cells), algo: algo, scen: scen, window: window, gap: gap})
+					for _, n := range nsList {
+						cells = append(cells, sweepCell{idx: len(cells), algo: algo, scen: scen,
+							n: n, inflight: window, gap: gap, mwin: opt.window})
+					}
 				}
 			}
 		}
 	}
 
+	rows, err := runCells(opt, cells, parallel)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+
+	switch format {
+	case "csv":
+		return report.WriteSweepCSV(out, rows)
+	case "text":
+		_, err := io.WriteString(out, report.RenderSweep(rows))
+		return err
+	default:
+		return report.WriteSweepJSON(out, rows)
+	}
+}
+
+// runCells spreads the cells over a worker pool — each cell owns an
+// independent counter and network — and returns one row per cell in cell
+// order, so parallel execution is indistinguishable from serial. A grid
+// where no cell at all could run is an error (single failed cells are
+// reported as skipped rows instead).
+func runCells(opt options, cells []sweepCell, parallel int) ([]report.SweepRow, error) {
 	rows := make([]report.SweepRow, len(cells))
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
@@ -339,20 +431,11 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 			skipped++
 		}
 	}
-	if skipped == len(rows) {
-		return fmt.Errorf("sweep: all %d cells failed; first: %s/%s: %s",
+	if len(rows) > 0 && skipped == len(rows) {
+		return nil, fmt.Errorf("all %d cells failed; first: %s/%s: %s",
 			len(rows), rows[0].Algorithm, rows[0].Scenario, rows[0].Skipped)
 	}
-
-	switch format {
-	case "csv":
-		return report.WriteSweepCSV(out, rows)
-	case "text":
-		_, err := io.WriteString(out, report.RenderSweep(rows))
-		return err
-	default:
-		return report.WriteSweepJSON(out, rows)
-	}
+	return rows, nil
 }
 
 // runCell executes one sweep cell, converting any error — including a
@@ -361,18 +444,31 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 	defer func() {
 		if r := recover(); r != nil {
-			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, opt.n, cl.window, cl.gap, opt.service,
+			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin,
 				fmt.Errorf("panic: %v", r))
 		}
 	}()
 	cell := opt
-	cell.inflight = cl.window
+	cell.n = cl.n
+	cell.inflight = cl.inflight
 	cell.meanGap = cl.gap
+	cell.window = cl.mwin
 	res, err := runOne(cell, cl.algo, cl.scen)
 	if err != nil {
-		return report.SkippedRow(cl.algo, cl.scen, opt.mode, opt.n, cl.window, cl.gap, opt.service, err)
+		return report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin, err)
 	}
-	return report.SweepRow{MeanGap: cl.gap, ServiceTime: cell.service, Result: res}
+	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, Result: res}
+}
+
+// expandAlgos splits an -algos flag value, expanding the "all" sentinel to
+// every registered algorithm — the one place sweep and study agree on what
+// "all" means.
+func expandAlgos(algos string) []string {
+	list := splitList(algos)
+	if len(list) == 1 && list[0] == "all" {
+		return registry.Names()
+	}
+	return list
 }
 
 // splitList splits a comma-separated flag value, dropping empty elements.

@@ -172,7 +172,7 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	if len(lines) != 1+2*2*2 {
 		t.Fatalf("sweep CSV has %d lines, want header + 8 rows:\n%s", len(lines), out)
 	}
-	wantHeader := "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
+	wantHeader := "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,queue_cap," +
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 		"queue_p50,queue_p99,dropped,peak_queue_depth," +
 		"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
@@ -181,14 +181,14 @@ func TestRunSweepCSVGolden(t *testing.T) {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
 	}
 	wantGrid := []string{
-		"central,uniform,closed,8,120,2,2",
-		"central,uniform,closed,8,120,8,2",
-		"central,zipf,closed,8,120,2,2",
-		"central,zipf,closed,8,120,8,2",
-		"tokenring,uniform,closed,8,120,2,2",
-		"tokenring,uniform,closed,8,120,8,2",
-		"tokenring,zipf,closed,8,120,2,2",
-		"tokenring,zipf,closed,8,120,8,2",
+		"central,uniform,closed,8,120,2,16,2",
+		"central,uniform,closed,8,120,8,16,2",
+		"central,zipf,closed,8,120,2,16,2",
+		"central,zipf,closed,8,120,8,16,2",
+		"tokenring,uniform,closed,8,120,2,16,2",
+		"tokenring,uniform,closed,8,120,8,16,2",
+		"tokenring,zipf,closed,8,120,2,16,2",
+		"tokenring,zipf,closed,8,120,8,16,2",
 	}
 	cols := strings.Count(wantHeader, ",")
 	for i, prefix := range wantGrid {
@@ -319,6 +319,115 @@ func TestRunSweepOpenJSON(t *testing.T) {
 	for _, r := range rows {
 		if r.Mode != "open" || r.ServiceTime != 1 || r.Ops != 150 {
 			t.Fatalf("row incoherent: %+v", r)
+		}
+	}
+}
+
+// TestRunSweepNs: -ns makes n a first-class grid dimension — one row per
+// (algo, scenario, n) cell, each reporting its own network size.
+func TestRunSweepNs(t *testing.T) {
+	args := []string{"-sweep", "-algos", "central", "-scenarios", "uniform",
+		"-ns", "8,16", "-ops", "80", "-format", "csv"}
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("2-n sweep produced %d lines, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[1], "central,uniform,closed,8,") ||
+		!strings.HasPrefix(lines[2], "central,uniform,closed,16,") {
+		t.Fatalf("rows do not carry the n grid:\n%s", b.String())
+	}
+}
+
+// TestRunStudyScaling is the subsystem's CLI acceptance test: one
+// invocation produces the per-algorithm knee-vs-n verdicts in every
+// format, deterministically, with the expected classifications for the
+// central counter (bottleneck-bound: flat knee) and the diffracting tree
+// (merge-bound: window-widened knee) at a small but robust size.
+func TestRunStudyScaling(t *testing.T) {
+	base := []string{"-study", "scaling", "-algos", "central,difftree",
+		"-ns", "8,16,32", "-ops", "2000", "-seed", "1"}
+
+	var text strings.Builder
+	if err := run(append(base, "-format", "text"), &text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "knee-vs-n scaling study") {
+		t.Fatalf("missing study header:\n%s", out)
+	}
+	for _, want := range []string{"central", "bottleneck-bound", "difftree", "merge-bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study text missing %q:\n%s", want, out)
+		}
+	}
+
+	var csv strings.Builder
+	if err := run(append(base, "-format", "csv"), &csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "algo,role,n,merge_window,knee_rate") {
+		t.Fatalf("study CSV header wrong: %q", lines[0])
+	}
+	// central: 3 n-points; difftree: 3 n-points + 4 window points (1, 4,
+	// 64 sub-sweep plus the base 16 measured on the n axis).
+	if len(lines) != 1+3+3+4 {
+		t.Fatalf("study CSV has %d lines, want 11:\n%s", len(lines), csv.String())
+	}
+
+	var js strings.Builder
+	if err := run(append(base, "-format", "json"), &js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		BaseWindow int64 `json:"base_window"`
+		Algorithms []struct {
+			Algorithm string `json:"algorithm"`
+			Class     string `json:"class"`
+			Points    []struct {
+				N        int     `json:"n"`
+				KneeRate float64 `json:"knee_rate"`
+			} `json:"points"`
+		} `json:"algorithms"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("invalid study JSON: %v", err)
+	}
+	if len(decoded.Algorithms) != 2 {
+		t.Fatalf("study JSON has %d algorithms, want 2", len(decoded.Algorithms))
+	}
+
+	var again strings.Builder
+	if err := run(append(base, "-format", "text"), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("identical study invocations produced different reports")
+	}
+}
+
+// TestRunStudyBadArgs: the study family rejects the flags it would
+// silently ignore, and unknown study names.
+func TestRunStudyBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-study", "nope"},
+		{"-study", "scaling", "-sweep"},
+		{"-study", "scaling", "-algo", "central"},
+		{"-study", "scaling", "-scenario", "zipf"},
+		{"-study", "scaling", "-scenarios", "uniform"},
+		{"-study", "scaling", "-gaps", "2,8"},
+		{"-study", "scaling", "-mode", "closed"},
+		{"-study", "scaling", "-ns", "0"},
+		{"-ns", "8,16", "-algo", "central"}, // n grid without -sweep/-study
+		{"-window", "-1"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("args %v accepted", args)
 		}
 	}
 }

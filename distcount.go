@@ -152,7 +152,7 @@ func NewTracedCounter(algorithm string, n int) (Counter, error) {
 // and are therefore usable with NewAsyncCounter and RunWorkload. Since the
 // per-initiator op-state refactor this is every registered algorithm —
 // identical to Algorithms().
-func AsyncAlgorithms() []string { return registry.AsyncNames() }
+func AsyncAlgorithms() []string { return registry.Names() }
 
 // NewAsyncCounter builds the named counter configured for concurrent
 // operation: increments may be injected while earlier ones are still in
@@ -160,7 +160,7 @@ func AsyncAlgorithms() []string { return registry.AsyncNames() }
 // the combining and diffracting trees are built with their merge windows
 // open, and the paper's tree without its sequential-only instrumentation.
 func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
-	return registry.NewAsync(algorithm, n)
+	return registry.NewWith(algorithm, n, registry.Concurrent())
 }
 
 // NewAsyncCounterWithServiceTime is NewAsyncCounter on a network where
@@ -170,7 +170,7 @@ func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
 // open-loop ramp (scenario "ramprate", WorkloadConfig.Mode = OpenLoop) to
 // measure the resulting saturation knee.
 func NewAsyncCounterWithServiceTime(algorithm string, n int, service int64) (AsyncCounter, error) {
-	return registry.NewAsync(algorithm, n, sim.WithServiceTime(service))
+	return registry.NewWith(algorithm, n, registry.Concurrent(sim.WithServiceTime(service)))
 }
 
 // Scenarios lists the built-in workload scenario names usable with

@@ -166,7 +166,9 @@ func (t *Tree) Start(at int64, p sim.ProcID, req any) sim.OpID {
 }
 
 // ReplyOf returns the last reply delivered to processor p; ok is false if
-// none arrived since p's last Start.
+// none arrived since p's last operation *began*. A Start scheduled in the
+// future resets the flag at its initiation time, not at schedule time, so
+// polling between the two still reads the previous operation's reply.
 func (t *Tree) ReplyOf(p sim.ProcID) (any, bool) {
 	return t.proto.ops.Last(p)
 }

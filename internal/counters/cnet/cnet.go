@@ -351,7 +351,9 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 	return c.net.ScheduleOp(at, p, c.proto.initiate)
 }
 
-// ValueOf returns the value delivered to p's last operation.
+// ValueOf returns the value delivered to p's last *completed* operation;
+// ok is false between an operation's initiation and its completion. A
+// Start scheduled in the future resets the flag only when it initiates.
 func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
 	return c.proto.ops.Last(p)
 }

@@ -344,6 +344,7 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier
 		timesOf  = make(map[sim.OpID]opTimes)
 		inFlight = 0
 		m        = newRunMetrics(cfg.Warmup)
+		drain    = drainFor(c, vf)
 	)
 
 	// admit starts requests, in arrival order, while a window slot is free
@@ -373,6 +374,8 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier
 		delete(timesOf, st.ID)
 		if vf != nil {
 			vf.observe(st)
+		} else if drain != nil {
+			drain.OpValue(st.ID)
 		}
 		net.ForgetOp(st.ID)
 		m.onDone(res, net, cfg.Warmup, st, tm)
@@ -401,6 +404,20 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier
 		res.Verification = vf.report()
 	}
 	return res, nil
+}
+
+// drainFor returns the value sink of a run without verification: every
+// counter.Ops table records each completed operation's value until someone
+// consumes it, so if no verifier will, the drivers must read-and-discard
+// per completion — otherwise an unbounded run accumulates one map entry
+// per operation. Nil when the verifier consumes values itself or the
+// counter records none.
+func drainFor(c counter.Async, vf *verifier) counter.Valued {
+	if vf != nil {
+		return nil
+	}
+	d, _ := c.(counter.Valued)
+	return d
 }
 
 // opTimes carries an operation's arrival and injection times between
@@ -527,8 +544,10 @@ func summarizeLatencies(lats []int64) LatencyStats {
 	}
 }
 
-// percentile interpolates the q-quantile of a sorted vector (nearest-rank
-// with linear interpolation, the common "type 7" estimator).
+// percentile interpolates the q-quantile of a sorted vector: the "type 7"
+// estimator (linear interpolation between the order statistics at the two
+// ranks bracketing q·(len−1), the default of R and NumPy) — not the
+// nearest-rank method, which never interpolates.
 func percentile(sorted []int64, q float64) float64 {
 	if len(sorted) == 1 {
 		return float64(sorted[0])
@@ -547,8 +566,12 @@ func percentile(sorted []int64, q float64) float64 {
 // and returns the maximum overlap. An operation completing at the same
 // tick another starts is not concurrent with it (the closed loop admits
 // the successor from the completion); a zero-duration operation — one that
-// completes within its own start event — occupies its start tick.
+// completes within its own start event — occupies its start tick. The
+// argument slices are left untouched (the caller hands over its live
+// metrics arrays).
 func peakConcurrency(starts, dones []int64) int {
+	starts = append([]int64(nil), starts...)
+	dones = append([]int64(nil), dones...)
 	for i := range dones {
 		if dones[i] == starts[i] {
 			dones[i]++

@@ -23,7 +23,7 @@ func mustScenario(t *testing.T, name string, cfg workload.Config) workload.Gener
 
 func mustAsync(t *testing.T, algo string, n int) counter.Async {
 	t.Helper()
-	c, err := registry.NewAsync(algo, n)
+	c, err := registry.NewWith(algo, n, registry.Concurrent())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRunDeterministic(t *testing.T) {
 
 // TestRunAllAsyncAlgosAllScenarios: the full matrix completes.
 func TestRunAllAsyncAlgosAllScenarios(t *testing.T) {
-	for _, algo := range registry.AsyncNames() {
+	for _, algo := range registry.Names() {
 		for _, scen := range workload.Names() {
 			algo, scen := algo, scen
 			t.Run(algo+"/"+scen, func(t *testing.T) {
@@ -420,5 +420,31 @@ func TestThinSeries(t *testing.T) {
 	short := thinSeries(series[:10], 64)
 	if len(short) != 10 {
 		t.Fatalf("short series modified: %d", len(short))
+	}
+}
+
+// TestPeakConcurrencyLeavesArgumentsUntouched is the regression test for
+// the in-place mutation bug: peakConcurrency is handed the live
+// runMetrics.opStarts/opDones slices, and used to bump zero-duration dones
+// and sort both arrays in place — corrupting the caller's completion-order
+// data for anyone reading it after finalize.
+func TestPeakConcurrencyLeavesArgumentsUntouched(t *testing.T) {
+	// Completion order, not time order; op 0 is zero-duration (done ==
+	// start), the case the old code mutated.
+	starts := []int64{5, 3, 7, 2}
+	dones := []int64{5, 9, 8, 4}
+	wantStarts := append([]int64(nil), starts...)
+	wantDones := append([]int64(nil), dones...)
+
+	// Intervals [5,5], [3,9), [7,8), [2,4): ops 1 and 2 overlap at t=7 and
+	// op 0 occupies its start tick inside op 1's interval — peak 2.
+	if got := peakConcurrency(starts, dones); got != 2 {
+		t.Fatalf("peakConcurrency = %d, want 2", got)
+	}
+	for i := range starts {
+		if starts[i] != wantStarts[i] || dones[i] != wantDones[i] {
+			t.Fatalf("arguments mutated:\nstarts %v (want %v)\ndones  %v (want %v)",
+				starts, wantStarts, dones, wantDones)
+		}
 	}
 }

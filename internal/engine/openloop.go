@@ -16,7 +16,10 @@ type RateBucket struct {
 	// Index is the bucket's position (0-based, arrival order).
 	Index int `json:"index"`
 	// StartTime and EndTime delimit the bucket's arrival span in simulated
-	// ticks.
+	// ticks: StartTime is the bucket's first arrival and EndTime the next
+	// bucket's first arrival (the last bucket, with no successor, ends at
+	// its own last arrival). Half-open spans keep the inter-bucket gaps
+	// inside exactly one bucket, so the spans tile the run.
 	StartTime int64 `json:"start_time"`
 	EndTime   int64 `json:"end_time"`
 	// Arrivals is the number of requests arriving in the bucket, of which
@@ -101,6 +104,7 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 		totalQueued = 0
 		inFlight    = 0
 		m           = newRunMetrics(cfg.Warmup)
+		drain       = drainFor(c, vf)
 	)
 
 	sampleEvery, thinAfter := resolveStride(cfg, gen)
@@ -151,6 +155,8 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 		delete(recOf, st.ID)
 		if vf != nil {
 			vf.observe(st)
+		} else if drain != nil {
+			drain.OpValue(st.ID)
 		}
 		net.ForgetOp(st.ID)
 		rec := &recs[idx]
@@ -211,7 +217,14 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 }
 
 // bucketize splits the op records (already in arrival order) into at most
-// buckets consecutive equal-count groups and summarizes each.
+// buckets consecutive equal-count groups and summarizes each. A bucket's
+// span runs from its first arrival to the *next* bucket's first arrival
+// (half-open), so the gap between the bucket's last arrival and its
+// successor counts toward the offered-rate denominator; closing the span at
+// the bucket's own last arrival instead would drop every inter-bucket gap
+// and bias OfferedRate high — worst for the sparse low-rate buckets the
+// scaling fit leans on. The final bucket, with no successor, ends at its
+// own last arrival.
 func bucketize(recs []opRec, buckets int) []RateBucket {
 	if len(recs) == 0 {
 		return nil
@@ -227,10 +240,14 @@ func bucketize(recs []opRec, buckets int) []RateBucket {
 			continue
 		}
 		group := recs[lo:hi]
+		end := group[len(group)-1].arrival
+		if hi < len(recs) {
+			end = recs[hi].arrival
+		}
 		b := RateBucket{
 			Index:     len(out),
 			StartTime: group[0].arrival,
-			EndTime:   group[len(group)-1].arrival,
+			EndTime:   end,
 			Arrivals:  len(group),
 		}
 		var lats []int64

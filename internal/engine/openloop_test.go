@@ -14,7 +14,7 @@ import (
 
 func mustAsyncService(t *testing.T, algo string, n int, service int64) counter.Async {
 	t.Helper()
-	c, err := registry.NewAsync(algo, n, sim.WithServiceTime(service))
+	c, err := registry.NewWith(algo, n, registry.Concurrent(sim.WithServiceTime(service)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestOpenLoopDeterministic(t *testing.T) {
 // TestOpenLoopAllAsyncAlgos: every async algorithm survives the open loop
 // under a moderately loaded uniform stream.
 func TestOpenLoopAllAsyncAlgos(t *testing.T) {
-	for _, algo := range registry.AsyncNames() {
+	for _, algo := range registry.Names() {
 		t.Run(algo, func(t *testing.T) {
 			c := mustAsync(t, algo, 16)
 			gen := mustScenario(t, "uniform", workload.Config{N: c.N(), Ops: 120, Seed: 3, MeanGap: 2})
@@ -317,6 +317,49 @@ func TestBucketize(t *testing.T) {
 	}
 	if bucketize(nil, 4) != nil {
 		t.Fatal("bucketize(nil) != nil")
+	}
+}
+
+// TestBucketizeSpansIncludeInterBucketGaps is the regression test for the
+// offered-rate bias: a bucket's span must run to the *next* bucket's first
+// arrival, so the idle gap between two arrival clusters lands in the
+// earlier bucket's denominator. The old code ended every span at the
+// bucket's own last arrival, which dropped inter-bucket gaps and inflated
+// OfferedRate for sparse buckets — exactly the low-rate cells the scaling
+// fit keys on.
+func TestBucketizeSpansIncludeInterBucketGaps(t *testing.T) {
+	// Two clusters of four arrivals 10 ticks apart, separated by a 70-tick
+	// idle gap: 0,10,20,30 ... 100,110,120,130.
+	var recs []opRec
+	for _, base := range []int64{0, 100} {
+		for i := int64(0); i < 4; i++ {
+			at := base + 10*i
+			recs = append(recs, opRec{arrival: at, start: at, done: at + 2})
+		}
+	}
+	bs := bucketize(recs, 2)
+	if len(bs) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(bs))
+	}
+	// Bucket 0 spans [0, 100): its four arrivals took 100 ticks of stream
+	// time to show up, not 30 — offered rate exactly 0.04 ops/tick.
+	if bs[0].StartTime != 0 || bs[0].EndTime != 100 {
+		t.Fatalf("bucket 0 span [%d, %d], want [0, 100]", bs[0].StartTime, bs[0].EndTime)
+	}
+	if bs[0].OfferedRate != 4.0/100 {
+		t.Fatalf("bucket 0 offered rate %v, want exactly 0.04 (old last-arrival span gives %v)",
+			bs[0].OfferedRate, 4.0/30)
+	}
+	// The final bucket has no successor: span ends at its own last arrival.
+	if bs[1].StartTime != 100 || bs[1].EndTime != 130 {
+		t.Fatalf("bucket 1 span [%d, %d], want [100, 130]", bs[1].StartTime, bs[1].EndTime)
+	}
+	if bs[1].OfferedRate != 4.0/30 {
+		t.Fatalf("bucket 1 offered rate %v, want exactly %v", bs[1].OfferedRate, 4.0/30)
+	}
+	// The spans tile the arrival axis: no gap is counted twice or dropped.
+	if bs[0].EndTime != bs[1].StartTime {
+		t.Fatalf("buckets do not tile: %d != %d", bs[0].EndTime, bs[1].StartTime)
 	}
 }
 

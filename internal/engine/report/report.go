@@ -90,6 +90,10 @@ func Render(res *engine.Result) string {
 type SweepRow struct {
 	// MeanGap is the scenario's mean interarrival time for this cell.
 	MeanGap int64 `json:"mean_gap"`
+	// MergeWindow is the combining/diffraction merge window the cell's
+	// counter was built with (registry.Config.Window). Recorded for every
+	// cell; only the window-sensitive request-merging algorithms consume it.
+	MergeWindow int64 `json:"merge_window"`
 	// ServiceTime is the per-message processing cost the cell's network
 	// was built with (0 = instantaneous).
 	ServiceTime int64 `json:"service_time"`
@@ -101,9 +105,10 @@ type SweepRow struct {
 
 // SkippedRow builds the placeholder row for a sweep cell that failed to
 // run, preserving the cell's grid coordinates for the exporters.
-func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, service int64, reason error) SweepRow {
+func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, service, mergeWindow int64, reason error) SweepRow {
 	return SweepRow{
 		MeanGap:     gap,
+		MergeWindow: mergeWindow,
 		ServiceTime: service,
 		Skipped:     reason.Error(),
 		Result: &engine.Result{
@@ -117,7 +122,7 @@ func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, ser
 }
 
 // SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
-const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,mean_gap,service_time,queue_cap," +
+const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,queue_cap," +
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 	"queue_p50,queue_p99,dropped,peak_queue_depth," +
 	"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
@@ -144,8 +149,8 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			vViol = fmt.Sprintf("%d", v.Violations)
 			vDup = fmt.Sprintf("%d", v.Duplicates)
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
-			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MeanGap, r.ServiceTime, r.QueueCap,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
+			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.QueueCap,
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Dropped, r.PeakQueueDepth,
 			r.Messages, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
@@ -185,12 +190,12 @@ func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
 // verifications flag their violation count.
 func RenderSweep(rows []SweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %6s %5s %9s %9s %9s %8s %12s %12s\n",
-		"algo", "scenario", "mode", "window", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee", "verify")
+	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %5s %6s %5s %9s %9s %9s %8s %12s %12s\n",
+		"algo", "scenario", "mode", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee", "verify")
 	for _, r := range rows {
 		if r.Skipped != "" {
-			fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %6d %5d SKIPPED: %s\n",
-				r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MeanGap, r.N, r.Skipped)
+			fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d SKIPPED: %s\n",
+				r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MergeWindow, r.MeanGap, r.N, r.Skipped)
 			continue
 		}
 		knee := "-"
@@ -208,8 +213,8 @@ func RenderSweep(rows []SweepRow) string {
 				vcol = "pass"
 			}
 		}
-		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %6d %5d %9.4f %9.1f %9d %8d %12s %12s\n",
-			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MeanGap, r.N,
+		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d %9.4f %9.1f %9d %8d %12s %12s\n",
+			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MergeWindow, r.MeanGap, r.N,
 			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.Dropped, knee, vcol)
 	}
 	return b.String()

@@ -14,7 +14,7 @@ import (
 
 func sampleResult(t *testing.T) *engine.Result {
 	t.Helper()
-	c, err := registry.NewAsync("central", 12)
+	c, err := registry.NewWith("central", 12, registry.Concurrent())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestRender(t *testing.T) {
 
 func openResult(t *testing.T) *engine.Result {
 	t.Helper()
-	c, err := registry.NewAsync("central", 12, sim.WithServiceTime(1))
+	c, err := registry.NewWith("central", 12, registry.Concurrent(sim.WithServiceTime(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestSweepCSV(t *testing.T) {
 	rows := []SweepRow{
 		{MeanGap: 4, Result: sampleResult(t)},
 		{MeanGap: 2, ServiceTime: 1, Result: openResult(t)},
-		SkippedRow("quorum-grid", "uniform", engine.Closed, 12, 8, 4, 0,
+		SkippedRow("quorum-grid", "uniform", engine.Closed, 12, 8, 4, 0, 4,
 			errStub("no such scenario, with, commas")),
 	}
 	var buf bytes.Buffer
@@ -186,7 +186,7 @@ func (e errStub) Error() string { return string(e) }
 
 // TestSweepCSVVerification: a verified run fills the verify_* columns.
 func TestSweepCSVVerification(t *testing.T) {
-	c, err := registry.NewAsync("central", 12)
+	c, err := registry.NewWith("central", 12, registry.Concurrent())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,178 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"distcount/internal/engine"
+)
+
+// row builds a synthetic sweep row with a knee (rate 0 = unsaturated).
+func row(algo string, n int, window int64, knee float64) SweepRow {
+	res := &engine.Result{Algorithm: algo, Scenario: "ramprate", Mode: "open", N: n}
+	if knee > 0 {
+		res.Knee = &engine.Knee{OfferedRate: knee, Reason: "latency"}
+	}
+	return SweepRow{MergeWindow: window, Result: res}
+}
+
+func find(t *testing.T, sc *Scaling, algo string) AlgorithmScaling {
+	t.Helper()
+	for _, a := range sc.Algorithms {
+		if a.Algorithm == algo {
+			return a
+		}
+	}
+	t.Fatalf("algorithm %q missing from analysis", algo)
+	return AlgorithmScaling{}
+}
+
+// TestAnalyzeScalingClassification: each verdict from its defining shape.
+func TestAnalyzeScalingClassification(t *testing.T) {
+	rows := []SweepRow{
+		// Flat knee across n: the paper's bottleneck.
+		row("flat", 8, 4, 1.0), row("flat", 16, 4, 1.0), row("flat", 32, 4, 1.0),
+		// Knee doubling with n: exponent ~1.
+		row("scaler", 8, 4, 0.5), row("scaler", 16, 4, 1.0), row("scaler", 32, 4, 2.0),
+		// Flat in n, but the window sub-sweep at n=32 spreads 4x.
+		row("merger", 8, 4, 1.0), row("merger", 16, 4, 1.0), row("merger", 32, 4, 1.0),
+		row("merger", 32, 1, 0.5), row("merger", 32, 16, 2.0),
+		// Never saturates.
+		row("sleeper", 8, 4, 0), row("sleeper", 16, 4, 0),
+		// Saturates at one n only: no exponent to fit.
+		row("lonely", 8, 4, 0), row("lonely", 16, 4, 1.0),
+	}
+	sc := AnalyzeScaling(rows, 4)
+	if sc.BaseWindow != 4 {
+		t.Fatalf("base window %d", sc.BaseWindow)
+	}
+
+	flat := find(t, sc, "flat")
+	if flat.Class != ClassBottleneckBound {
+		t.Fatalf("flat classified %q", flat.Class)
+	}
+	if flat.Exponent == nil || math.Abs(*flat.Exponent) > 1e-9 {
+		t.Fatalf("flat exponent %v, want 0", flat.Exponent)
+	}
+	if len(flat.Points) != 3 || flat.Points[0].N != 8 || flat.Points[2].N != 32 {
+		t.Fatalf("flat points wrong: %+v", flat.Points)
+	}
+	if flat.WindowPoints != nil {
+		t.Fatalf("flat has a window curve without a window dimension: %+v", flat.WindowPoints)
+	}
+
+	scaler := find(t, sc, "scaler")
+	if scaler.Class != ClassScalesWithN {
+		t.Fatalf("scaler classified %q", scaler.Class)
+	}
+	if scaler.Exponent == nil || math.Abs(*scaler.Exponent-1) > 1e-9 {
+		t.Fatalf("scaler exponent %v, want 1 (knee doubles per n doubling)", scaler.Exponent)
+	}
+
+	merger := find(t, sc, "merger")
+	if merger.Class != ClassMergeBound {
+		t.Fatalf("merger classified %q", merger.Class)
+	}
+	if math.Abs(merger.WindowGain-4) > 1e-9 {
+		t.Fatalf("merger window gain %v, want 4 (2.0/0.5)", merger.WindowGain)
+	}
+	if len(merger.WindowPoints) != 3 || merger.WindowPoints[0].MergeWindow != 1 ||
+		merger.WindowPoints[2].MergeWindow != 16 {
+		t.Fatalf("merger window curve wrong: %+v", merger.WindowPoints)
+	}
+
+	if c := find(t, sc, "sleeper").Class; c != ClassUnsaturated {
+		t.Fatalf("sleeper classified %q", c)
+	}
+	if c := find(t, sc, "lonely").Class; c != ClassInconclusive {
+		t.Fatalf("lonely classified %q", c)
+	}
+}
+
+// TestAnalyzeScalingWindowUnsaturated: a wider window escaping the ramp
+// entirely is the strongest merge-bound evidence.
+func TestAnalyzeScalingWindowUnsaturated(t *testing.T) {
+	rows := []SweepRow{
+		row("m", 8, 4, 1.0), row("m", 32, 4, 1.0),
+		row("m", 32, 64, 0), // widened window: never saturates
+	}
+	m := find(t, AnalyzeScaling(rows, 4), "m")
+	if !m.WindowUnsaturated || m.Class != ClassMergeBound {
+		t.Fatalf("wider-window escape not recognized: %+v", m)
+	}
+}
+
+// TestAnalyzeScalingSkippedRows: skipped cells stay visible as annotated
+// points but are excluded from the fit and the gain.
+func TestAnalyzeScalingSkippedRows(t *testing.T) {
+	bad := SkippedRow("a", "ramprate", engine.Open, 32, 0, 4, 1, 4, errStub("boom"))
+	rows := []SweepRow{row("a", 8, 4, 1.0), row("a", 16, 4, 1.0), bad}
+	a := find(t, AnalyzeScaling(rows, 4), "a")
+	if len(a.Points) != 3 {
+		t.Fatalf("skipped point dropped: %+v", a.Points)
+	}
+	if a.Points[2].Skipped == "" {
+		t.Fatalf("skipped reason lost: %+v", a.Points[2])
+	}
+	if a.Class != ClassBottleneckBound || a.Exponent == nil {
+		t.Fatalf("skipped cell poisoned the fit: %+v", a)
+	}
+
+	// An algorithm whose every cell skipped never ran: "unsaturated" would
+	// claim it out-scaled the ramp. It is inconclusive.
+	allBad := []SweepRow{
+		SkippedRow("ghost", "ramprate", engine.Open, 8, 0, 4, 1, 4, errStub("unknown algorithm")),
+		SkippedRow("ghost", "ramprate", engine.Open, 16, 0, 4, 1, 4, errStub("unknown algorithm")),
+	}
+	if g := find(t, AnalyzeScaling(allBad, 4), "ghost"); g.Class != ClassInconclusive {
+		t.Fatalf("all-skipped algorithm classified %q, want %q", g.Class, ClassInconclusive)
+	}
+}
+
+// TestScalingRenderers: the three output formats carry the verdicts.
+func TestScalingRenderers(t *testing.T) {
+	rows := []SweepRow{
+		row("flat", 8, 4, 1.0), row("flat", 16, 4, 1.0),
+		row("merger", 8, 4, 1.0), row("merger", 16, 4, 1.0),
+		row("merger", 16, 1, 0.5), row("merger", 16, 16, 2.0),
+	}
+	sc := AnalyzeScaling(rows, 4)
+
+	var csv strings.Builder
+	if err := WriteScalingCSV(&csv, sc); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if lines[0] != ScalingCSVHeader {
+		t.Fatalf("CSV header drifted: %q", lines[0])
+	}
+	// flat: 2 n-rows; merger: 2 n-rows + 3 window rows.
+	if len(lines) != 1+2+5 {
+		t.Fatalf("CSV has %d lines, want 8:\n%s", len(lines), csv.String())
+	}
+	if !strings.Contains(csv.String(), "merger,window,16,1,0.5000,latency") {
+		t.Fatalf("window row missing:\n%s", csv.String())
+	}
+
+	text := RenderScaling(sc)
+	for _, frag := range []string{"base merge window 4", ClassBottleneckBound, ClassMergeBound,
+		"n=8:1.000", "w=16:2.000"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("text render missing %q:\n%s", frag, text)
+		}
+	}
+
+	var js strings.Builder
+	if err := WriteScalingJSON(&js, sc); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Scaling
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Algorithms) != 2 || decoded.BaseWindow != 4 {
+		t.Fatalf("JSON round trip wrong: %+v", decoded)
+	}
+}

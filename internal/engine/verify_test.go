@@ -13,7 +13,7 @@ import (
 // verifiedRun drives one closed-loop zipf workload with verification on.
 func verifiedRun(t *testing.T, algo string, n, ops int, gap int64) *Result {
 	t.Helper()
-	c, err := registry.NewAsync(algo, n)
+	c, err := registry.NewWith(algo, n, registry.Concurrent())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func verifiedRun(t *testing.T, algo string, n, ops int, gap int64) *Result {
 // while the sequential-only protocols are allowed (and, for tokenring,
 // expected) to show duplicate values as a measurement.
 func TestVerifyClaimedProperties(t *testing.T) {
-	for _, algo := range registry.AsyncNames() {
+	for _, algo := range registry.Names() {
 		algo := algo
 		t.Run(algo, func(t *testing.T) {
 			res := verifiedRun(t, algo, 16, 400, 1)
@@ -76,7 +76,7 @@ func TestVerifyTokenringDuplicates(t *testing.T) {
 // past the saturation knee on an open-loop rate ramp.
 func TestVerifyLinearizableOpenLoop(t *testing.T) {
 	for _, algo := range []string{"central", "ctree", "combining"} {
-		c, err := registry.NewAsync(algo, 12, sim.WithServiceTime(1))
+		c, err := registry.NewWith(algo, 12, registry.Concurrent(sim.WithServiceTime(1)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +107,7 @@ type opaqueAsync struct {
 // TestVerifyNeedsValued: verification of a counter without per-op values is
 // an error, not a silent no-op.
 func TestVerifyNeedsValued(t *testing.T) {
-	inner, err := registry.NewAsync("central", 8)
+	inner, err := registry.NewWith("central", 8, registry.Concurrent())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,5 +118,42 @@ func TestVerifyNeedsValued(t *testing.T) {
 	_, err = Run(opaqueAsync{inner}, gen, Config{Verify: true})
 	if err == nil || !strings.Contains(err.Error(), "counter.Valued") {
 		t.Fatalf("expected a Valued error, got %v", err)
+	}
+}
+
+// countingValued counts per-op value reads, standing in for counter.Ops's
+// values table: each OpValue call is one consumed (and freed) entry.
+type countingValued struct {
+	counter.Valued
+	reads int
+}
+
+func (c *countingValued) OpValue(id sim.OpID) (int, bool) {
+	c.reads++
+	return c.Valued.OpValue(id)
+}
+
+// TestRunWithoutVerifyDrainsOpValues is the regression test for the
+// per-op value leak: counter.Ops records every completed operation's value
+// until someone consumes it, and with Config.Verify off nobody did — an
+// unbounded run accumulated one map entry per operation. The drivers must
+// read-and-discard each value on completion instead.
+func TestRunWithoutVerifyDrainsOpValues(t *testing.T) {
+	for _, mode := range []Mode{Closed, Open} {
+		inner, err := registry.NewWith("central", 8, registry.Concurrent())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv := &countingValued{Valued: inner.(counter.Valued)}
+		gen, err := workload.New("uniform", workload.Config{N: 8, Ops: 60, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cv, gen, Config{Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+		if cv.reads != 60 {
+			t.Fatalf("%v: %d of 60 op values drained — the rest leak in counter.Ops", mode, cv.reads)
+		}
 	}
 }

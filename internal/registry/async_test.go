@@ -21,7 +21,7 @@ func TestPerInitiatorIndependence(t *testing.T) {
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			a, err := NewAsync(name, 12, sim.WithSeed(3))
+			a, err := NewWith(name, 12, Concurrent(sim.WithSeed(3)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +78,7 @@ func TestPerInitiatorIndependence(t *testing.T) {
 // that just ran a concurrent batch — the op table must be empty again.
 func TestSequentialAfterConcurrent(t *testing.T) {
 	for _, name := range Names() {
-		a, err := NewAsync(name, 8, sim.WithSeed(5))
+		a, err := NewWith(name, 8, Concurrent(sim.WithSeed(5)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -8,8 +8,9 @@
 // sequential (combining/diffraction windows closed, ctree lemma
 // instrumentation on) or concurrent (windows open so request merging
 // engages, instrumentation off because its per-operation accounting assumes
-// the paper's sequential model). New and NewAsync are thin wrappers over
-// NewWith with the respective defaults, and AsyncNames == Names.
+// the paper's sequential model). NewWith(name, n, Concurrent()) and
+// NewWith(name, n, Sequential()) are the two idiomatic calls; New is the
+// sequential shorthand kept for the paper-model tools.
 package registry
 
 import (
@@ -60,79 +61,120 @@ func Concurrent(simOpts ...sim.Option) Config {
 // DefaultWindow is the combining/diffraction window, in simulated ticks,
 // used by the concurrent regime. One network hop is one tick under the
 // default unit latency.
-const DefaultWindow = 4
+//
+// Tuned by the knee-vs-n scaling study (loadgen -study scaling; see
+// docs/EXPERIMENTS.md §4): at the largest studied n, widening the window
+// from 4 to 16 raises the saturation knee of both request-merging schemes
+// (combining ≈1.2→1.4 ops/tick, difftree ≈1.2→1.3 at n=64, service 1),
+// while 64 gains only for difftree, costs combining capacity on most
+// seeds, and multiplies unloaded latency by the window depth. 16 is the
+// measured sweet spot.
+const DefaultWindow = 16
 
 // Factory builds a counter for (at least) n processors in the regime the
 // config selects. The returned counter's N() may exceed n for algorithms
 // with structural size constraints (the paper's tree).
 type Factory func(n int, cfg Config) counter.Async
 
-// factories maps algorithm names to constructors. Keep in sync with the
+// algorithm is one registry entry: the constructor plus the metadata the
+// study layer keys on.
+type algorithm struct {
+	build Factory
+	// windowed marks the constructions that consume Config.Window — the
+	// request-merging schemes, whose capacity is set by how many concurrent
+	// requests a node may merge rather than by a fixed per-op message count.
+	windowed bool
+}
+
+// algorithms maps names to registry entries. Keep in sync with the
 // documentation in the README's "algorithms" section.
-func factories() map[string]Factory {
-	return map[string]Factory{
-		"central": func(n int, cfg Config) counter.Async {
+func algorithms() map[string]algorithm {
+	return map[string]algorithm{
+		"central": {build: func(n int, cfg Config) counter.Async {
 			return central.New(n, central.WithSimOptions(cfg.SimOpts...))
-		},
-		"tokenring": func(n int, cfg Config) counter.Async {
+		}},
+		"tokenring": {build: func(n int, cfg Config) counter.Async {
 			return tokenring.New(n, cfg.SimOpts...)
-		},
-		"ctree": func(n int, cfg Config) counter.Async {
+		}},
+		"ctree": {build: func(n int, cfg Config) counter.Async {
 			opts := []core.Option{core.WithSimOptions(cfg.SimOpts...)}
 			if !cfg.Checks {
 				opts = append(opts, core.WithoutChecks())
 			}
 			return core.NewForSize(n, opts...)
-		},
-		"combining": func(n int, cfg Config) counter.Async {
+		}},
+		"combining": {windowed: true, build: func(n int, cfg Config) counter.Async {
 			return combining.New(n, combining.WithWindow(cfg.Window), combining.WithSimOptions(cfg.SimOpts...))
-		},
-		"cnet": func(n int, cfg Config) counter.Async {
+		}},
+		"cnet": {build: func(n int, cfg Config) counter.Async {
 			return cnet.New(n, cnet.WithSimOptions(cfg.SimOpts...))
-		},
-		"cnet-periodic": func(n int, cfg Config) counter.Async {
+		}},
+		"cnet-periodic": {build: func(n int, cfg Config) counter.Async {
 			return cnet.New(n, cnet.WithConstruction(cnet.Periodic), cnet.WithSimOptions(cfg.SimOpts...))
-		},
-		"difftree": func(n int, cfg Config) counter.Async {
+		}},
+		"difftree": {windowed: true, build: func(n int, cfg Config) counter.Async {
 			return difftree.New(n, difftree.WithWindow(cfg.Window), difftree.WithSimOptions(cfg.SimOpts...))
-		},
-		"quorum-singleton": func(n int, cfg Config) counter.Async {
+		}},
+		"quorum-singleton": {build: func(n int, cfg Config) counter.Async {
 			return quorumctr.New(quorum.NewSingleton(n), cfg.SimOpts...)
-		},
-		"quorum-majority": func(n int, cfg Config) counter.Async {
+		}},
+		"quorum-majority": {build: func(n int, cfg Config) counter.Async {
 			return quorumctr.New(quorum.NewMajority(n), cfg.SimOpts...)
-		},
-		"quorum-grid": func(n int, cfg Config) counter.Async {
+		}},
+		"quorum-grid": {build: func(n int, cfg Config) counter.Async {
 			return quorumctr.New(quorum.NewGrid(n), cfg.SimOpts...)
-		},
-		"quorum-tree": func(n int, cfg Config) counter.Async {
+		}},
+		"quorum-tree": {build: func(n int, cfg Config) counter.Async {
 			return quorumctr.New(quorum.NewTree(n), cfg.SimOpts...)
-		},
-		"quorum-wall": func(n int, cfg Config) counter.Async {
+		}},
+		"quorum-wall": {build: func(n int, cfg Config) counter.Async {
 			return quorumctr.New(quorum.NewWall(n), cfg.SimOpts...)
-		},
+		}},
 	}
 }
 
 // Names returns all registered algorithm names, sorted.
 func Names() []string {
-	fs := factories()
-	out := make([]string, 0, len(fs))
-	for name := range fs {
+	as := algorithms()
+	out := make([]string, 0, len(as))
+	for name := range as {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
+// WindowSensitive reports whether the named algorithm's construction
+// consumes Config.Window — i.e. whether it is a request-merging scheme
+// (combining tree, diffracting tree) whose saturation knee the window can
+// move. Unknown names report false.
+func WindowSensitive(name string) bool {
+	return algorithms()[name].windowed
+}
+
+// WindowSensitiveNames returns the window-sensitive subset of Names(),
+// sorted — the algorithms the scaling study widens windows for.
+func WindowSensitiveNames() []string {
+	var out []string
+	for name, a := range algorithms() {
+		if a.windowed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // NewWith builds the named counter over (at least) n processors in the
-// regime the config selects.
+// regime the config selects. This is the single construction path: pass
+// Concurrent() for workload-engine use (merging windows open,
+// instrumentation off) or Sequential() for the paper's model.
 func NewWith(name string, n int, cfg Config) (counter.Async, error) {
-	f, ok := factories()[name]
+	a, ok := algorithms()[name]
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown algorithm %q (have %v)", name, Names())
 	}
-	return f(n, cfg), nil
+	return a.build(n, cfg), nil
 }
 
 // New builds the named counter in the sequential regime of the paper's
@@ -140,21 +182,3 @@ func NewWith(name string, n int, cfg Config) (counter.Async, error) {
 func New(name string, n int, simOpts ...sim.Option) (counter.Counter, error) {
 	return NewWith(name, n, Sequential(simOpts...))
 }
-
-// NewAsync builds the named counter configured for concurrent operation
-// (counter.Async): many increments in flight on the simulated network at
-// once, as driven by the workload engine. Every registered algorithm
-// supports this — per-initiator operation state is universal — so the only
-// construction difference from New is the regime: the combining tree and
-// diffracting tree get a nonzero window (DefaultWindow) so the mechanisms
-// they were invented for actually engage, and the paper's tree is built
-// without its lemma instrumentation, whose per-operation windows assume
-// the sequential model.
-func NewAsync(name string, n int, simOpts ...sim.Option) (counter.Async, error) {
-	return NewWith(name, n, Concurrent(simOpts...))
-}
-
-// AsyncNames returns the algorithms NewAsync accepts — since the
-// per-initiator op-state refactor, every registered algorithm, i.e. exactly
-// Names().
-func AsyncNames() []string { return Names() }

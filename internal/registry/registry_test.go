@@ -31,19 +31,19 @@ func TestUnknownName(t *testing.T) {
 	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "ctree") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
-	if _, err := NewAsync("nope", 8); err == nil {
-		t.Fatal("unknown algorithm accepted by NewAsync")
+	if _, err := NewWith("nope", 8, Concurrent()); err == nil {
+		t.Fatal("unknown algorithm accepted by NewWith")
 	}
 }
 
-// TestAsyncNamesAllConcurrent: every advertised async algorithm builds,
-// implements counter.Async, and completes interleaved operations started
-// without intermediate quiescence.
-func TestAsyncNamesAllConcurrent(t *testing.T) {
-	for _, name := range AsyncNames() {
+// TestAllNamesConcurrent: every registered algorithm builds in the
+// concurrent regime, implements counter.Async, and completes interleaved
+// operations started without intermediate quiescence.
+func TestAllNamesConcurrent(t *testing.T) {
+	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			a, err := NewAsync(name, 8)
+			a, err := NewWith(name, 8, Concurrent())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,27 +63,43 @@ func TestAsyncNamesAllConcurrent(t *testing.T) {
 	}
 }
 
-// TestAsyncNamesEqualNames: since the per-initiator op-state refactor,
-// every registered algorithm is async-capable — the two lists must be
-// identical, and every name must build through NewAsync as counter.Valued.
-func TestAsyncNamesEqualNames(t *testing.T) {
-	names, async := Names(), AsyncNames()
-	if len(names) != len(async) {
-		t.Fatalf("AsyncNames (%d) != Names (%d)", len(async), len(names))
-	}
-	for i := range names {
-		if names[i] != async[i] {
-			t.Fatalf("AsyncNames[%d] = %q, Names[%d] = %q", i, async[i], i, names[i])
-		}
-	}
-	for _, name := range async {
-		a, err := NewAsync(name, 9)
+// TestEveryNameValued: since the per-initiator op-state refactor, every
+// registered algorithm builds through the one Factory path as
+// counter.Valued — the registry has no separate async subset left.
+func TestEveryNameValued(t *testing.T) {
+	for _, name := range Names() {
+		a, err := NewWith(name, 9, Concurrent())
 		if err != nil {
-			t.Fatalf("NewAsync(%s): %v", name, err)
+			t.Fatalf("NewWith(%s): %v", name, err)
 		}
 		if _, ok := a.(counter.Valued); !ok {
-			t.Fatalf("%s: async counter does not implement counter.Valued", name)
+			t.Fatalf("%s: counter does not implement counter.Valued", name)
 		}
+	}
+}
+
+// TestWindowSensitiveNames pins the window-sensitive subset: exactly the
+// request-merging schemes, and a subset of Names().
+func TestWindowSensitiveNames(t *testing.T) {
+	got := WindowSensitiveNames()
+	want := []string{"combining", "difftree"}
+	if len(got) != len(want) {
+		t.Fatalf("WindowSensitiveNames() = %v, want %v", got, want)
+	}
+	all := map[string]bool{}
+	for _, name := range Names() {
+		all[name] = true
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("WindowSensitiveNames() = %v, want %v", got, want)
+		}
+		if !all[name] || !WindowSensitive(name) {
+			t.Fatalf("%s not registered as window-sensitive", name)
+		}
+	}
+	if WindowSensitive("central") || WindowSensitive("nope") {
+		t.Fatal("central/unknown reported window-sensitive")
 	}
 }
 

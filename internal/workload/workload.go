@@ -76,10 +76,12 @@ type Config struct {
 	RampFrom, RampTo int64
 	// RateFrom and RateTo are the offered rates, in operations per tick,
 	// at the start and end of the "ramprate" scenario (defaults
-	// 1/(8*MeanGap) and 2.0). Unlike the gap-based "ramp", rates are not
-	// limited to one request per tick — fractional interarrival gaps are
-	// carried across requests — so a saturation sweep can drive the
-	// offered rate through and beyond any algorithm's capacity.
+	// 1/(8*MeanGap) and DefaultRateTo). Unlike the gap-based "ramp", rates
+	// are not limited to one request per tick — fractional interarrival
+	// gaps are carried across requests — so a saturation sweep can drive
+	// the offered rate through and beyond any algorithm's capacity.
+	// RateFrom > RateTo (a descending sweep) is rejected: the knee scan
+	// assumes a non-decreasing offered rate.
 	RateFrom, RateTo float64
 }
 
@@ -121,10 +123,22 @@ func (c Config) withDefaults() (Config, error) {
 		c.RateFrom = 1 / float64(8*c.MeanGap)
 	}
 	if c.RateTo <= 0 {
-		c.RateTo = 2
+		c.RateTo = DefaultRateTo
+	}
+	if c.RateFrom > c.RateTo {
+		// The open-loop knee scan assumes a non-decreasing offered rate
+		// (baseline first, divergence later); a descending sweep would make
+		// it report the recovery point as the knee. Reject rather than
+		// silently mismeasure.
+		return c, fmt.Errorf("workload: descending rate ramp (RateFrom %.4f > RateTo %.4f); knee detection assumes a non-decreasing offered rate — swap the bounds", c.RateFrom, c.RateTo)
 	}
 	return c, nil
 }
+
+// DefaultRateTo is the final offered rate of the "ramprate" scenario when
+// Config.RateTo is unset — high enough to push the single-holder algorithms
+// (capacity ≈ 1 op/tick under unit service time) well past their knee.
+const DefaultRateTo = 2.0
 
 // stream is the common Generator implementation: a name plus a pull
 // closure, with the stream length as a sizing hint.

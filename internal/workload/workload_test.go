@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"distcount/internal/sim"
@@ -258,5 +259,43 @@ func TestMixCoversAllOps(t *testing.T) {
 		if len(reqs) != ops {
 			t.Fatalf("mix(ops=%d) emitted %d requests", ops, len(reqs))
 		}
+	}
+}
+
+// TestRampRateDefaults pins the ramprate normalization that used to be
+// silent: an unset RateTo defaults to DefaultRateTo, and the derived
+// RateFrom default tracks MeanGap.
+func TestRampRateDefaults(t *testing.T) {
+	cfg, err := Config{N: 8, Ops: 10, MeanGap: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RateTo != DefaultRateTo {
+		t.Fatalf("RateTo defaulted to %v, want DefaultRateTo = %v", cfg.RateTo, DefaultRateTo)
+	}
+	if want := 1.0 / 32; cfg.RateFrom != want {
+		t.Fatalf("RateFrom defaulted to %v, want 1/(8*MeanGap) = %v", cfg.RateFrom, want)
+	}
+}
+
+// TestRampRateDescendingRejected: the open-loop knee scan assumes a
+// non-decreasing offered rate, so a descending sweep must be rejected with
+// a clear error — not silently mismeasured. This includes the half-set
+// case where an explicit RateFrom lands above the defaulted RateTo.
+func TestRampRateDescendingRejected(t *testing.T) {
+	_, err := New("ramprate", Config{N: 8, Ops: 10, RateFrom: 2, RateTo: 0.5})
+	if err == nil {
+		t.Fatal("descending rate ramp accepted")
+	}
+	if !strings.Contains(err.Error(), "descending") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// RateFrom above the DefaultRateTo that fills in for an unset RateTo.
+	if _, err := New("ramprate", Config{N: 8, Ops: 10, RateFrom: DefaultRateTo + 1}); err == nil {
+		t.Fatal("RateFrom above the defaulted RateTo accepted")
+	}
+	// Equal bounds are a flat ramp, not a descending one: allowed.
+	if _, err := New("ramprate", Config{N: 8, Ops: 10, RateFrom: 1, RateTo: 1}); err != nil {
+		t.Fatalf("flat ramp rejected: %v", err)
 	}
 }
