@@ -12,6 +12,7 @@
 //	loadgen -sweep -algos central,ctree -scenarios uniform,zipf -format csv
 //	loadgen -sweep -algos all -scenarios ramprate -mode open -service 1 -format text
 //	loadgen -study scaling -format text
+//	loadgen -study regression -format text -baseline check baselines/default.json
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -54,6 +55,23 @@
 // CSV (one row per measured point), or JSON. Unset knobs default to
 // saturating values (-service 1, -rate-to 8, -ops 4000, -knee-buckets
 // 48).
+//
+// With -study regression the tool measures each algorithm's multi-metric
+// performance fingerprint — knee rate and reason, service p50/p99 at a
+// fixed sub-knee rate, messages/op, bottleneck load share, drop rate and
+// queue-reason knee under a tight admission queue, knee under a
+// heterogeneous service profile, and the scaling class — and renders it,
+// or with -baseline record|check <path> serializes it to / gates it
+// against a committed schema-versioned baseline with per-metric tolerance
+// bands (docs/EXPERIMENTS.md §6). -artifacts dir additionally writes the
+// JSON/CSV artifact files CI uploads.
+//
+// -service-dist selects a heterogeneous per-processor service-cost
+// profile (flat, halfslow, straggler) on top of -service.
+//
+// Exit status: non-zero when -verify finds violations, when any
+// sweep/study cell is skipped, or when -baseline check finds a metric out
+// of band — gates script against the exit code, not output greps.
 //
 // The special scenario "adversarial" first executes the paper's
 // lower-bound adversary against the chosen algorithm (sequentially, on a
@@ -100,6 +118,7 @@ type options struct {
 	warmup      int
 	meanGap     int64
 	service     int64
+	svcDist     string // per-processor service-cost distribution (flat/halfslow/straggler)
 	sample      int
 	window      int64 // combining/diffraction merge window
 	kneeBuckets int   // open-loop rate buckets (0 = engine default)
@@ -121,6 +140,7 @@ func run(args []string, out io.Writer) error {
 		warmup   = fs.Int("warmup", -1, "completions excluded from measurement (default ops/10)")
 		meanGap  = fs.Int64("mean-gap", 4, "mean interarrival time in simulated ticks")
 		service  = fs.Int64("service", 0, "per-message processing cost in ticks (0 = instantaneous; saturation needs > 0)")
+		svcDist  = fs.String("service-dist", "", "per-processor distribution of -service: flat (uniform, the default), halfslow (every second processor 4x slower), straggler (processor 1 8x slower)")
 		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
 		window   = fs.Int64("window", registry.DefaultWindow, "combining/diffraction merge window in ticks (request-merging algorithms only)")
 		kneeBk   = fs.Int("knee-buckets", 0, "open-loop rate buckets for the saturation analysis (0 = engine default; more buckets = finer knee resolution)")
@@ -133,7 +153,9 @@ func run(args []string, out io.Writer) error {
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps x -ns grid into one merged report")
-		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts`)
+		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap and heterogeneous-service knees, scaling class) for the baseline gate`)
+		baseline = fs.String("baseline", "", `with -study regression: "record" writes the measured fingerprints to the baseline file given as the positional argument; "check" compares against it and exits non-zero when any metric leaves its tolerance band`)
+		artdir   = fs.String("artifacts", "", "with -study regression: directory to additionally write the study's JSON/CSV artifacts into (created if missing)")
 		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep/-study, or \"all\" for every registered algorithm (-study default: all)")
 		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep, or \"all\" for every scenario")
 		windows  = fs.String("windows", "", "comma-separated closed-loop admission windows for -sweep (default: -inflight); merge-window sub-sweep for -study (default: 1,4,64)")
@@ -192,16 +214,30 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-windows only applies to closed-loop sweeps (open loop has no admission window)")
 		}
 	case *study != "":
-		if *study != "scaling" {
-			return fmt.Errorf("unknown study %q (have scaling)", *study)
+		switch *study {
+		case "scaling", "regression":
+		default:
+			return fmt.Errorf("unknown study %q (have scaling, regression)", *study)
 		}
-		for _, name := range []string{"algo", "scenario", "scenarios", "gaps"} {
+		banned := []string{"algo", "scenario", "scenarios", "gaps"}
+		if *study == "regression" {
+			// The regression study's grid is pinned so a committed baseline
+			// and a later check are always the same experiment; the knobs
+			// that *are* free (seed, ops, window, service, rate ceiling,
+			// buckets) are recorded in the baseline and diffed as config.
+			// -mean-gap and -warmup are banned too: the first feeds the
+			// ramp's derived starting rate and the second the measure
+			// window, and neither is recorded.
+			banned = append(banned, "ns", "windows", "service-dist", "queue-cap", "rate-from",
+				"mean-gap", "warmup", "verify")
+		}
+		for _, name := range banned {
 			if set[name] {
-				return fmt.Errorf("-%s is ignored by -study scaling (always open-loop ramprate over -algos)", name)
+				return fmt.Errorf("-%s is ignored by -study %s (always open-loop ramprate over -algos)", name, *study)
 			}
 		}
 		if set["mode"] && m != engine.Open {
-			return fmt.Errorf("-study scaling is an open-loop experiment; drop -mode %s", m)
+			return fmt.Errorf("-study %s is an open-loop experiment; drop -mode %s", *study, m)
 		}
 		m = engine.Open
 	default:
@@ -210,6 +246,30 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("-%s only applies with -sweep or -study", name)
 			}
 		}
+	}
+	switch *baseline {
+	case "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("unexpected argument %q (only -baseline record|check takes a positional file path)", fs.Arg(0))
+		}
+	case "record", "check":
+		if *study != "regression" {
+			return fmt.Errorf("-baseline %s needs -study regression", *baseline)
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-baseline %s needs exactly one baseline file path argument, as the last argument (got %d: %v; flags after the path are not parsed)",
+				*baseline, fs.NArg(), fs.Args())
+		}
+	default:
+		return fmt.Errorf("unknown -baseline mode %q (have record, check)", *baseline)
+	}
+	if *artdir != "" && *study != "regression" {
+		return fmt.Errorf("-artifacts only applies with -study regression")
+	}
+	if _, err := serviceSimOpt(*service, *svcDist); err != nil {
+		// Validated before the run so a typo'd distribution does not waste
+		// the simulation; 0-service "flat" passes (it is the default shape).
+		return err
 	}
 
 	opt := options{
@@ -222,6 +282,7 @@ func run(args []string, out io.Writer) error {
 		warmup:      *warmup,
 		meanGap:     *meanGap,
 		service:     *service,
+		svcDist:     *svcDist,
 		sample:      *sample,
 		window:      *window,
 		kneeBuckets: *kneeBk,
@@ -262,6 +323,9 @@ func run(args []string, out io.Writer) error {
 			kneeBucketsSet: set["knee-buckets"],
 			parallel:       *parallel,
 		}
+		if *study == "regression" {
+			return runRegressionStudy(out, opt, *format, scfg, *baseline, fs.Arg(0), *artdir)
+		}
 		return runScalingStudy(out, opt, *format, scfg)
 	}
 
@@ -271,21 +335,34 @@ func run(args []string, out io.Writer) error {
 	}
 	switch *format {
 	case "csv":
-		return report.WriteCSV(out, res)
+		err = report.WriteCSV(out, res)
 	case "text":
-		_, err := io.WriteString(out, report.Render(res))
-		return err
+		_, err = io.WriteString(out, report.Render(res))
 	default: // "json", validated above
-		return report.WriteJSON(out, res)
+		err = report.WriteJSON(out, res)
 	}
+	if err != nil {
+		return err
+	}
+	if v := res.Verification; v != nil && v.Violations > 0 {
+		// The report already rendered; the non-zero exit is the contract
+		// CI gates rely on instead of output grepping.
+		return fmt.Errorf("verification failed: %d violations against %s consistency (first: %s)",
+			v.Violations, v.Property, v.First)
+	}
+	return nil
 }
 
 // runOne builds a fresh counter and scenario and executes a single engine
 // run.
 func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	var simOpts []sim.Option
-	if opt.service > 0 {
-		simOpts = append(simOpts, sim.WithServiceTime(opt.service))
+	svcOpt, err := serviceSimOpt(opt.service, opt.svcDist)
+	if err != nil {
+		return nil, err
+	}
+	if svcOpt != nil {
+		simOpts = append(simOpts, svcOpt)
 	}
 	rcfg := registry.Concurrent(simOpts...)
 	rcfg.Window = opt.window
@@ -324,10 +401,63 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	return engine.Run(c, gen, ecfg)
 }
 
+// serviceSimOpt returns the simulator option for the -service/-service-dist
+// pair: the uniform cost, or a deterministic heterogeneous profile scaling
+// some processors' costs up. Nil (with no error) when service is 0 and the
+// distribution is the default flat shape.
+func serviceSimOpt(service int64, dist string) (sim.Option, error) {
+	if service <= 0 {
+		if dist != "" && dist != "flat" {
+			return nil, fmt.Errorf("-service-dist %s needs -service > 0", dist)
+		}
+		return nil, nil
+	}
+	switch dist {
+	case "", "flat":
+		return sim.WithServiceTime(service), nil
+	case "halfslow":
+		// Mixed hardware: every second processor runs at a quarter of the
+		// rate. Spreading the slow half across the id space hits leaf and
+		// internal roles alike in the structured algorithms.
+		return sim.WithServiceProfile(func(p sim.ProcID) int64 {
+			if p%2 == 0 {
+				return 4 * service
+			}
+			return service
+		}), nil
+	case "straggler":
+		// One badly provisioned machine. Processor 1 roots several of the
+		// structured schemes, so this is the adversarial placement.
+		return sim.WithServiceProfile(func(p sim.ProcID) int64 {
+			if p == 1 {
+				return 8 * service
+			}
+			return service
+		}), nil
+	}
+	return nil, fmt.Errorf("unknown -service-dist %q (have flat, halfslow, straggler)", dist)
+}
+
+// distLabel is the ServiceDist value recorded on report rows: the named
+// distribution when a service cost is active, "" when the network has no
+// service model at all.
+func distLabel(service int64, dist string) string {
+	if service <= 0 {
+		return ""
+	}
+	if dist == "" {
+		return "flat"
+	}
+	return dist
+}
+
 // sweepCell is one grid coordinate of a sweep or study; idx fixes its
 // output slot so parallel execution keeps row order deterministic. inflight
 // is the closed-loop admission window; mwin the merge window the cell's
-// counter is built with.
+// counter is built with. The remaining fields are per-cell overrides used
+// by the regression study (zero values inherit the run's options): dist
+// selects a -service-dist profile, qcap an admission-queue bound, and
+// rateFrom/rateTo pin the ramprate sweep bounds.
 type sweepCell struct {
 	idx        int
 	algo, scen string
@@ -335,6 +465,10 @@ type sweepCell struct {
 	inflight   int
 	gap        int64
 	mwin       int64
+	dist       string
+	qcap       int
+	rateFrom   float64
+	rateTo     float64
 }
 
 // runSweep executes the grid — cells spread over a worker pool, each cell
@@ -396,13 +530,49 @@ func runSweep(out io.Writer, opt options, format, algos, scens, windows, gaps st
 
 	switch format {
 	case "csv":
-		return report.WriteSweepCSV(out, rows)
+		err = report.WriteSweepCSV(out, rows)
 	case "text":
-		_, err := io.WriteString(out, report.RenderSweep(rows))
-		return err
+		_, err = io.WriteString(out, report.RenderSweep(rows))
 	default:
-		return report.WriteSweepJSON(out, rows)
+		err = report.WriteSweepJSON(out, rows)
 	}
+	if err != nil {
+		return err
+	}
+	return gateRows(rows)
+}
+
+// gateRows is the exit-status contract of sweeps and studies: after the
+// report has rendered, any skipped cell or verification violation still
+// fails the process, so CI can gate on the exit code instead of grepping
+// the output.
+func gateRows(rows []report.SweepRow) error {
+	skipped, violations := 0, 0
+	var first string
+	for _, r := range rows {
+		if r.Skipped != "" {
+			skipped++
+			if first == "" {
+				first = fmt.Sprintf("%s/%s n=%d: %s", r.Algorithm, r.Scenario, r.N, r.Skipped)
+			}
+		}
+		if v := r.Verification; v != nil && v.Violations > 0 {
+			violations += v.Violations
+			if first == "" {
+				first = fmt.Sprintf("%s/%s n=%d: %d %s violations", r.Algorithm, r.Scenario, r.N, v.Violations, v.Property)
+			}
+		}
+	}
+	switch {
+	case skipped > 0 && violations > 0:
+		return fmt.Errorf("%d of %d cells skipped and %d verification violations (first: %s)",
+			skipped, len(rows), violations, first)
+	case skipped > 0:
+		return fmt.Errorf("%d of %d cells skipped (first: %s)", skipped, len(rows), first)
+	case violations > 0:
+		return fmt.Errorf("verification failed: %d violations (first: %s)", violations, first)
+	}
+	return nil
 }
 
 // runCells spreads the cells over a worker pool — each cell owns an
@@ -442,22 +612,38 @@ func runCells(opt options, cells []sweepCell, parallel int) ([]report.SweepRow, 
 // protocol panic, so one broken cell cannot take down the whole sweep —
 // into a skipped row that keeps the cell's coordinates.
 func runCell(opt options, cl sweepCell) (row report.SweepRow) {
-	defer func() {
-		if r := recover(); r != nil {
-			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin,
-				fmt.Errorf("panic: %v", r))
-		}
-	}()
 	cell := opt
 	cell.n = cl.n
 	cell.inflight = cl.inflight
 	cell.meanGap = cl.gap
 	cell.window = cl.mwin
+	if cl.dist != "" {
+		cell.svcDist = cl.dist
+	}
+	if cl.qcap > 0 {
+		cell.queueCap = cl.qcap
+	}
+	if cl.rateFrom > 0 {
+		cell.wcfg.RateFrom = cl.rateFrom
+	}
+	if cl.rateTo > 0 {
+		cell.wcfg.RateTo = cl.rateTo
+	}
+	dist := distLabel(cell.service, cell.svcDist)
+	defer func() {
+		if r := recover(); r != nil {
+			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin,
+				fmt.Errorf("panic: %v", r))
+			row.ServiceDist = dist
+		}
+	}()
 	res, err := runOne(cell, cl.algo, cl.scen)
 	if err != nil {
-		return report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin, err)
+		row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin, err)
+		row.ServiceDist = dist
+		return row
 	}
-	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, Result: res}
+	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Result: res}
 }
 
 // expandAlgos splits an -algos flag value, expanding the "all" sentinel to

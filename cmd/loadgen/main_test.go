@@ -4,6 +4,10 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"distcount/internal/engine"
+	"distcount/internal/engine/report"
+	"distcount/internal/verify"
 )
 
 func TestRunJSONDefault(t *testing.T) {
@@ -172,10 +176,10 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	if len(lines) != 1+2*2*2 {
 		t.Fatalf("sweep CSV has %d lines, want header + 8 rows:\n%s", len(lines), out)
 	}
-	wantHeader := "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,queue_cap," +
+	wantHeader := "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
-		"queue_p50,queue_p99,dropped,peak_queue_depth," +
-		"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
+		"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
+		"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
 		"verify_property,verify_violations,verify_duplicates,skipped"
 	if lines[0] != wantHeader {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
@@ -268,14 +272,19 @@ func TestRunSweepAllAlgos(t *testing.T) {
 }
 
 // TestRunSweepReportsSkippedCells: a cell that cannot run (unknown
-// scenario in the grid) is reported with its reason, and the remaining
-// cells still run.
+// scenario in the grid) is reported with its reason, the remaining cells
+// still run — and the process exits non-zero anyway, so a CI gate needs no
+// output grepping to notice the hole in the grid.
 func TestRunSweepReportsSkippedCells(t *testing.T) {
 	var b strings.Builder
 	args := []string{"-sweep", "-algos", "central", "-scenarios", "uniform,nope",
 		"-n", "8", "-ops", "60", "-format", "text"}
-	if err := run(args, &b); err != nil {
-		t.Fatal(err)
+	err := run(args, &b)
+	if err == nil {
+		t.Fatal("sweep with a skipped cell exited zero")
+	}
+	if !strings.Contains(err.Error(), "skipped") {
+		t.Fatalf("exit error does not name the skip: %v", err)
 	}
 	out := b.String()
 	if !strings.Contains(out, "SKIPPED:") || !strings.Contains(out, "nope") {
@@ -289,6 +298,36 @@ func TestRunSweepReportsSkippedCells(t *testing.T) {
 	b.Reset()
 	if err := run([]string{"-sweep", "-algos", "central", "-scenarios", "nope", "-format", "csv"}, &b); err == nil {
 		t.Fatal("all-skipped sweep did not error")
+	}
+}
+
+// TestVerifyExitContract: the exit-status contract around verification.
+// Measured duplicates of the sequential-only token ring are not
+// violations, so its -verify run exits zero; an actual violation in any
+// row fails gateRows with the offending cell named.
+func TestVerifyExitContract(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-algo", "tokenring", "-scenario", "uniform", "-n", "12", "-ops", "200",
+		"-mean-gap", "1", "-verify", "-format", "text"}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("measured duplicates failed the process: %v", err)
+	}
+	if !strings.Contains(b.String(), "dup") {
+		t.Fatalf("tokenring run did not measure duplicates:\n%s", b.String())
+	}
+
+	rows := []report.SweepRow{{Result: &engine.Result{
+		Algorithm: "central", Scenario: "uniform", N: 8,
+		Verification: &verify.Report{Property: "linearizable", Ops: 100, Violations: 3},
+	}}}
+	err := gateRows(rows)
+	if err == nil {
+		t.Fatal("verification violations passed gateRows")
+	}
+	for _, frag := range []string{"central", "3", "linearizable"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("gate error %q does not name %q", err, frag)
+		}
 	}
 }
 

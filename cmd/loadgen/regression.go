@@ -1,0 +1,309 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"distcount/internal/engine/report"
+	"distcount/internal/registry"
+)
+
+// The regression study measures each algorithm's multi-metric performance
+// fingerprint — the artifact behind the CI gate (docs/EXPERIMENTS.md §6).
+// Per algorithm it runs a fixed cell grid:
+//
+//   - the knee-vs-n ramp cells of the scaling study over fpScalingNs (the
+//     fpN cell doubles as the headline knee fingerprint), plus the
+//     merge-window sub-sweep at the largest n for the window-sensitive
+//     schemes — together they yield the scaling class;
+//   - a steady cell at the fixed sub-knee rate fpSteadyRate, where service
+//     p50/p99, messages/op, and the bottleneck's load share are clean
+//     (the system is not overloaded, so the numbers are the algorithm's
+//     intrinsic cost, not queueing artifacts);
+//   - a queue cell: the same ramp under the tight admission queue
+//     fpQueueCap, fingerprinting the "queue"-reason knee and the shed-load
+//     fraction;
+//   - a hetero cell: the same ramp under the fpHeteroDist service profile,
+//     fingerprinting capacity on mixed hardware.
+//
+// Everything is deterministic for a fixed seed, so a committed baseline
+// reproduces bit for bit until the code's behavior actually changes.
+
+// Fingerprint cell-grid constants. Changing any of these invalidates
+// committed baselines — the values are recorded in the baseline document
+// and diffed as config, so a stale baseline fails loudly.
+const (
+	// fpN is the requested network size of the knee/steady/queue/hetero
+	// cells (structured algorithms round it up; the fingerprint records
+	// the actual size).
+	fpN = 16
+	// fpSteadyRate is the fixed sub-knee offered rate of the steady cell,
+	// in ops/tick — far below every algorithm's measured knee (the lowest,
+	// the central counter's, sits near 1 op/tick at service 1).
+	fpSteadyRate = 0.25
+	// fpQueueCap is the queue cell's admission bound: small enough that
+	// the ramp overflows it into drops well inside the swept range.
+	fpQueueCap = 16
+	// fpHeteroDist is the hetero cell's -service-dist profile.
+	fpHeteroDist = "halfslow"
+	// fpHeteroRateTo is the hetero cell's ramp ceiling. Slowing half the
+	// processors 4x cuts capacity toward a quarter of the flat knee, and a
+	// knee is only resolvable to one rate bucket's band — on the default
+	// ramp to 8 the heterogeneous knee would fall inside the first
+	// (baseline) bucket, where the detector has no pre-saturation
+	// reference. A ceiling of 4 keeps every algorithm's halfslow knee in a
+	// resolvable bucket while still crossing it.
+	fpHeteroRateTo = 4
+)
+
+// fpScalingNs is the n axis of the embedded knee-vs-n curve. Smaller than
+// the interactive scaling study's default (which tops at 64): three sizes
+// are enough to fit the exponent and classify, and the gate runs on every
+// push.
+var fpScalingNs = []int{8, 16, 32}
+
+// runRegressionStudy measures the fingerprints and then records, checks,
+// or renders them. bmode is the -baseline mode ("", "record", "check"),
+// bpath the baseline file, artdir the optional artifacts directory.
+func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConfig, bmode, bpath, artdir string) error {
+	algoList := expandAlgos(cfg.algos)
+	if !cfg.algosSet {
+		algoList = registry.Names() // the gate's default scope is everything
+	}
+	if len(algoList) == 0 {
+		return fmt.Errorf("-study needs a non-empty -algos")
+	}
+	sort.Strings(algoList)
+	// The saturating defaults of the scaling study apply here unchanged.
+	applyStudyDefaults(&opt, cfg)
+
+	maxN := fpScalingNs[len(fpScalingNs)-1]
+
+	// The cell grid. Scaling cells are deduplicated on the actual network
+	// size exactly like the scaling study; the fpN cell of each algorithm
+	// is remembered as its knee fingerprint source.
+	var cells []sweepCell
+	add := func(c sweepCell) int {
+		c.idx = len(cells)
+		cells = append(cells, c)
+		return c.idx
+	}
+	type fpCells struct{ knee, steady, queue, hetero int }
+	cellsOf := map[string]fpCells{}
+	var scalingIdx []int // cells feeding report.AnalyzeScaling
+	for _, algo := range algoList {
+		fc := fpCells{knee: -1}
+		seen := map[int]int{} // actual size -> cell idx
+		for _, n := range fpScalingNs {
+			actual := actualSize(algo, n)
+			idx, ok := seen[actual]
+			if !ok {
+				idx = add(sweepCell{algo: algo, scen: "ramprate", n: n,
+					inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window})
+				seen[actual] = idx
+				scalingIdx = append(scalingIdx, idx)
+			}
+			if n == fpN {
+				fc.knee = idx
+			}
+		}
+		if registry.WindowSensitive(algo) {
+			for _, w := range subSweepWindows(studyDefaultWindows, opt.window) {
+				scalingIdx = append(scalingIdx, add(sweepCell{algo: algo, scen: "ramprate", n: maxN,
+					inflight: opt.inflight, gap: opt.meanGap, mwin: w}))
+			}
+		}
+		fc.steady = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+			rateFrom: fpSteadyRate, rateTo: fpSteadyRate})
+		fc.queue = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window, qcap: fpQueueCap})
+		fc.hetero = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+			dist: fpHeteroDist, rateTo: fpHeteroRateTo})
+		cellsOf[algo] = fc
+	}
+
+	rows, err := runCells(opt, cells, cfg.parallel)
+	if err != nil {
+		return fmt.Errorf("study: %w", err)
+	}
+
+	scalingRows := make([]report.SweepRow, 0, len(scalingIdx))
+	for _, idx := range scalingIdx {
+		scalingRows = append(scalingRows, rows[idx])
+	}
+	sc := report.AnalyzeScaling(scalingRows, opt.window)
+	classOf := map[string]string{}
+	for _, a := range sc.Algorithms {
+		classOf[a.Algorithm] = a.Class
+	}
+
+	cur := &report.Baseline{
+		Schema:       report.BaselineSchema,
+		Study:        report.RegressionStudy,
+		Seed:         opt.seed,
+		Ops:          opt.ops,
+		BaseWindow:   opt.window,
+		Service:      opt.service,
+		RateTo:       opt.wcfg.RateTo,
+		KneeBuckets:  opt.kneeBuckets,
+		SteadyRate:   fpSteadyRate,
+		QueueCap:     fpQueueCap,
+		HeteroDist:   fpHeteroDist,
+		HeteroRateTo: fpHeteroRateTo,
+		ScalingNs:    append([]int(nil), fpScalingNs...),
+		Windows:      append([]int(nil), studyDefaultWindows...),
+	}
+	for _, algo := range algoList {
+		fc := cellsOf[algo]
+		f := report.Fingerprint{Algorithm: algo, ScalingClass: classOf[algo]}
+		if fc.knee >= 0 {
+			if r := rows[fc.knee]; r.Skipped == "" {
+				f.N = r.N
+				if r.Knee != nil {
+					f.KneeRate, f.KneeReason = r.Knee.OfferedRate, r.Knee.Reason
+				}
+			}
+		}
+		if r := rows[fc.steady]; r.Skipped == "" {
+			f.ServiceP50 = r.ServiceLatency.P50
+			f.ServiceP99 = r.ServiceLatency.P99
+			f.MessagesPerOp = r.MessagesPerOp
+			if r.Loads.SumLoads > 0 {
+				f.BottleneckShare = float64(r.Loads.MaxLoad) / float64(r.Loads.SumLoads)
+			}
+		}
+		if r := rows[fc.queue]; r.Skipped == "" {
+			f.DropRate = r.DropRate
+			if r.Knee != nil {
+				f.QueueKneeRate, f.QueueKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+		}
+		if r := rows[fc.hetero]; r.Skipped == "" {
+			if r.Knee != nil {
+				f.HeteroKneeRate, f.HeteroKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+		}
+		cur.Fingerprints = append(cur.Fingerprints, f)
+	}
+	cur.Sort()
+
+	if artdir != "" {
+		if err := writeArtifact(artdir, "regression-baseline.json", func(w io.Writer) error {
+			return report.WriteBaseline(w, cur)
+		}); err != nil {
+			return err
+		}
+		if err := writeArtifact(artdir, "regression-baseline.csv", func(w io.Writer) error {
+			return report.WriteBaselineCSV(w, cur)
+		}); err != nil {
+			return err
+		}
+	}
+
+	switch bmode {
+	case "record":
+		// Gate first: a study with skipped cells would record zero-valued
+		// fingerprints, and truncating the existing baseline before
+		// noticing would clobber a good committed file with a corrupt one.
+		if err := gateRows(rows); err != nil {
+			return fmt.Errorf("refusing to record a baseline from an incomplete study: %w", err)
+		}
+		fil, err := os.Create(bpath)
+		if err != nil {
+			return fmt.Errorf("recording baseline: %w", err)
+		}
+		if err := report.WriteBaseline(fil, cur); err != nil {
+			fil.Close()
+			return fmt.Errorf("recording baseline: %w", err)
+		}
+		if err := fil.Close(); err != nil {
+			return fmt.Errorf("recording baseline: %w", err)
+		}
+		fmt.Fprintf(out, "recorded %d fingerprints to %s (schema %d)\n",
+			len(cur.Fingerprints), bpath, report.BaselineSchema)
+		if format == "text" {
+			if _, err := io.WriteString(out, report.RenderBaseline(cur)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "check":
+		fil, err := os.Open(bpath)
+		if err != nil {
+			return fmt.Errorf("loading baseline: %w", err)
+		}
+		base, err := report.LoadBaseline(fil)
+		fil.Close()
+		if err != nil {
+			return err
+		}
+		cmp := report.CompareBaseline(base, cur, report.DefaultTolerances())
+		if artdir != "" {
+			if err := writeArtifact(artdir, "regression-gate.json", func(w io.Writer) error {
+				return report.WriteComparisonJSON(w, cmp)
+			}); err != nil {
+				return err
+			}
+			if err := writeArtifact(artdir, "regression-gate.csv", func(w io.Writer) error {
+				return report.WriteComparisonCSV(w, cmp)
+			}); err != nil {
+				return err
+			}
+		}
+		switch format {
+		case "csv":
+			err = report.WriteComparisonCSV(out, cmp)
+		case "text":
+			_, err = io.WriteString(out, report.RenderComparison(cmp))
+		default:
+			err = report.WriteComparisonJSON(out, cmp)
+		}
+		if err != nil {
+			return err
+		}
+		if err := gateRows(rows); err != nil {
+			return err
+		}
+		if !cmp.Pass {
+			return fmt.Errorf("baseline check failed: %d of %d metrics out of band (first: %s)",
+				cmp.Failures, len(cmp.Diffs), cmp.FirstFailure())
+		}
+		return nil
+	default: // plain measurement: render the fingerprints
+		switch format {
+		case "csv":
+			err = report.WriteBaselineCSV(out, cur)
+		case "text":
+			_, err = io.WriteString(out, report.RenderBaseline(cur))
+		default:
+			err = report.WriteBaseline(out, cur)
+		}
+		if err != nil {
+			return err
+		}
+		return gateRows(rows)
+	}
+}
+
+// writeArtifact writes one study artifact into dir, creating the directory
+// if needed.
+func writeArtifact(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifacts: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	fil, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("artifacts: %w", err)
+	}
+	if err := write(fil); err != nil {
+		fil.Close()
+		return fmt.Errorf("artifacts: writing %s: %w", path, err)
+	}
+	return fil.Close()
+}

@@ -56,6 +56,43 @@ type studyConfig struct {
 	parallel       int
 }
 
+// applyStudyDefaults fills the saturating defaults for every knob the
+// user left unset — shared by the scaling and regression studies so the
+// two experiments cannot drift apart on what "default" means.
+func applyStudyDefaults(opt *options, cfg studyConfig) {
+	if !cfg.opsSet {
+		opt.ops = studyDefaultOps
+		opt.wcfg.Ops = studyDefaultOps
+	}
+	if !cfg.serviceSet {
+		// Without a per-message cost nothing ever saturates (the paper's
+		// pure latency model); the studies are about the knee, so default
+		// it on.
+		opt.service = studyDefaultService
+	}
+	if !cfg.rateToSet {
+		opt.wcfg.RateTo = studyDefaultRateTo
+	}
+	if !cfg.kneeBucketsSet {
+		opt.kneeBuckets = studyDefaultKneeBuckets
+	}
+}
+
+// subSweepWindows returns the merge-window sub-sweep list: the given
+// windows, ascending, with the base window dropped (it is already
+// measured on the n axis).
+func subSweepWindows(windows []int, base int64) []int64 {
+	ws := append([]int(nil), windows...)
+	sort.Ints(ws)
+	var out []int64
+	for _, w := range ws {
+		if int64(w) != base {
+			out = append(out, int64(w))
+		}
+	}
+	return out
+}
+
 // runScalingStudy executes the knee-vs-n study and renders the scaling
 // analysis in the selected format.
 func runScalingStudy(out io.Writer, opt options, format string, cfg studyConfig) error {
@@ -77,21 +114,7 @@ func runScalingStudy(out io.Writer, opt options, format string, cfg studyConfig)
 			return err
 		}
 	}
-	if !cfg.opsSet {
-		opt.ops = studyDefaultOps
-		opt.wcfg.Ops = studyDefaultOps
-	}
-	if !cfg.serviceSet {
-		// Without a per-message cost nothing ever saturates (the paper's
-		// pure latency model); the study is about the knee, so default it on.
-		opt.service = studyDefaultService
-	}
-	if !cfg.rateToSet {
-		opt.wcfg.RateTo = studyDefaultRateTo
-	}
-	if !cfg.kneeBucketsSet {
-		opt.kneeBuckets = studyDefaultKneeBuckets
-	}
+	applyStudyDefaults(&opt, cfg)
 
 	maxN := nsList[0]
 	for _, n := range nsList {
@@ -126,13 +149,8 @@ func runScalingStudy(out io.Writer, opt options, format string, cfg studyConfig)
 		if !registry.WindowSensitive(algo) {
 			continue
 		}
-		ws := append([]int(nil), windowList...)
-		sort.Ints(ws)
-		for _, w := range ws {
-			if int64(w) == opt.window {
-				continue // already measured on the n axis
-			}
-			add(algo, maxN, int64(w))
+		for _, w := range subSweepWindows(windowList, opt.window) {
+			add(algo, maxN, w)
 		}
 	}
 
@@ -144,13 +162,16 @@ func runScalingStudy(out io.Writer, opt options, format string, cfg studyConfig)
 	sc := report.AnalyzeScaling(rows, opt.window)
 	switch format {
 	case "csv":
-		return report.WriteScalingCSV(out, sc)
+		err = report.WriteScalingCSV(out, sc)
 	case "text":
-		_, err := io.WriteString(out, report.RenderScaling(sc))
-		return err
+		_, err = io.WriteString(out, report.RenderScaling(sc))
 	default:
-		return report.WriteScalingJSON(out, sc)
+		err = report.WriteScalingJSON(out, sc)
 	}
+	if err != nil {
+		return err
+	}
+	return gateRows(rows)
 }
 
 // actualSize resolves the network size the algorithm actually builds for a

@@ -202,6 +202,14 @@ type Result struct {
 	QueueCap       int `json:"queue_cap,omitempty"`
 	PeakQueueDepth int `json:"peak_queue_depth,omitempty"`
 	Dropped        int `json:"dropped,omitempty"`
+	// Arrivals is the number of requests the scenario offered over the
+	// whole run: completions plus drops. In closed-loop mode every arrival
+	// completes, so Arrivals == Ops; in open-loop mode the difference is
+	// the shed load. DropRate is Dropped/Arrivals — the fraction of offered
+	// load the admission queue refused, a first-class overload metric next
+	// to the knee.
+	Arrivals int     `json:"arrivals"`
+	DropRate float64 `json:"drop_rate"`
 	// SimTime is the simulated makespan of the run — the completion time
 	// of the last operation (trailing maintenance events such as stale
 	// prism timers are excluded); MeasureStart the simulated time at which
@@ -220,7 +228,14 @@ type Result struct {
 	QueueDelay     LatencyStats `json:"queue_delay"`
 	ServiceLatency LatencyStats `json:"service_latency"`
 	// Messages is the total number of network messages over the whole run.
-	Messages int64 `json:"messages"`
+	// MessagesPerOp is the per-operation message cost inside the measure
+	// window — measure-window messages (from the simulator's send counters,
+	// warmup traffic excluded) divided by measured completions. It is the
+	// paper's message-count currency as an engine metric: request-merging
+	// schemes drive it below the tree's fixed cost under concurrency, and a
+	// regression in it moves every load-derived metric with it.
+	Messages      int64   `json:"messages"`
+	MessagesPerOp float64 `json:"messages_per_op"`
 	// Loads summarizes the per-processor loads accumulated inside the
 	// measure window only (warmup traffic excluded): bottleneck, mean,
 	// Gini.
@@ -482,6 +497,11 @@ func (m *runMetrics) finalize(res *Result, net *sim.Network, warmup int, thinAft
 		res.Series = thinSeries(res.Series, 64)
 	}
 	res.Loads = measuredLoads(net, m.baseSent, m.baseRecv)
+	res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	res.Arrivals = res.Ops + res.Dropped
+	if res.Arrivals > 0 {
+		res.DropRate = float64(res.Dropped) / float64(res.Arrivals)
+	}
 
 	window := res.SimTime - res.MeasureStart
 	if window < 1 {

@@ -185,6 +185,42 @@ func TestOpenLoopBoundedQueueDrops(t *testing.T) {
 	if res.PeakInFlight != 1 {
 		t.Fatalf("peak in flight %d, want 1 (single initiator)", res.PeakInFlight)
 	}
+	if res.Arrivals != 64 {
+		t.Fatalf("arrivals %d, want 64 (completions plus drops)", res.Arrivals)
+	}
+	if want := float64(res.Dropped) / 64; math.Abs(res.DropRate-want) > 1e-12 {
+		t.Fatalf("drop rate %v, want %v", res.DropRate, want)
+	}
+}
+
+// TestFirstClassCostMetrics: messages/op and drop rate are derived report
+// fields in both modes — messages/op from the measure-window send counters
+// over measured completions, drop rate zero whenever nothing is shed.
+func TestFirstClassCostMetrics(t *testing.T) {
+	for _, mode := range []Mode{Closed, Open} {
+		c := mustAsync(t, "ctree", 9)
+		gen := mustScenario(t, "uniform", workload.Config{N: 9, Ops: 200, Seed: 2})
+		res, err := Run(c, gen, Config{Mode: mode, Warmup: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Arrivals != res.Ops {
+			t.Fatalf("%v: arrivals %d != ops %d with nothing dropped", mode, res.Arrivals, res.Ops)
+		}
+		if res.DropRate != 0 {
+			t.Fatalf("%v: drop rate %v without drops", mode, res.DropRate)
+		}
+		want := float64(res.Loads.TotalMessages) / float64(res.Measured)
+		if res.MessagesPerOp != want {
+			t.Fatalf("%v: messages/op %v, want %v (measure-window messages / measured)", mode, res.MessagesPerOp, want)
+		}
+		// The paper's tree costs a fixed number of messages per operation;
+		// the metric must land in a plausible per-op band, not at a
+		// whole-run total.
+		if res.MessagesPerOp < 1 || res.MessagesPerOp > 64 {
+			t.Fatalf("%v: messages/op %v implausible for ctree", mode, res.MessagesPerOp)
+		}
+	}
 }
 
 // TestOpenLoopMatchesClosedWhenUnloaded: with arrivals far sparser than

@@ -1,0 +1,227 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the performance-baseline half of the regression gate: a
+// per-algorithm multi-metric fingerprint (knee, tail latency at a fixed
+// sub-knee rate, messages/op, bottleneck concentration, shed load under a
+// tight admission queue, knee under heterogeneous service costs, scaling
+// verdict), serialized to a versioned JSON document that is committed to
+// the repository. compare.go diffs a freshly measured baseline against the
+// committed one with per-metric tolerance bands; CI runs the diff on every
+// push, so a perf regression surfaces as a named metric instead of an
+// eyeballed table. Cohen–Shechner–Stemmer (2025) frame counting protocols
+// by exactly such multi-metric tradeoffs — accuracy vs. message cost vs.
+// robustness — and the fingerprint is that tradeoff shape, tracked per
+// algorithm across PRs.
+
+// BaselineSchema is the current baseline file schema version. Bump it when
+// a Fingerprint field changes meaning (not merely when fields are added —
+// encoding/json tolerates additions); LoadBaseline rejects files written
+// under a different version so the gate never silently compares
+// incompatible fingerprints.
+const BaselineSchema = 1
+
+// RegressionStudy is the Baseline.Study value written by loadgen -study
+// regression.
+const RegressionStudy = "regression"
+
+// Fingerprint is the multi-metric performance identity of one algorithm,
+// measured by the regression study's fixed cell grid. Zero values are
+// meaningful (an unsaturated ramp records KneeRate 0), so every field is
+// always serialized.
+type Fingerprint struct {
+	// Algorithm names the registry entry; N is the actual network size the
+	// fingerprint cells ran on (structured algorithms round the requested
+	// size up).
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// KneeRate and KneeReason are the saturation knee of the open-loop
+	// rate ramp under uniform service cost and a roomy admission queue:
+	// the measured capacity in ops/tick and whether latency divergence
+	// ("latency") or queue overflow ("queue") marked it. KneeRate 0 means
+	// the ramp never saturated the algorithm.
+	KneeRate   float64 `json:"knee_rate"`
+	KneeReason string  `json:"knee_reason"`
+	// ServiceP50 and ServiceP99 summarize in-network service latency
+	// (injection to completion, queueing excluded) at the study's fixed
+	// sub-knee rate — the latency the algorithm charges when it is not
+	// overloaded. For the request-merging schemes this is where the merge
+	// window's latency cost lives.
+	ServiceP50 float64 `json:"service_p50"`
+	ServiceP99 float64 `json:"service_p99"`
+	// MessagesPerOp is the per-operation message cost at the fixed
+	// sub-knee rate (measure-window messages over measured completions) —
+	// the paper's currency.
+	MessagesPerOp float64 `json:"messages_per_op"`
+	// BottleneckShare is the fraction of all measure-window load carried
+	// by the bottleneck processor at the fixed sub-knee rate (max_load /
+	// sum_loads, in [1/n, 1]): the inherent-bottleneck concentration the
+	// paper proves cannot be dissolved.
+	BottleneckShare float64 `json:"bottleneck_share"`
+	// QueueKneeRate, QueueKneeReason and DropRate fingerprint the same
+	// rate ramp under the study's tight admission queue: the knee then
+	// arrives by overflow ("queue") rather than latency divergence, and
+	// DropRate is the fraction of offered load shed over the whole ramp.
+	QueueKneeRate   float64 `json:"queue_knee_rate"`
+	QueueKneeReason string  `json:"queue_knee_reason"`
+	DropRate        float64 `json:"drop_rate"`
+	// HeteroKneeRate and HeteroKneeReason are the ramp knee under the
+	// study's heterogeneous service profile (every second processor slowed
+	// — mixed hardware): algorithms that pin their hot path to fixed
+	// processors lose more capacity here than those that spread it.
+	HeteroKneeRate   float64 `json:"hetero_knee_rate"`
+	HeteroKneeReason string  `json:"hetero_knee_reason"`
+	// ScalingClass is the knee-vs-n verdict of the embedded scaling
+	// analysis (bottleneck-bound / merge-bound / scales-with-n /
+	// unsaturated / inconclusive) — the paper's conclusion as a pinned
+	// string.
+	ScalingClass string `json:"scaling_class"`
+}
+
+// Baseline is one committed performance-baseline document: the study
+// configuration that produced it (so a check against a drifted
+// configuration fails loudly instead of comparing incomparable numbers)
+// plus one Fingerprint per algorithm, sorted by name.
+type Baseline struct {
+	// Schema is the file format version; LoadBaseline rejects any value
+	// other than BaselineSchema.
+	Schema int `json:"schema"`
+	// Study names the producing study ("regression").
+	Study string `json:"study"`
+	// Seed, Ops, BaseWindow, Service, RateTo, KneeBuckets, SteadyRate,
+	// QueueCap and HeteroDist pin the study configuration: the scenario
+	// seed, operations per cell, merge window, uniform per-message service
+	// cost, the ramp's final offered rate, the knee analysis resolution,
+	// the fixed sub-knee rate of the latency cells, the tight
+	// admission-queue bound of the queue cells, and the heterogeneous
+	// service distribution name. CompareBaseline diffs them exactly, so a
+	// check against a baseline recorded under a drifted configuration
+	// fails on the config metric instead of comparing incomparable
+	// numbers.
+	Seed         uint64  `json:"seed"`
+	Ops          int     `json:"ops"`
+	BaseWindow   int64   `json:"base_window"`
+	Service      int64   `json:"service"`
+	RateTo       float64 `json:"rate_to"`
+	KneeBuckets  int     `json:"knee_buckets"`
+	SteadyRate   float64 `json:"steady_rate"`
+	QueueCap     int     `json:"queue_cap"`
+	HeteroDist   string  `json:"hetero_dist"`
+	HeteroRateTo float64 `json:"hetero_rate_to"`
+	// ScalingNs and Windows pin the embedded scaling grid: the requested
+	// n axis of the knee-vs-n curve and the merge-window sub-sweep list.
+	// A change to either is a different experiment, diffed like the rest
+	// of the config.
+	ScalingNs []int `json:"scaling_ns"`
+	Windows   []int `json:"windows"`
+	// Fingerprints holds one entry per algorithm, sorted by name.
+	Fingerprints []Fingerprint `json:"fingerprints"`
+}
+
+// Sort orders the fingerprints by algorithm name, the canonical file
+// order.
+func (b *Baseline) Sort() {
+	sort.Slice(b.Fingerprints, func(i, j int) bool {
+		return b.Fingerprints[i].Algorithm < b.Fingerprints[j].Algorithm
+	})
+}
+
+// Fingerprint returns the named algorithm's entry, or nil when the
+// baseline does not cover it.
+func (b *Baseline) Fingerprint(algorithm string) *Fingerprint {
+	for i := range b.Fingerprints {
+		if b.Fingerprints[i].Algorithm == algorithm {
+			return &b.Fingerprints[i]
+		}
+	}
+	return nil
+}
+
+// WriteBaseline serializes the baseline as indented JSON in canonical
+// (sorted) order — the committed artifact format, kept diff-friendly.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	b.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBaseline parses a baseline document, rejecting unknown schema
+// versions and structurally empty files.
+func LoadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("report: parsing baseline: %w", err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("report: baseline schema %d not supported (this binary reads schema %d; re-record with -baseline record)",
+			b.Schema, BaselineSchema)
+	}
+	if len(b.Fingerprints) == 0 {
+		return nil, fmt.Errorf("report: baseline has no fingerprints")
+	}
+	b.Sort()
+	return &b, nil
+}
+
+// BaselineCSVHeader is the column list of WriteBaselineCSV: one row per
+// algorithm fingerprint.
+const BaselineCSVHeader = "algo,n,knee_rate,knee_reason,service_p50,service_p99,msgs_per_op," +
+	"bottleneck_share,queue_knee_rate,queue_knee_reason,drop_rate," +
+	"hetero_knee_rate,hetero_knee_reason,scaling_class"
+
+// WriteBaselineCSV writes the fingerprints as a flat CSV with the
+// BaselineCSVHeader columns — the plottable artifact form.
+func WriteBaselineCSV(w io.Writer, b *Baseline) error {
+	if _, err := fmt.Fprintln(w, BaselineCSVHeader); err != nil {
+		return err
+	}
+	b.Sort()
+	for _, f := range b.Fingerprints {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%.1f,%.1f,%.3f,%.4f,%.4f,%s,%.4f,%.4f,%s,%s\n",
+			f.Algorithm, f.N, f.KneeRate, f.KneeReason, f.ServiceP50, f.ServiceP99, f.MessagesPerOp,
+			f.BottleneckShare, f.QueueKneeRate, f.QueueKneeReason, f.DropRate,
+			f.HeteroKneeRate, f.HeteroKneeReason, f.ScalingClass); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderBaseline returns the human-readable fingerprint table.
+func RenderBaseline(b *Baseline) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "performance fingerprints (%s study: seed %d, ops %d, window %d, service %d, steady rate %.2f, tight queue %d, hetero %q)\n",
+		b.Study, b.Seed, b.Ops, b.BaseWindow, b.Service, b.SteadyRate, b.QueueCap, b.HeteroDist)
+	fmt.Fprintf(&sb, "%-16s %4s %13s %11s %7s %7s %7s %12s %9s %12s %-16s\n",
+		"algo", "n", "knee", "queue-knee", "p50", "p99", "msg/op", "bshare", "droprate", "hetero-knee", "class")
+	b.Sort()
+	for _, f := range b.Fingerprints {
+		fmt.Fprintf(&sb, "%-16s %4d %13s %11s %7.1f %7.1f %7.2f %12.3f %9.3f %12s %-16s\n",
+			f.Algorithm, f.N,
+			kneeLabel(f.KneeRate, f.KneeReason), kneeLabel(f.QueueKneeRate, f.QueueKneeReason),
+			f.ServiceP50, f.ServiceP99, f.MessagesPerOp, f.BottleneckShare, f.DropRate,
+			kneeLabel(f.HeteroKneeRate, f.HeteroKneeReason), f.ScalingClass)
+	}
+	return sb.String()
+}
+
+// kneeLabel formats a knee as rate/reason, "-" when the cell never
+// saturated.
+func kneeLabel(rate float64, reason string) string {
+	if rate <= 0 {
+		return "-"
+	}
+	if reason == "" {
+		return fmt.Sprintf("%.3f", rate)
+	}
+	return fmt.Sprintf("%.3f/%s", rate, reason)
+}

@@ -1,0 +1,338 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Band is one per-metric tolerance band: a measured value passes against
+// its baseline when |current − base| ≤ max(Abs, Rel·|base|). The relative
+// arm scales with the metric's magnitude; the absolute arm keeps
+// small-valued metrics (a knee near zero, a drop rate of exactly zero)
+// from turning every epsilon into a relative blowup.
+type Band struct {
+	Rel float64 `json:"rel"`
+	Abs float64 `json:"abs"`
+}
+
+// Within reports whether current passes against base under the band.
+func (t Band) Within(base, current float64) bool {
+	diff := current - base
+	if diff < 0 {
+		diff = -diff
+	}
+	limit := t.Rel * base
+	if base < 0 {
+		limit = -limit
+	}
+	if t.Abs > limit {
+		limit = t.Abs
+	}
+	return diff <= limit
+}
+
+// Tolerances groups the tolerance bands by metric family.
+type Tolerances struct {
+	// Knee bounds the saturation knees (knee_rate, queue_knee_rate,
+	// hetero_knee_rate).
+	Knee Band `json:"knee"`
+	// Latency bounds the sub-knee service percentiles (service_p50,
+	// service_p99).
+	Latency Band `json:"latency"`
+	// Messages bounds messages_per_op.
+	Messages Band `json:"messages"`
+	// Share bounds bottleneck_share.
+	Share Band `json:"share"`
+	// Drop bounds drop_rate.
+	Drop Band `json:"drop"`
+}
+
+// DefaultTolerances returns the bands the CI gate runs with. The
+// simulation is fully deterministic for a fixed seed — identical code
+// reproduces identical fingerprints bit for bit — so the bands do not
+// absorb run-to-run noise; they absorb *incidental* drift: a refactor that
+// reorders sends shifts the RNG draw sequence and moves every downstream
+// number a little. The widths come from the knee's measurement resolution
+// (one rate bucket, ≈0.1–0.2 ops/tick on the study's ramp) and from
+// observed cross-seed spreads, and are deliberately narrower than the
+// effects the gate exists to catch (a reverted merge window moves the
+// combining knee and p99 by well over any band).
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		Knee:     Band{Rel: 0.10, Abs: 0.12},
+		Latency:  Band{Rel: 0.25, Abs: 2},
+		Messages: Band{Rel: 0.10, Abs: 0.25},
+		Share:    Band{Rel: 0.15, Abs: 0.03},
+		Drop:     Band{Rel: 0.20, Abs: 0.02},
+	}
+}
+
+// MetricDiff is one compared metric of the gate: a numeric metric carries
+// Base/Current and its band; a string-valued metric (knee reasons, the
+// scaling class) carries BaseLabel/CurrentLabel and compares exactly.
+// Config-level diffs (seed, ops, window…) have an empty Algorithm.
+type MetricDiff struct {
+	Algorithm    string  `json:"algorithm,omitempty"`
+	Metric       string  `json:"metric"`
+	Base         float64 `json:"base"`
+	Current      float64 `json:"current"`
+	BaseLabel    string  `json:"base_label,omitempty"`
+	CurrentLabel string  `json:"current_label,omitempty"`
+	// Band is the tolerance applied (zero for exact-match metrics); OK is
+	// the per-metric verdict.
+	Band Band `json:"band"`
+	OK   bool `json:"ok"`
+}
+
+// exact reports whether the diff compared labels rather than numbers.
+func (d MetricDiff) exact() bool { return d.BaseLabel != "" || d.CurrentLabel != "" }
+
+// Comparison is the machine-readable PASS/FAIL result of checking a
+// measured baseline against a committed one.
+type Comparison struct {
+	// Schema echoes the compared documents' schema version.
+	Schema int `json:"schema"`
+	// Pass is the gate verdict: every metric of every algorithm within its
+	// band, configurations identical, algorithm sets identical.
+	Pass bool `json:"pass"`
+	// Failures counts the out-of-band diffs (including config drift).
+	Failures int `json:"failures"`
+	// Diffs holds every compared metric, failing ones first within each
+	// algorithm's block.
+	Diffs []MetricDiff `json:"diffs"`
+	// Missing lists algorithms the committed baseline covers but the
+	// current run did not measure; Extra the reverse (a new algorithm was
+	// registered without re-recording the baseline). Both fail the gate.
+	Missing []string `json:"missing,omitempty"`
+	Extra   []string `json:"extra,omitempty"`
+}
+
+// FirstFailure returns a one-line description of the first failing diff
+// (metric name, algorithm, values) for error messages, and "" when the
+// comparison passed.
+func (c *Comparison) FirstFailure() string {
+	for _, d := range c.Diffs {
+		if d.OK {
+			continue
+		}
+		where := d.Metric
+		if d.Algorithm != "" {
+			where = d.Algorithm + " " + d.Metric
+		}
+		if d.exact() {
+			return fmt.Sprintf("%s: %q -> %q", where, d.BaseLabel, d.CurrentLabel)
+		}
+		return fmt.Sprintf("%s: %.4f -> %.4f (band rel %.2f abs %.2f)", where, d.Base, d.Current, d.Band.Rel, d.Band.Abs)
+	}
+	if len(c.Missing) > 0 {
+		return fmt.Sprintf("algorithm %s missing from the current run", c.Missing[0])
+	}
+	if len(c.Extra) > 0 {
+		return fmt.Sprintf("algorithm %s not in the committed baseline", c.Extra[0])
+	}
+	return ""
+}
+
+// CompareBaseline checks a freshly measured baseline (current) against the
+// committed reference (base) under the tolerance bands: study
+// configuration exactly, then every fingerprint metric of every algorithm.
+// The result is machine-readable and renders via RenderComparison /
+// WriteComparisonCSV / WriteComparisonJSON.
+func CompareBaseline(base, current *Baseline, tol Tolerances) *Comparison {
+	c := &Comparison{Schema: BaselineSchema, Pass: true}
+
+	record := func(d MetricDiff) {
+		if !d.OK {
+			c.Pass = false
+			c.Failures++
+		}
+		c.Diffs = append(c.Diffs, d)
+	}
+	cfgNum := func(metric string, b, cur float64) {
+		record(MetricDiff{Metric: metric, Base: b, Current: cur, OK: b == cur})
+	}
+	cfgNum("seed", float64(base.Seed), float64(current.Seed))
+	cfgNum("ops", float64(base.Ops), float64(current.Ops))
+	cfgNum("base_window", float64(base.BaseWindow), float64(current.BaseWindow))
+	cfgNum("service", float64(base.Service), float64(current.Service))
+	cfgNum("rate_to", base.RateTo, current.RateTo)
+	cfgNum("knee_buckets", float64(base.KneeBuckets), float64(current.KneeBuckets))
+	cfgNum("steady_rate", base.SteadyRate, current.SteadyRate)
+	cfgNum("queue_cap", float64(base.QueueCap), float64(current.QueueCap))
+	record(MetricDiff{Metric: "hetero_dist", BaseLabel: base.HeteroDist, CurrentLabel: current.HeteroDist,
+		OK: base.HeteroDist == current.HeteroDist})
+	cfgNum("hetero_rate_to", base.HeteroRateTo, current.HeteroRateTo)
+	cfgList := func(metric string, b, cur []int) {
+		bl, cl := fmt.Sprint(b), fmt.Sprint(cur)
+		record(MetricDiff{Metric: metric, BaseLabel: bl, CurrentLabel: cl, OK: bl == cl})
+	}
+	cfgList("scaling_ns", base.ScalingNs, current.ScalingNs)
+	cfgList("windows", base.Windows, current.Windows)
+
+	base.Sort()
+	current.Sort()
+	for _, bf := range base.Fingerprints {
+		cf := current.Fingerprint(bf.Algorithm)
+		if cf == nil {
+			c.Missing = append(c.Missing, bf.Algorithm)
+			c.Pass = false
+			c.Failures++
+			continue
+		}
+		num := func(metric string, b, cur float64, band Band) {
+			record(MetricDiff{Algorithm: bf.Algorithm, Metric: metric, Base: b, Current: cur,
+				Band: band, OK: band.Within(b, cur)})
+		}
+		str := func(metric, b, cur string) {
+			record(MetricDiff{Algorithm: bf.Algorithm, Metric: metric,
+				BaseLabel: labelOrNone(b), CurrentLabel: labelOrNone(cur), OK: b == cur})
+		}
+		num("n", float64(bf.N), float64(cf.N), Band{}) // structural: zero band = exact
+		num("knee_rate", bf.KneeRate, cf.KneeRate, tol.Knee)
+		str("knee_reason", bf.KneeReason, cf.KneeReason)
+		num("service_p50", bf.ServiceP50, cf.ServiceP50, tol.Latency)
+		num("service_p99", bf.ServiceP99, cf.ServiceP99, tol.Latency)
+		num("messages_per_op", bf.MessagesPerOp, cf.MessagesPerOp, tol.Messages)
+		num("bottleneck_share", bf.BottleneckShare, cf.BottleneckShare, tol.Share)
+		num("queue_knee_rate", bf.QueueKneeRate, cf.QueueKneeRate, tol.Knee)
+		str("queue_knee_reason", bf.QueueKneeReason, cf.QueueKneeReason)
+		num("drop_rate", bf.DropRate, cf.DropRate, tol.Drop)
+		num("hetero_knee_rate", bf.HeteroKneeRate, cf.HeteroKneeRate, tol.Knee)
+		str("hetero_knee_reason", bf.HeteroKneeReason, cf.HeteroKneeReason)
+		str("scaling_class", bf.ScalingClass, cf.ScalingClass)
+	}
+	for _, cf := range current.Fingerprints {
+		if base.Fingerprint(cf.Algorithm) == nil {
+			c.Extra = append(c.Extra, cf.Algorithm)
+			c.Pass = false
+			c.Failures++
+		}
+	}
+	return c
+}
+
+// labelOrNone keeps exact-match diffs recognizable as such even when both
+// sides are empty strings (e.g. no knee reason because the cell never
+// saturated).
+func labelOrNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+// ComparisonCSVHeader is the column list of WriteComparisonCSV: one row
+// per compared metric.
+const ComparisonCSVHeader = "algo,metric,base,current,tol_rel,tol_abs,status"
+
+// WriteComparisonCSV writes every compared metric as one CSV row with a
+// pass/FAIL status column — the machine-readable artifact form of the
+// gate.
+func WriteComparisonCSV(w io.Writer, c *Comparison) error {
+	if _, err := fmt.Fprintln(w, ComparisonCSVHeader); err != nil {
+		return err
+	}
+	for _, d := range c.Diffs {
+		status := "pass"
+		if !d.OK {
+			status = "FAIL"
+		}
+		var b, cur string
+		if d.exact() {
+			b, cur = d.BaseLabel, d.CurrentLabel
+		} else {
+			b, cur = fmt.Sprintf("%.4f", d.Base), fmt.Sprintf("%.4f", d.Current)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.2f,%.2f,%s\n",
+			d.Algorithm, d.Metric, b, cur, d.Band.Rel, d.Band.Abs, status); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Missing {
+		if _, err := fmt.Fprintf(w, "%s,missing,,,,,FAIL\n", m); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Extra {
+		if _, err := fmt.Fprintf(w, "%s,extra,,,,,FAIL\n", m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteComparisonJSON writes the full comparison as indented JSON.
+func WriteComparisonJSON(w io.Writer, c *Comparison) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// RenderComparison returns the human-readable gate report: the verdict,
+// every out-of-band metric with its values and band, and a one-line "ok"
+// per clean algorithm so the report stays scannable at a glance.
+func RenderComparison(c *Comparison) string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !c.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "regression gate: %s (%d metrics compared, %d out of band)\n",
+		verdict, len(c.Diffs), c.Failures)
+
+	// Config-level drift first (empty Algorithm), then per-algorithm
+	// blocks: failing metrics in detail, clean algorithms as one line.
+	okCount := map[string]int{}
+	var order []string
+	seen := map[string]bool{}
+	for _, d := range c.Diffs {
+		if d.Algorithm == "" {
+			if !d.OK {
+				fmt.Fprintf(&b, "  FAIL config %-18s %s\n", d.Metric, diffValues(d))
+			}
+			continue
+		}
+		if !seen[d.Algorithm] {
+			seen[d.Algorithm] = true
+			order = append(order, d.Algorithm)
+		}
+		if d.OK {
+			okCount[d.Algorithm]++
+		}
+	}
+	for _, algo := range order {
+		var failed []MetricDiff
+		for _, d := range c.Diffs {
+			if d.Algorithm == algo && !d.OK {
+				failed = append(failed, d)
+			}
+		}
+		if len(failed) == 0 {
+			fmt.Fprintf(&b, "  ok   %-16s %d metrics within band\n", algo, okCount[algo])
+			continue
+		}
+		for _, d := range failed {
+			fmt.Fprintf(&b, "  FAIL %-16s %-18s %s\n", algo, d.Metric, diffValues(d))
+		}
+	}
+	for _, m := range c.Missing {
+		fmt.Fprintf(&b, "  FAIL %-16s missing from the current run (stale baseline entry?)\n", m)
+	}
+	for _, m := range c.Extra {
+		fmt.Fprintf(&b, "  FAIL %-16s not in the committed baseline (re-record with -baseline record)\n", m)
+	}
+	return b.String()
+}
+
+// diffValues formats one diff's base → current transition with its band.
+func diffValues(d MetricDiff) string {
+	if d.exact() {
+		return fmt.Sprintf("%s -> %s (exact match required)", d.BaseLabel, d.CurrentLabel)
+	}
+	if d.Band == (Band{}) {
+		return fmt.Sprintf("%.4f -> %.4f (exact match required)", d.Base, d.Current)
+	}
+	return fmt.Sprintf("%.4f -> %.4f (band: rel %.2f, abs %.2f)", d.Base, d.Current, d.Band.Rel, d.Band.Abs)
+}

@@ -49,8 +49,8 @@ func Render(res *engine.Result) string {
 	fmt.Fprintf(&b, "  ops        %d (%d warmup + %d measured), window %d (peak in flight %d)\n",
 		res.Ops, res.Warmup, res.Measured, res.InFlight, res.PeakInFlight)
 	if res.Mode == engine.Open.String() {
-		fmt.Fprintf(&b, "  admission  queue cap %d, peak depth %d, dropped %d\n",
-			res.QueueCap, res.PeakQueueDepth, res.Dropped)
+		fmt.Fprintf(&b, "  admission  queue cap %d, peak depth %d, dropped %d of %d arrivals (drop rate %.3f)\n",
+			res.QueueCap, res.PeakQueueDepth, res.Dropped, res.Arrivals, res.DropRate)
 	}
 	fmt.Fprintf(&b, "  makespan   %d ticks (measure window opened at %d)\n", res.SimTime, res.MeasureStart)
 	fmt.Fprintf(&b, "  throughput %.4f ops/tick\n", res.Throughput)
@@ -58,7 +58,8 @@ func Render(res *engine.Result) string {
 		res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max)
 	fmt.Fprintf(&b, "  queueing   mean %.1f  p99 %.1f ticks, service mean %.1f  p99 %.1f ticks\n",
 		res.QueueDelay.Mean, res.QueueDelay.P99, res.ServiceLatency.Mean, res.ServiceLatency.P99)
-	fmt.Fprintf(&b, "  messages   %d total, %d in measure window\n", res.Messages, res.Loads.TotalMessages)
+	fmt.Fprintf(&b, "  messages   %d total, %d in measure window (%.2f per op)\n",
+		res.Messages, res.Loads.TotalMessages, res.MessagesPerOp)
 	b.WriteString(loadstat.FormatSummary("measured loads", res.Loads))
 	if len(res.Series) > 0 {
 		last := res.Series[len(res.Series)-1]
@@ -95,8 +96,12 @@ type SweepRow struct {
 	// cell; only the window-sensitive request-merging algorithms consume it.
 	MergeWindow int64 `json:"merge_window"`
 	// ServiceTime is the per-message processing cost the cell's network
-	// was built with (0 = instantaneous).
-	ServiceTime int64 `json:"service_time"`
+	// was built with (0 = instantaneous), and ServiceDist the shape of its
+	// distribution across processors ("flat" when uniform; heterogeneous
+	// profiles such as "halfslow" or "straggler" scale some processors'
+	// costs up — see loadgen -service-dist).
+	ServiceTime int64  `json:"service_time"`
+	ServiceDist string `json:"service_dist,omitempty"`
 	// Skipped is the reason this cell could not run (empty for completed
 	// cells); its Result carries coordinates but no measurements.
 	Skipped string `json:"skipped,omitempty"`
@@ -122,10 +127,10 @@ func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, ser
 }
 
 // SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
-const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,queue_cap," +
+const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
-	"queue_p50,queue_p99,dropped,peak_queue_depth," +
-	"messages,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
+	"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
+	"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
 	"verify_property,verify_violations,verify_duplicates,skipped"
 
 // WriteSweepCSV writes the sweep as one merged CSV, a row per run, with
@@ -149,11 +154,11 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			vViol = fmt.Sprintf("%d", v.Violations)
 			vDup = fmt.Sprintf("%d", v.Duplicates)
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
-			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.QueueCap,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
+			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap,
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
-			r.QueueDelay.P50, r.QueueDelay.P99, r.Dropped, r.PeakQueueDepth,
-			r.Messages, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
+			r.QueueDelay.P50, r.QueueDelay.P99, r.Arrivals, r.Dropped, r.DropRate, r.PeakQueueDepth,
+			r.Messages, r.MessagesPerOp, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
 			kneeRate, kneeReason, vProp, vViol, vDup, csvField(r.Skipped)); err != nil {
 			return err
 		}
@@ -190,8 +195,8 @@ func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
 // verifications flag their violation count.
 func RenderSweep(rows []SweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %5s %6s %5s %9s %9s %9s %8s %12s %12s\n",
-		"algo", "scenario", "mode", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "dropped", "knee", "verify")
+	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %5s %6s %5s %9s %9s %9s %7s %8s %12s %12s\n",
+		"algo", "scenario", "mode", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "msg/op", "dropped", "knee", "verify")
 	for _, r := range rows {
 		if r.Skipped != "" {
 			fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d SKIPPED: %s\n",
@@ -213,9 +218,9 @@ func RenderSweep(rows []SweepRow) string {
 				vcol = "pass"
 			}
 		}
-		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d %9.4f %9.1f %9d %8d %12s %12s\n",
+		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d %9.4f %9.1f %9d %7.2f %8d %12s %12s\n",
 			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MergeWindow, r.MeanGap, r.N,
-			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.Dropped, knee, vcol)
+			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.MessagesPerOp, r.Dropped, knee, vcol)
 	}
 	return b.String()
 }

@@ -97,9 +97,13 @@ type Network struct {
 	// is the first tick at which processor p may process its next network
 	// message, and nextSlot[p] the next unreserved service slot (deferred
 	// deliveries each reserve one, so a message is deferred at most once).
-	service  int64
-	freeAt   []int64
-	nextSlot []int64
+	// svcProfile, when non-nil, overrides the uniform cost with a
+	// per-processor one (indexed by ProcID, slot 0 unused) — heterogeneous
+	// hardware, where a slow processor saturates before its peers.
+	service    int64
+	svcProfile []int64
+	freeAt     []int64
+	nextSlot   []int64
 
 	nextOp   OpID
 	ops      map[OpID]*OpStats
@@ -161,7 +165,31 @@ func WithServiceTime(s int64) Option {
 	if s < 0 {
 		panic(fmt.Sprintf("sim: negative service time %d", s))
 	}
-	return func(nw *Network) { nw.service = s }
+	return func(nw *Network) { nw.service, nw.svcProfile = s, nil }
+}
+
+// WithServiceProfile is WithServiceTime with a per-processor cost:
+// processor p handles at most one incoming network message per cost(p)
+// ticks (cost 0 = that processor processes instantly). The cost function is
+// evaluated once per processor at construction time, so it must be
+// deterministic; because it receives the processor id it composes with
+// algorithms that round the network size up. Heterogeneous profiles model
+// mixed hardware: the saturation knee then belongs to whichever processor's
+// message load meets its processing cost first, which is generally not the
+// homogeneous bottleneck. A later WithServiceProfile or WithServiceTime
+// option replaces an earlier one.
+func WithServiceProfile(cost func(p ProcID) int64) Option {
+	return func(nw *Network) {
+		profile := make([]int64, nw.n+1)
+		for p := 1; p <= nw.n; p++ {
+			c := cost(ProcID(p))
+			if c < 0 {
+				panic(fmt.Sprintf("sim: negative service time %d for processor %d", c, p))
+			}
+			profile[p] = c
+		}
+		nw.service, nw.svcProfile = 0, profile
+	}
 }
 
 // New creates a network of n processors running the given protocol.
@@ -275,9 +303,27 @@ func (nw *Network) MaxLoad() (ProcID, int64) {
 // SumLoads/n is the true mean per-processor load mid-run.
 func (nw *Network) SumLoads() int64 { return nw.tracker.Sum() }
 
-// ServiceTime returns the per-message processing cost configured with
-// WithServiceTime (0 = instantaneous processing).
+// ServiceTime returns the uniform per-message processing cost configured
+// with WithServiceTime (0 = instantaneous processing, or a heterogeneous
+// profile — see ServiceTimeOf).
 func (nw *Network) ServiceTime() int64 { return nw.service }
+
+// ServiceTimeOf returns the per-message processing cost of processor p:
+// its WithServiceProfile entry when a profile is configured, the uniform
+// WithServiceTime cost otherwise.
+func (nw *Network) ServiceTimeOf(p ProcID) int64 {
+	nw.checkProc(p, "ServiceTimeOf")
+	return nw.svcOf(p)
+}
+
+// svcOf is ServiceTimeOf without the range check, for the delivery hot
+// path.
+func (nw *Network) svcOf(p ProcID) int64 {
+	if nw.svcProfile != nil {
+		return nw.svcProfile[p]
+	}
+	return nw.service
+}
 
 // NextAt returns the simulated time of the earliest queued event; ok is
 // false when the queue is empty. The open-loop workload engine peeks it to
@@ -565,18 +611,20 @@ func (nw *Network) Step() (bool, error) {
 	// outstanding slot defers rather than stealing it), so a backlog of k
 	// messages costs O(k) extra heap operations, not O(k²), and drains
 	// FIFO with no starvation.
-	if nw.service > 0 && e.start == nil && !e.msg.Local && !e.reserved {
+	if e.start == nil && !e.msg.Local && !e.reserved {
 		to := e.msg.To
-		if free := nw.freeAt[to]; free > e.at || nw.nextSlot[to] > free {
-			slot := free
-			if nw.nextSlot[to] > slot {
-				slot = nw.nextSlot[to]
+		if svc := nw.svcOf(to); svc > 0 {
+			if free := nw.freeAt[to]; free > e.at || nw.nextSlot[to] > free {
+				slot := free
+				if nw.nextSlot[to] > slot {
+					slot = nw.nextSlot[to]
+				}
+				nw.nextSlot[to] = slot + svc
+				e.at = slot
+				e.reserved = true
+				nw.queue.push(e)
+				return true, nil
 			}
-			nw.nextSlot[to] = slot + nw.service
-			e.at = slot
-			e.reserved = true
-			nw.queue.push(e)
-			return true, nil
 		}
 	}
 	nw.now = e.at
@@ -599,8 +647,8 @@ func (nw *Network) Step() (bool, error) {
 		if !e.msg.Local {
 			nw.recv[e.msg.To]++
 			nw.tracker.Add(int(e.msg.To), 1)
-			if nw.service > 0 {
-				nw.freeAt[e.msg.To] = e.at + nw.service
+			if svc := nw.svcOf(e.msg.To); svc > 0 {
+				nw.freeAt[e.msg.To] = e.at + svc
 			}
 			if st != nil && st.DAG != nil {
 				nw.cur.traceNode = st.DAG.AddEvent(int(e.msg.To), e.parent)
@@ -693,6 +741,9 @@ func (nw *Network) Clone() (*Network, error) {
 	copy(out.recv, nw.recv)
 	copy(out.freeAt, nw.freeAt)
 	copy(out.nextSlot, nw.nextSlot)
+	if nw.svcProfile != nil {
+		out.svcProfile = append([]int64(nil), nw.svcProfile...)
+	}
 	return out, nil
 }
 

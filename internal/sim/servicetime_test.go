@@ -101,6 +101,79 @@ func TestServiceTimeNoSlotStealing(t *testing.T) {
 	}
 }
 
+// TestServiceProfileHeterogeneous: a per-processor profile serializes each
+// receiver at its own rate — a slow processor spaces its deliveries by its
+// cost, a cost-0 processor absorbs everything instantly — and
+// ServiceTimeOf exposes the configured costs.
+func TestServiceProfileHeterogeneous(t *testing.T) {
+	s := &sinkProto{}
+	// p1 slow (cost 4), p2 instant (cost 0).
+	nw := New(4, s, WithServiceProfile(func(p ProcID) int64 {
+		if p == 1 {
+			return 4
+		}
+		return 0
+	}))
+	if got := nw.ServiceTimeOf(1); got != 4 {
+		t.Fatalf("ServiceTimeOf(1) = %d, want 4", got)
+	}
+	if got := nw.ServiceTimeOf(2); got != 0 {
+		t.Fatalf("ServiceTimeOf(2) = %d, want 0", got)
+	}
+	for _, p := range []ProcID{3, 4} {
+		nw.StartOp(p, sendTo(1))
+		nw.StartOp(p, sendTo(2))
+	}
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Four deliveries total: p2 (cost 0) absorbs both of its messages at
+	// tick 1; p1 (cost 4) processes its first at tick 1 and defers the
+	// second to tick 5.
+	var deferred []int64
+	for _, at := range s.deliveries {
+		if at != 1 {
+			deferred = append(deferred, at)
+		}
+	}
+	if len(s.deliveries) != 4 || len(deferred) != 1 || deferred[0] != 5 {
+		t.Fatalf("deliveries = %v, want three at tick 1 and one deferred to 5", s.deliveries)
+	}
+}
+
+// TestServiceProfileCloneCarriesProfile: a clone keeps the heterogeneous
+// costs and continues identically to the original.
+func TestServiceProfileCloneCarriesProfile(t *testing.T) {
+	build := func() *Network {
+		return New(3, &sinkProto{}, WithServiceProfile(func(p ProcID) int64 {
+			return int64(p) // p1 cost 1, p2 cost 2, p3 cost 3
+		}))
+	}
+	nw := build()
+	nw.StartOp(2, sendTo(3))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := nw.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.ServiceTimeOf(3); got != 3 {
+		t.Fatalf("clone ServiceTimeOf(3) = %d, want 3", got)
+	}
+	for _, n := range []*Network{nw, cl} {
+		n.StartOp(1, sendTo(3))
+		if err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := nw.Protocol().(*sinkProto).deliveries
+	b := cl.Protocol().(*sinkProto).deliveries
+	if !equalInt64s(a, b) {
+		t.Fatalf("clone diverged: %v vs %v", a, b)
+	}
+}
+
 // TestServiceTimeAffectsOpCompletion: a deferred delivery pushes the
 // operation's DoneAt to the actual processing time, so the workload
 // engine's latencies include receiver-side queueing.
