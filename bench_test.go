@@ -24,6 +24,7 @@ import (
 	"distcount/internal/experiments"
 	"distcount/internal/loadstat"
 	"distcount/internal/registry"
+	"distcount/internal/rt"
 	"distcount/internal/sim"
 	"distcount/internal/workload"
 )
@@ -339,6 +340,68 @@ func BenchmarkWorkloadEngineWindow(b *testing.B) {
 			}
 			b.ReportMetric(rep.Throughput, "ops/tick")
 			b.ReportMetric(float64(rep.SimTime), "makespan_ticks")
+		})
+	}
+}
+
+// BenchmarkRTInc isolates the rt backend's substrate: one synchronous
+// operation end to end — a mailbox channel send, a real goroutine picking
+// it up, and the completion hop back — with zero emulated service cost, so
+// ns/op is the runtime's per-op channel and scheduling overhead (the cost
+// the discrete-event simulator does not charge for).
+func BenchmarkRTInc(b *testing.B) {
+	cfg := registry.Concurrent()
+	cfg.Backend = "rt"
+	c, err := registry.NewWith("central", 8, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := c.(*rt.Runtime)
+	defer r.Close()
+	n := r.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Initiators 2..n: proc 1 hosts the central counter, so every op
+		// crosses at least one mailbox hop.
+		if _, err := r.Inc(sim.ProcID(i%(n-1) + 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.MessagesTotal())/float64(b.N), "msgs/op")
+}
+
+// BenchmarkRTWall runs the wall-clock driver end to end per algorithm at
+// n=8 — goroutine processors on real cores, closed loop — and reports the
+// sustained real-hardware ops/sec next to the per-op message count. The
+// merge-window schemes land orders of magnitude below central here because
+// their windows ride real OS timers, a genuine hardware-vs-model gap the
+// simulator's tick accounting hides.
+func BenchmarkRTWall(b *testing.B) {
+	const ops = 300
+	for _, algo := range registry.Names() {
+		algo := algo
+		b.Run(algo+"/n=8", func(b *testing.B) {
+			var res *engine.Result
+			for i := 0; i < b.N; i++ {
+				cfg := registry.Concurrent()
+				cfg.Backend = "rt"
+				c, err := registry.NewWith(algo, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := c.(*rt.Runtime)
+				sc, err := workload.New("uniform", workload.Config{N: r.N(), Ops: ops, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = engine.RunWall(r, sc, engine.Config{InFlight: r.N(), Warmup: ops / 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Throughput, "ops/sec")
+			b.ReportMetric(res.Latency.P99, "p99_ns")
 		})
 	}
 }

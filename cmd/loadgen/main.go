@@ -13,6 +13,9 @@
 //	loadgen -sweep -algos all -scenarios ramprate -mode open -service 1 -format text
 //	loadgen -study scaling -format text
 //	loadgen -study regression -format text -baseline check baselines/default.json
+//	loadgen -backend rt -algo central -n 8 -ops 2000 -service 1 -verify -format text
+//	loadgen -study simvsreal -format text
+//	loadgen -baseline diff old.json new.json
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -59,15 +62,27 @@
 // With -study regression the tool measures each algorithm's multi-metric
 // performance fingerprint — knee rate and reason, service p50/p99 at a
 // fixed sub-knee rate, messages/op, bottleneck load share, drop rate and
-// queue-reason knee under a tight admission queue, knee under a
-// heterogeneous service profile, and the scaling class — and renders it,
-// or with -baseline record|check <path> serializes it to / gates it
-// against a committed schema-versioned baseline with per-metric tolerance
-// bands (docs/EXPERIMENTS.md §6). -artifacts dir additionally writes the
-// JSON/CSV artifact files CI uploads.
+// queue-reason knee under a tight admission queue, knees under the
+// halfslow and straggler service profiles, and the scaling class — and
+// renders it, or with -baseline record|check <path> serializes it to /
+// gates it against a committed schema-versioned baseline with per-metric
+// tolerance bands (docs/EXPERIMENTS.md §6). -baseline diff <a> <b>
+// compares two recorded baseline files under the same bands without
+// re-measuring. -artifacts dir additionally writes the JSON/CSV artifact
+// files CI uploads.
+//
+// With -backend rt the same protocol state machines run on the
+// goroutine-per-processor runtime instead of the simulator: one goroutine
+// per processor, channel messaging, one simulated tick of service cost
+// emulated as 1 µs of real work, and the report in wall-clock nanoseconds
+// and ops/sec. -study simvsreal runs the same open-loop ramp cells on
+// both backends and reports, per (algorithm, n), whether the simulator's
+// saturation knee predicts the measured hardware knee
+// (docs/EXPERIMENTS.md §8).
 //
 // -service-dist selects a heterogeneous per-processor service-cost
-// profile (flat, halfslow, straggler) on top of -service.
+// profile (flat, halfslow, straggler) on top of -service; it applies on
+// both backends.
 //
 // Exit status: non-zero when -verify finds violations, when any
 // sweep/study cell is skipped, or when -baseline check finds a metric out
@@ -95,6 +110,7 @@ import (
 	"distcount/internal/engine"
 	"distcount/internal/engine/report"
 	"distcount/internal/registry"
+	"distcount/internal/rt"
 	"distcount/internal/sim"
 	"distcount/internal/workload"
 )
@@ -110,6 +126,7 @@ func main() {
 // and studies.
 type options struct {
 	mode        engine.Mode
+	backend     string // execution backend: "sim" (discrete event) or "rt" (goroutine per processor)
 	n           int
 	ops         int
 	seed        uint64
@@ -135,6 +152,7 @@ func run(args []string, out io.Writer) error {
 		ops      = fs.Int("ops", 2000, "number of operations")
 		seed     = fs.Uint64("seed", 1, "scenario seed (runs are deterministic per seed)")
 		mode     = fs.String("mode", "closed", "admission mode: closed (window throttles) or open (admit at arrival time)")
+		backend  = fs.String("backend", "sim", "execution backend: sim (discrete-event simulator, ticks) or rt (goroutine-per-processor runtime on real cores, wall-clock ns and ops/sec)")
 		inflight = fs.Int("inflight", 8, "closed-loop window: max operations concurrently in flight")
 		queueCap = fs.Int("queue-cap", 4096, "open-loop admission queue bound; overflow is dropped")
 		warmup   = fs.Int("warmup", -1, "completions excluded from measurement (default ops/10)")
@@ -153,8 +171,8 @@ func run(args []string, out io.Writer) error {
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps x -ns grid into one merged report")
-		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap and heterogeneous-service knees, scaling class) for the baseline gate`)
-		baseline = fs.String("baseline", "", `with -study regression: "record" writes the measured fingerprints to the baseline file given as the positional argument; "check" compares against it and exits non-zero when any metric leaves its tolerance band`)
+		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap, heterogeneous-service and straggler knees, scaling class) for the baseline gate; "simvsreal" runs the same ramprate grid on the sim and rt backends and reports where the simulator's knee predicts the hardware knee`)
+		baseline = fs.String("baseline", "", `with -study regression: "record" writes the measured fingerprints to the baseline file given as the positional argument; "check" compares against it and exits non-zero when any metric leaves its tolerance band. Standalone: "diff" compares two recorded baseline files (base, current) without re-measuring — the PR-to-PR review form`)
 		artdir   = fs.String("artifacts", "", "with -study regression: directory to additionally write the study's JSON/CSV artifacts into (created if missing)")
 		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep/-study, or \"all\" for every registered algorithm (-study default: all)")
 		scens    = fs.String("scenarios", "uniform,zipf", "comma-separated scenarios for -sweep, or \"all\" for every scenario")
@@ -188,6 +206,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	switch *backend {
+	case "sim", "rt":
+	default:
+		return fmt.Errorf("unknown backend %q (have %s)", *backend, strings.Join(registry.Backends(), ", "))
+	}
 	if *service < 0 {
 		return fmt.Errorf("need -service >= 0 (got %d)", *service)
 	}
@@ -215,11 +238,20 @@ func run(args []string, out io.Writer) error {
 		}
 	case *study != "":
 		switch *study {
-		case "scaling", "regression":
+		case "scaling", "regression", "simvsreal":
 		default:
-			return fmt.Errorf("unknown study %q (have scaling, regression)", *study)
+			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal)", *study)
 		}
-		banned := []string{"algo", "scenario", "scenarios", "gaps"}
+		// Studies pin their own backends: scaling and regression are sim
+		// experiments (the committed baselines are sim fingerprints), and
+		// simvsreal runs both sides itself.
+		banned := []string{"algo", "scenario", "scenarios", "gaps", "backend"}
+		if *study == "simvsreal" {
+			// The comparison is only meaningful under the uniform service
+			// model both backends share; windows stay at the base value so
+			// sim and rt cells are the identical protocol configuration.
+			banned = append(banned, "windows", "service-dist", "queue-cap", "rate-from")
+		}
 		if *study == "regression" {
 			// The regression study's grid is pinned so a committed baseline
 			// and a later check are always the same experiment; the knobs
@@ -250,7 +282,7 @@ func run(args []string, out io.Writer) error {
 	switch *baseline {
 	case "":
 		if fs.NArg() > 0 {
-			return fmt.Errorf("unexpected argument %q (only -baseline record|check takes a positional file path)", fs.Arg(0))
+			return fmt.Errorf("unexpected argument %q (only -baseline record|check|diff takes positional file paths)", fs.Arg(0))
 		}
 	case "record", "check":
 		if *study != "regression" {
@@ -260,11 +292,24 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-baseline %s needs exactly one baseline file path argument, as the last argument (got %d: %v; flags after the path are not parsed)",
 				*baseline, fs.NArg(), fs.Args())
 		}
+	case "diff":
+		// Diff compares two already-recorded files — no measurement, so no
+		// study; loadgen -study regression -baseline record produced both.
+		if *study != "" || *sweep {
+			return fmt.Errorf("-baseline diff compares two recorded baseline files without re-measuring; drop -study/-sweep")
+		}
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-baseline diff needs exactly two baseline file paths (base then current), as the last arguments (got %d: %v)",
+				fs.NArg(), fs.Args())
+		}
 	default:
-		return fmt.Errorf("unknown -baseline mode %q (have record, check)", *baseline)
+		return fmt.Errorf("unknown -baseline mode %q (have record, check, diff)", *baseline)
 	}
 	if *artdir != "" && *study != "regression" {
 		return fmt.Errorf("-artifacts only applies with -study regression")
+	}
+	if *baseline == "diff" {
+		return runBaselineDiff(out, *format, fs.Arg(0), fs.Arg(1))
 	}
 	if _, err := serviceSimOpt(*service, *svcDist); err != nil {
 		// Validated before the run so a typo'd distribution does not waste
@@ -274,6 +319,7 @@ func run(args []string, out io.Writer) error {
 
 	opt := options{
 		mode:        m,
+		backend:     *backend,
 		n:           *n,
 		ops:         *ops,
 		seed:        *seed,
@@ -323,8 +369,11 @@ func run(args []string, out io.Writer) error {
 			kneeBucketsSet: set["knee-buckets"],
 			parallel:       *parallel,
 		}
-		if *study == "regression" {
+		switch *study {
+		case "regression":
 			return runRegressionStudy(out, opt, *format, scfg, *baseline, fs.Arg(0), *artdir)
+		case "simvsreal":
+			return runSimVsRealStudy(out, opt, *format, scfg)
 		}
 		return runScalingStudy(out, opt, *format, scfg)
 	}
@@ -354,7 +403,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // runOne builds a fresh counter and scenario and executes a single engine
-// run.
+// run on the selected backend: the discrete-event simulator (engine.Run)
+// or the goroutine-per-processor rt runtime (engine.RunWall).
 func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	var simOpts []sim.Option
 	svcOpt, err := serviceSimOpt(opt.service, opt.svcDist)
@@ -366,6 +416,15 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	}
 	rcfg := registry.Concurrent(simOpts...)
 	rcfg.Window = opt.window
+	rcfg.Backend = opt.backend
+	if opt.backend == "rt" {
+		// The rt backend emulates the same per-processor service costs by
+		// busy-spinning the receiving goroutine (ticks scale to wall time).
+		rcfg.RTService, err = serviceCost(opt.service, opt.svcDist)
+		if err != nil {
+			return nil, err
+		}
+	}
 	c, err := registry.NewWith(algo, opt.n, rcfg)
 	if err != nil {
 		return nil, err
@@ -398,14 +457,18 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	if ecfg.Warmup < 0 {
 		ecfg.Warmup = genOps(scenario, opt.ops, c.N()) / 10
 	}
+	if r, ok := c.(*rt.Runtime); ok {
+		return engine.RunWall(r, gen, ecfg)
+	}
 	return engine.Run(c, gen, ecfg)
 }
 
-// serviceSimOpt returns the simulator option for the -service/-service-dist
-// pair: the uniform cost, or a deterministic heterogeneous profile scaling
-// some processors' costs up. Nil (with no error) when service is 0 and the
-// distribution is the default flat shape.
-func serviceSimOpt(service int64, dist string) (sim.Option, error) {
+// serviceCost resolves the -service/-service-dist pair into a
+// per-processor cost function in ticks — the shape both backends consume
+// (the simulator as a sim.Option, the rt runtime as registry's RTService).
+// Nil (with no error) when service is 0 and the distribution is the
+// default flat shape.
+func serviceCost(service int64, dist string) (func(p sim.ProcID) int64, error) {
 	if service <= 0 {
 		if dist != "" && dist != "flat" {
 			return nil, fmt.Errorf("-service-dist %s needs -service > 0", dist)
@@ -414,28 +477,41 @@ func serviceSimOpt(service int64, dist string) (sim.Option, error) {
 	}
 	switch dist {
 	case "", "flat":
-		return sim.WithServiceTime(service), nil
+		return func(sim.ProcID) int64 { return service }, nil
 	case "halfslow":
 		// Mixed hardware: every second processor runs at a quarter of the
 		// rate. Spreading the slow half across the id space hits leaf and
 		// internal roles alike in the structured algorithms.
-		return sim.WithServiceProfile(func(p sim.ProcID) int64 {
+		return func(p sim.ProcID) int64 {
 			if p%2 == 0 {
 				return 4 * service
 			}
 			return service
-		}), nil
+		}, nil
 	case "straggler":
 		// One badly provisioned machine. Processor 1 roots several of the
 		// structured schemes, so this is the adversarial placement.
-		return sim.WithServiceProfile(func(p sim.ProcID) int64 {
+		return func(p sim.ProcID) int64 {
 			if p == 1 {
 				return 8 * service
 			}
 			return service
-		}), nil
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown -service-dist %q (have flat, halfslow, straggler)", dist)
+}
+
+// serviceSimOpt is serviceCost in the simulator's option form. The flat
+// shape stays on the uniform-cost fast path.
+func serviceSimOpt(service int64, dist string) (sim.Option, error) {
+	fn, err := serviceCost(service, dist)
+	if err != nil || fn == nil {
+		return nil, err
+	}
+	if dist == "" || dist == "flat" {
+		return sim.WithServiceTime(service), nil
+	}
+	return sim.WithServiceProfile(fn), nil
 }
 
 // distLabel is the ServiceDist value recorded on report rows: the named
@@ -455,9 +531,10 @@ func distLabel(service int64, dist string) string {
 // output slot so parallel execution keeps row order deterministic. inflight
 // is the closed-loop admission window; mwin the merge window the cell's
 // counter is built with. The remaining fields are per-cell overrides used
-// by the regression study (zero values inherit the run's options): dist
-// selects a -service-dist profile, qcap an admission-queue bound, and
-// rateFrom/rateTo pin the ramprate sweep bounds.
+// by the regression and simvsreal studies (zero values inherit the run's
+// options): dist selects a -service-dist profile, qcap an admission-queue
+// bound, rateFrom/rateTo pin the ramprate sweep bounds, and backend
+// overrides the execution backend.
 type sweepCell struct {
 	idx        int
 	algo, scen string
@@ -469,6 +546,7 @@ type sweepCell struct {
 	qcap       int
 	rateFrom   float64
 	rateTo     float64
+	backend    string
 }
 
 // runSweep executes the grid — cells spread over a worker pool, each cell
@@ -629,21 +707,30 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 	if cl.rateTo > 0 {
 		cell.wcfg.RateTo = cl.rateTo
 	}
+	if cl.backend != "" {
+		cell.backend = cl.backend
+	}
 	dist := distLabel(cell.service, cell.svcDist)
+	back := ""
+	if cell.backend == "rt" {
+		back = "rt"
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin,
 				fmt.Errorf("panic: %v", r))
 			row.ServiceDist = dist
+			row.Backend = back
 		}
 	}()
 	res, err := runOne(cell, cl.algo, cl.scen)
 	if err != nil {
 		row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin, err)
 		row.ServiceDist = dist
+		row.Backend = back
 		return row
 	}
-	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Result: res}
+	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Backend: back, Result: res}
 }
 
 // expandAlgos splits an -algos flag value, expanding the "all" sentinel to

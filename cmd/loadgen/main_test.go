@@ -176,7 +176,7 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	if len(lines) != 1+2*2*2 {
 		t.Fatalf("sweep CSV has %d lines, want header + 8 rows:\n%s", len(lines), out)
 	}
-	wantHeader := "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
+	wantHeader := "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 		"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 		"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
@@ -185,14 +185,14 @@ func TestRunSweepCSVGolden(t *testing.T) {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
 	}
 	wantGrid := []string{
-		"central,uniform,closed,8,120,2,16,2",
-		"central,uniform,closed,8,120,8,16,2",
-		"central,zipf,closed,8,120,2,16,2",
-		"central,zipf,closed,8,120,8,16,2",
-		"tokenring,uniform,closed,8,120,2,16,2",
-		"tokenring,uniform,closed,8,120,8,16,2",
-		"tokenring,zipf,closed,8,120,2,16,2",
-		"tokenring,zipf,closed,8,120,8,16,2",
+		"central,uniform,closed,sim,8,120,2,16,2",
+		"central,uniform,closed,sim,8,120,8,16,2",
+		"central,zipf,closed,sim,8,120,2,16,2",
+		"central,zipf,closed,sim,8,120,8,16,2",
+		"tokenring,uniform,closed,sim,8,120,2,16,2",
+		"tokenring,uniform,closed,sim,8,120,8,16,2",
+		"tokenring,zipf,closed,sim,8,120,2,16,2",
+		"tokenring,zipf,closed,sim,8,120,8,16,2",
 	}
 	cols := strings.Count(wantHeader, ",")
 	for i, prefix := range wantGrid {
@@ -375,8 +375,8 @@ func TestRunSweepNs(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("2-n sweep produced %d lines, want header + 2 rows:\n%s", len(lines), b.String())
 	}
-	if !strings.HasPrefix(lines[1], "central,uniform,closed,8,") ||
-		!strings.HasPrefix(lines[2], "central,uniform,closed,16,") {
+	if !strings.HasPrefix(lines[1], "central,uniform,closed,sim,8,") ||
+		!strings.HasPrefix(lines[2], "central,uniform,closed,sim,16,") {
 		t.Fatalf("rows do not carry the n grid:\n%s", b.String())
 	}
 }

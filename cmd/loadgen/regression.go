@@ -27,7 +27,11 @@ import (
 //     fpQueueCap, fingerprinting the "queue"-reason knee and the shed-load
 //     fraction;
 //   - a hetero cell: the same ramp under the fpHeteroDist service profile,
-//     fingerprinting capacity on mixed hardware.
+//     fingerprinting capacity on mixed hardware;
+//   - a straggler cell: the same ramp under the fpStragglerDist profile
+//     (one processor slowed hard), fingerprinting how much of the knee a
+//     single slow machine takes from each scheme — adversarial for
+//     root-bound topologies that cannot route around it.
 //
 // Everything is deterministic for a fixed seed, so a committed baseline
 // reproduces bit for bit until the code's behavior actually changes.
@@ -57,6 +61,14 @@ const (
 	// reference. A ceiling of 4 keeps every algorithm's halfslow knee in a
 	// resolvable bucket while still crossing it.
 	fpHeteroRateTo = 4
+	// fpStragglerDist is the straggler cell's -service-dist profile: one
+	// processor slowed 8x, the rest at the uniform cost.
+	fpStragglerDist = "straggler"
+	// fpStragglerRateTo is the straggler cell's ramp ceiling, lowered for
+	// the same bucket-resolution reason as fpHeteroRateTo: a root-bound
+	// scheme whose hot path lands on the straggler keeps only ~1/8 of its
+	// flat capacity, which the default ramp's bucket width cannot resolve.
+	fpStragglerRateTo = 4
 )
 
 // fpScalingNs is the n axis of the embedded knee-vs-n curve. Smaller than
@@ -91,7 +103,7 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		cells = append(cells, c)
 		return c.idx
 	}
-	type fpCells struct{ knee, steady, queue, hetero int }
+	type fpCells struct{ knee, steady, queue, hetero, straggler int }
 	cellsOf := map[string]fpCells{}
 	var scalingIdx []int // cells feeding report.AnalyzeScaling
 	for _, algo := range algoList {
@@ -124,6 +136,9 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		fc.hetero = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
 			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
 			dist: fpHeteroDist, rateTo: fpHeteroRateTo})
+		fc.straggler = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+			dist: fpStragglerDist, rateTo: fpStragglerRateTo})
 		cellsOf[algo] = fc
 	}
 
@@ -143,20 +158,22 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 	}
 
 	cur := &report.Baseline{
-		Schema:       report.BaselineSchema,
-		Study:        report.RegressionStudy,
-		Seed:         opt.seed,
-		Ops:          opt.ops,
-		BaseWindow:   opt.window,
-		Service:      opt.service,
-		RateTo:       opt.wcfg.RateTo,
-		KneeBuckets:  opt.kneeBuckets,
-		SteadyRate:   fpSteadyRate,
-		QueueCap:     fpQueueCap,
-		HeteroDist:   fpHeteroDist,
-		HeteroRateTo: fpHeteroRateTo,
-		ScalingNs:    append([]int(nil), fpScalingNs...),
-		Windows:      append([]int(nil), studyDefaultWindows...),
+		Schema:          report.BaselineSchema,
+		Study:           report.RegressionStudy,
+		Seed:            opt.seed,
+		Ops:             opt.ops,
+		BaseWindow:      opt.window,
+		Service:         opt.service,
+		RateTo:          opt.wcfg.RateTo,
+		KneeBuckets:     opt.kneeBuckets,
+		SteadyRate:      fpSteadyRate,
+		QueueCap:        fpQueueCap,
+		HeteroDist:      fpHeteroDist,
+		HeteroRateTo:    fpHeteroRateTo,
+		StragglerDist:   fpStragglerDist,
+		StragglerRateTo: fpStragglerRateTo,
+		ScalingNs:       append([]int(nil), fpScalingNs...),
+		Windows:         append([]int(nil), studyDefaultWindows...),
 	}
 	for _, algo := range algoList {
 		fc := cellsOf[algo]
@@ -186,6 +203,11 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		if r := rows[fc.hetero]; r.Skipped == "" {
 			if r.Knee != nil {
 				f.HeteroKneeRate, f.HeteroKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+		}
+		if r := rows[fc.straggler]; r.Skipped == "" {
+			if r.Knee != nil {
+				f.StragglerKneeRate, f.StragglerKneeReason = r.Knee.OfferedRate, r.Knee.Reason
 			}
 		}
 		cur.Fingerprints = append(cur.Fingerprints, f)
@@ -288,6 +310,52 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		}
 		return gateRows(rows)
 	}
+}
+
+// runBaselineDiff compares two already-recorded baseline files — base
+// first, current second — under the gate's tolerance bands, without
+// re-measuring anything. This is the PR-to-PR review form: record a
+// baseline on each branch, then diff the two artifacts to see exactly
+// which fingerprint metrics a change moved and by how much. Exits non-zero
+// when any metric is out of band, like -baseline check.
+func runBaselineDiff(out io.Writer, format, basePath, curPath string) error {
+	load := func(path string) (*report.Baseline, error) {
+		fil, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading baseline: %w", err)
+		}
+		defer fil.Close()
+		b, err := report.LoadBaseline(fil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return b, nil
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	cmp := report.CompareBaseline(base, cur, report.DefaultTolerances())
+	switch format {
+	case "csv":
+		err = report.WriteComparisonCSV(out, cmp)
+	case "text":
+		_, err = io.WriteString(out, report.RenderComparison(cmp))
+	default:
+		err = report.WriteComparisonJSON(out, cmp)
+	}
+	if err != nil {
+		return err
+	}
+	if !cmp.Pass {
+		return fmt.Errorf("baseline diff: %d of %d metrics out of band (first: %s)",
+			cmp.Failures, len(cmp.Diffs), cmp.FirstFailure())
+	}
+	return nil
 }
 
 // writeArtifact writes one study artifact into dir, creating the directory

@@ -160,7 +160,7 @@ func (t *Tree) Start(at int64, p sim.ProcID, req any) sim.OpID {
 	if t.proto.checks != nil {
 		panic("core: concurrent Start requires WithoutChecks (lemma windows assume sequential operations)")
 	}
-	return t.net.ScheduleOp(at, p, func(nw *sim.Network, p sim.ProcID) {
+	return t.net.ScheduleOp(at, p, func(nw sim.Transport, p sim.ProcID) {
 		t.proto.initiateReq(nw, p, req)
 	})
 }
@@ -309,6 +309,34 @@ func New(k int, opts ...Option) *Counter {
 // size is Counter.N(), which may exceed the request.
 func NewForSize(n int, opts ...Option) *Counter {
 	return New(KForSize(n), opts...)
+}
+
+// NewMachine returns the backend-independent protocol descriptor for at
+// least n processors (the size rounds up to k^(k+1); lemma instrumentation
+// stays off — its windows assume the sequential model). Serial: retirement
+// rewrites a node's current processor and the forwarding table that every
+// receiver's ensureRole consults, so the rt backend must serialize all
+// protocol callbacks rather than run receivers concurrently.
+func NewMachine(n int) counter.Machine {
+	k := KForSize(n)
+	pr := newProto(k, 4*k, &counterState{}, false)
+	return counter.Machine{
+		Name:  "ctree",
+		N:     pr.g.n,
+		Proto: pr,
+		Initiate: func(nw sim.Transport, p sim.ProcID) {
+			pr.initiateReq(nw, p, nil)
+		},
+		Value: func(id sim.OpID) (int, bool) {
+			reply, ok := pr.ops.Take(id)
+			if !ok {
+				return 0, false
+			}
+			return reply.(int), true
+		},
+		Level:  counter.Linearizable,
+		Serial: true,
+	}
 }
 
 // Name implements counter.Counter.

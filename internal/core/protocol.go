@@ -183,11 +183,11 @@ func newProto(k, retireAge int, state RootState, checks bool) *proto {
 }
 
 // initiate is the operation start: leaf p sends "op from p" to its parent.
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.initiateReq(nw, p, pr.curReq)
 }
 
-func (pr *proto) initiateReq(nw *sim.Network, p sim.ProcID, req any) {
+func (pr *proto) initiateReq(nw sim.Transport, p sim.ProcID, req any) {
 	pr.ops.Begin(nw, p)
 	pr.stats.Ops++
 	if pr.checks != nil {
@@ -199,7 +199,7 @@ func (pr *proto) initiateReq(nw *sim.Network, p sim.ProcID, req any) {
 }
 
 // Deliver implements sim.Protocol.
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case incPayload:
 		if !pr.ensureRole(nw, msg.To, pl.Target, pl) {
@@ -242,7 +242,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 // target node; if it retired from that role, the message is forwarded to the
 // successor (one extra message per stale hop — the paper's constant-overhead
 // handshake) and false is returned.
-func (pr *proto) ensureRole(nw *sim.Network, proc sim.ProcID, target int, pl sim.Payload) bool {
+func (pr *proto) ensureRole(nw sim.Transport, proc sim.ProcID, target int, pl sim.Payload) bool {
 	nd := &pr.nodes[target]
 	if nd.cur == proc {
 		return true
@@ -261,7 +261,7 @@ func (pr *proto) ensureRole(nw *sim.Network, proc sim.ProcID, target int, pl sim
 // to its state and answers the initiator directly; any other node forwards
 // to its parent. Either way the node's age grows by two (one receive, one
 // send) and the node retires if it has grown old.
-func (pr *proto) handleInc(nw *sim.Network, pl incPayload) {
+func (pr *proto) handleInc(nw sim.Transport, pl incPayload) {
 	nd := &pr.nodes[pl.Target]
 	if nd.level == 0 {
 		nw.Send(pl.Origin, valuePayload{Reply: pr.root.Apply(pl.Req)})
@@ -280,7 +280,7 @@ func (pr *proto) handleInc(nw *sim.Network, pl incPayload) {
 // retirement; receiving the notification ages the node and may cascade its
 // own retirement (paper: "It may of course happen that this increment
 // triggers the retirement of parent and children nodes").
-func (pr *proto) handleNewID(nw *sim.Network, pl newIDPayload) {
+func (pr *proto) handleNewID(nw sim.Transport, pl newIDPayload) {
 	nd := &pr.nodes[pl.Target]
 	switch {
 	case nd.level > 0 && pr.g.parent(nd.level, nd.pos) == pl.Changed:
@@ -309,7 +309,7 @@ func (pr *proto) childIndex(parent, changed int) int {
 // maybeRetire retires the node if its age reached the threshold. "After
 // incrementing its age value a node decides locally whether it should
 // retire."
-func (pr *proto) maybeRetire(nw *sim.Network, id int) {
+func (pr *proto) maybeRetire(nw sim.Transport, id int) {
 	if pr.retireAge <= 0 {
 		return
 	}
@@ -335,7 +335,7 @@ func (pr *proto) maybeRetire(nw *sim.Network, id int) {
 // node updates its local values by setting age = 0 and id_new = id_old + 1;
 // it then sends k+2 final messages [to the successor] ... the other k+1
 // messages inform the node's parent and children about id_new."
-func (pr *proto) retire(nw *sim.Network, id int) {
+func (pr *proto) retire(nw sim.Transport, id int) {
 	nd := &pr.nodes[id]
 	old := nd.cur
 	succ := old + 1

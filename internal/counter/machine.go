@@ -1,0 +1,39 @@
+package counter
+
+import "distcount/internal/sim"
+
+// Transport is the messaging surface every counter protocol runs against —
+// an alias of sim.Transport, re-exported here so the counter abstraction
+// names its own dependency: implementations speak Transport, and whether the
+// transport is the discrete-event simulator (internal/sim) or the
+// goroutine-per-processor runtime (internal/rt) is the backend's business.
+type Transport = sim.Transport
+
+// Machine is the backend-independent description of one counter algorithm:
+// the protocol state machine plus the hooks a runtime needs to drive and
+// read it. The simulator wraps a Machine in a sim.Network; the rt backend
+// wraps the same Machine in goroutines and channels. Both run the identical
+// protocol code.
+type Machine struct {
+	// Name identifies the algorithm (e.g. "central", "combining").
+	Name string
+	// N is the number of processors the protocol was built for (structural
+	// constraints may have rounded the requested size up).
+	N int
+	// Proto handles every delivered message.
+	Proto sim.Protocol
+	// Initiate is the operation-start callback: it opens initiator p's
+	// operation (counter.Ops.Begin) and sends its first message(s).
+	Initiate func(nw Transport, p sim.ProcID)
+	// Value returns the value delivered to a completed operation and
+	// forgets it; ok is false when unknown, unfinished, or already read.
+	Value func(id sim.OpID) (int, bool)
+	// Level is the consistency the algorithm claims under concurrency.
+	Level Consistency
+	// Serial marks protocols whose handlers touch state owned by other
+	// processors (the tree counter's role forwarding, the token ring's
+	// holder shortcut). The simulator is single-threaded, so they are safe
+	// there; the rt backend must serialize all protocol callbacks under one
+	// lock instead of running receivers concurrently.
+	Serial bool
+}

@@ -2,6 +2,7 @@ package counter
 
 import (
 	"fmt"
+	"sync"
 
 	"distcount/internal/sim"
 )
@@ -28,6 +29,13 @@ import (
 // long workload runs do not accumulate per-op state; the per-initiator slot
 // always keeps the most recent value.
 type Ops[S, V any] struct {
+	// mu guards the maps. On the simulator every access runs on one
+	// goroutine and the lock is uncontended; on the rt backend distinct
+	// initiators' operations live on distinct goroutines, and the table is
+	// the one piece of protocol state they all touch. The *S returned by
+	// Begin/Get stays confined to its own operation's delivery contexts, so
+	// locking the map operations suffices.
+	mu sync.Mutex
 	// inflight holds each initiator's open operation; absent when idle.
 	inflight map[sim.ProcID]*opEntry[S]
 	// values holds delivered values of completed operations until consumed.
@@ -61,11 +69,13 @@ func NewOps[S, V any]() *Ops[S, V] {
 // — are required to keep at most one operation per initiator open, and a
 // violation would corrupt per-initiator state in ways that only surface as
 // wrong values much later.
-func (o *Ops[S, V]) Begin(nw *sim.Network, p sim.ProcID) *S {
+func (o *Ops[S, V]) Begin(nw sim.Transport, p sim.ProcID) *S {
 	id := nw.CurrentOp()
 	if id == 0 {
 		panic("counter: Begin called outside an operation context")
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if e, ok := o.inflight[p]; ok {
 		panic(fmt.Sprintf("counter: initiator %v already has operation %d in flight (starting %d)", p, e.op, id))
 	}
@@ -79,6 +89,8 @@ func (o *Ops[S, V]) Begin(nw *sim.Network, p sim.ProcID) *S {
 // none — receiving a protocol message for an idle initiator means the
 // message was stray or the state was dropped early, both protocol bugs.
 func (o *Ops[S, V]) Get(p sim.ProcID) *S {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	e, ok := o.inflight[p]
 	if !ok {
 		panic(fmt.Sprintf("counter: initiator %v has no operation in flight", p))
@@ -88,6 +100,8 @@ func (o *Ops[S, V]) Get(p sim.ProcID) *S {
 
 // InFlight reports whether initiator p currently has an open operation.
 func (o *Ops[S, V]) InFlight(p sim.ProcID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	_, ok := o.inflight[p]
 	return ok
 }
@@ -97,7 +111,9 @@ func (o *Ops[S, V]) InFlight(p sim.ProcID) bool {
 // frees p for its next operation. It must run in the completing operation's
 // own delivery context: a mismatch means a value was routed through the
 // wrong operation's causal chain (cross-op state bleed) and panics.
-func (o *Ops[S, V]) Finish(nw *sim.Network, p sim.ProcID, v V) {
+func (o *Ops[S, V]) Finish(nw sim.Transport, p sim.ProcID, v V) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	e, ok := o.inflight[p]
 	if !ok {
 		panic(fmt.Sprintf("counter: Finish for initiator %v with no operation in flight", p))
@@ -116,6 +132,8 @@ func (o *Ops[S, V]) Finish(nw *sim.Network, p sim.ProcID, v V) {
 // accumulate per-op state. ok is false when the operation is unknown, still
 // in flight, or already consumed.
 func (o *Ops[S, V]) Take(id sim.OpID) (V, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	v, ok := o.values[id]
 	if ok {
 		delete(o.values, id)
@@ -126,6 +144,8 @@ func (o *Ops[S, V]) Take(id sim.OpID) (V, bool) {
 // Last returns the most recent value delivered to initiator p; ok is false
 // when none arrived since p's last Begin.
 func (o *Ops[S, V]) Last(p sim.ProcID) (V, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.lastVal[p], o.lastOK[p]
 }
 
@@ -133,6 +153,8 @@ func (o *Ops[S, V]) Last(p sim.ProcID) (V, bool) {
 // copies one operation's protocol state (needed when S holds slices or
 // maps); nil keeps the shallow copy, sufficient for value-only states.
 func (o *Ops[S, V]) Clone(deepState func(*S) S) *Ops[S, V] {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	cp := NewOps[S, V]()
 	for p, e := range o.inflight {
 		ne := &opEntry[S]{op: e.op, st: e.st}

@@ -22,12 +22,12 @@ type (
 func (echoReq) Kind() string  { return "echo-req" }
 func (echoResp) Kind() string { return "echo-resp" }
 
-func (pr *echoProto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *echoProto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	nw.Send(1, echoReq{Origin: p})
 }
 
-func (pr *echoProto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *echoProto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case echoReq:
 		nw.Send(pl.Origin, echoResp{Val: pr.val})

@@ -38,7 +38,7 @@ type proto struct {
 
 var _ sim.CloneableProtocol = (*proto)(nil)
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	if p == pr.holder {
 		// The holder increments locally: accessing your own memory costs no
@@ -50,7 +50,7 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 	nw.Send(pr.holder, reqPayload{Origin: p})
 }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case reqPayload:
 		nw.Send(pl.Origin, valPayload{Val: pr.val})
@@ -107,6 +107,26 @@ func New(n int, opts ...Option) *Counter {
 	return &Counter{
 		net:   sim.New(n, pr, cfg.simOpts...),
 		proto: pr,
+	}
+}
+
+// NewMachine returns the backend-independent protocol descriptor for n
+// processors, for running the algorithm on a non-simulator transport
+// (internal/rt). The counter value is confined to the holder's execution
+// context, so handlers may run concurrently per processor.
+func NewMachine(n int, opts ...Option) counter.Machine {
+	cfg := config{holder: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pr := &proto{holder: cfg.holder, ops: counter.NewOps[struct{}, int]()}
+	return counter.Machine{
+		Name:     "central",
+		N:        n,
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.Linearizable,
 	}
 }
 

@@ -196,7 +196,7 @@ func (pr *proto) wireOwner(w int) sim.ProcID {
 	return sim.ProcID(w%pr.n + 1)
 }
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	// The entry wire is a strictly local choice (the initiator's own id):
 	// counting networks deliver exact counts for ANY input distribution,
@@ -204,11 +204,14 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 	// message-passing model does not allow — it would even smuggle
 	// information between operations behind the Hot Spot Lemma's back.
 	entry := (int(p) - 1) % pr.width
-	first := pr.balancers[pr.stageWire[0][entry]]
-	nw.Send(first.host, tokenPayload{Stage: 0, Wire: entry, Origin: p})
+	// Read only the balancer's immutable host field: copying the whole
+	// struct would also read its toggle, which the host processor flips
+	// concurrently on the rt backend.
+	host := pr.balancers[pr.stageWire[0][entry]].host
+	nw.Send(host, tokenPayload{Stage: 0, Wire: entry, Origin: p})
 }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case tokenPayload:
 		b := &pr.balancers[pr.stageWire[pl.Stage][pl.Wire]]
@@ -298,6 +301,36 @@ func New(n int, opts ...Option) *Counter {
 	}
 	pr := newProto(n, cfg.width, cfg.construction)
 	return &Counter{net: sim.New(n, pr, cfg.simOpts...), proto: pr, construction: cfg.construction}
+}
+
+// NewMachine returns the backend-independent protocol descriptor for n
+// processors (sim options in opts are ignored). Each balancer's toggle lives
+// at its host processor and each output wire's count at its owner, so
+// handlers may run concurrently per processor.
+func NewMachine(n int, opts ...Option) counter.Machine {
+	cfg := cfg{construction: Bitonic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.width == 0 {
+		cfg.width = 2
+		for cfg.width < n && cfg.width < 16 {
+			cfg.width <<= 1
+		}
+	}
+	pr := newProto(n, cfg.width, cfg.construction)
+	name := "cnet"
+	if cfg.construction == Periodic {
+		name = "cnet-periodic"
+	}
+	return counter.Machine{
+		Name:     name,
+		N:        n,
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.Quiescent,
+	}
 }
 
 // Name implements counter.Counter.

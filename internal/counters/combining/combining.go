@@ -19,6 +19,7 @@ package combining
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"distcount/internal/counter"
 	"distcount/internal/sim"
@@ -101,7 +102,9 @@ type proto struct {
 	val int // used only in the degenerate n == 1 case
 
 	// combined counts requests that were merged into an existing batch —
-	// the quantity the concurrency experiment watches.
+	// the quantity the concurrency experiment watches. Accessed atomically:
+	// it is the one piece of state inner nodes on different rt goroutines
+	// share (every node's host increments it).
 	combined int64
 }
 
@@ -142,7 +145,7 @@ func newProto(n int, window int64) *proto {
 	return pr
 }
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	if pr.n == 1 {
 		pr.ops.Finish(nw, p, pr.val)
@@ -158,7 +161,7 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 	})
 }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case reqPayload:
 		pr.handleReq(nw, pl)
@@ -176,7 +179,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 	}
 }
 
-func (pr *proto) handleReq(nw *sim.Network, pl reqPayload) {
+func (pr *proto) handleReq(nw sim.Transport, pl reqPayload) {
 	nd := &pr.nodes[pl.Node]
 	c := contrib{fromLeaf: pl.FromLeaf, fromNode: pl.FromNode, childBatch: pl.ChildBatch, count: pl.Count}
 	if nd.pending == nil {
@@ -195,11 +198,11 @@ func (pr *proto) handleReq(nw *sim.Network, pl reqPayload) {
 	c.tok = nw.Adopt()
 	nd.pending.contribs = append(nd.pending.contribs, c)
 	nd.pending.total += pl.Count
-	pr.combined++
+	atomic.AddInt64(&pr.combined, 1)
 }
 
 // closeBatch forwards the pending batch upward, or applies it at the root.
-func (pr *proto) closeBatch(nw *sim.Network, node int) {
+func (pr *proto) closeBatch(nw sim.Transport, node int) {
 	nd := &pr.nodes[node]
 	b := nd.pending
 	nd.pending = nil
@@ -220,7 +223,7 @@ func (pr *proto) closeBatch(nw *sim.Network, node int) {
 	})
 }
 
-func (pr *proto) handleResp(nw *sim.Network, pl respPayload) {
+func (pr *proto) handleResp(nw sim.Transport, pl respPayload) {
 	nd := &pr.nodes[pl.Node]
 	b, ok := nd.inFlight[pl.Batch]
 	if !ok {
@@ -234,7 +237,7 @@ func (pr *proto) handleResp(nw *sim.Network, pl respPayload) {
 // Sends for merged contributors are attributed to their own operations via
 // the adopted tokens; the window opener's send rides the current delivery,
 // which is already on its causal chain.
-func (pr *proto) distribute(nw *sim.Network, b *batch, base int) {
+func (pr *proto) distribute(nw sim.Transport, b *batch, base int) {
 	offset := base
 	for _, c := range b.contribs {
 		send := nw.Send
@@ -321,6 +324,26 @@ func New(n int, opts ...Option) *Counter {
 	return &Counter{net: sim.New(n, pr, c.simOpts...), proto: pr}
 }
 
+// NewMachine returns the backend-independent protocol descriptor for n
+// processors (sim options in opts are ignored — they configure a network,
+// not the protocol). Each inner node's batch state lives at its host
+// processor, so handlers may run concurrently per processor.
+func NewMachine(n int, opts ...Option) counter.Machine {
+	var c cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	pr := newProto(n, c.window)
+	return counter.Machine{
+		Name:     "combining",
+		N:        n,
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.Linearizable,
+	}
+}
+
 // Name implements counter.Counter.
 func (c *Counter) Name() string { return "combining" }
 
@@ -331,7 +354,7 @@ func (c *Counter) N() int { return c.net.N() }
 func (c *Counter) Net() *sim.Network { return c.net }
 
 // Combined returns how many requests merged into an open window so far.
-func (c *Counter) Combined() int64 { return c.proto.combined }
+func (c *Counter) Combined() int64 { return atomic.LoadInt64(&c.proto.combined) }
 
 // RootHost returns the processor hosting the tree root (the sequential
 // bottleneck).

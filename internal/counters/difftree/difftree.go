@@ -19,6 +19,7 @@ package difftree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"distcount/internal/counter"
 	"distcount/internal/sim"
@@ -75,7 +76,8 @@ type proto struct {
 	// operation's delivered value.
 	ops *counter.Ops[struct{}, int]
 
-	// diffracted counts token pairs that bypassed a toggle.
+	// diffracted counts token pairs that bypassed a toggle. Accessed
+	// atomically: node hosts on different rt goroutines all increment it.
 	diffracted int64
 	// toggles counts toggle uses per node (index as nodes).
 	toggles []int64
@@ -114,14 +116,14 @@ func (pr *proto) leafOwner(idx int) sim.ProcID {
 	return sim.ProcID(idx%pr.n + 1)
 }
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	nw.Send(pr.nodes[1].host, tokenPayload{Node: 1, Level: 0, Idx: 0, Origin: p})
 }
 
 // route sends a token onward after it resolved direction at node tk.Node:
 // right == true sets the level bit of the leaf index.
-func (pr *proto) route(nw *sim.Network, tk tokenPayload, right bool) {
+func (pr *proto) route(nw sim.Transport, tk tokenPayload, right bool) {
 	pr.routeWith(nw.Send, tk, right)
 }
 
@@ -147,7 +149,7 @@ func (pr *proto) routeWith(send func(sim.ProcID, sim.Payload), tk tokenPayload, 
 }
 
 // toggleRoute resolves a token through the node's toggle.
-func (pr *proto) toggleRoute(nw *sim.Network, tk tokenPayload) {
+func (pr *proto) toggleRoute(nw sim.Transport, tk tokenPayload) {
 	pr.toggleRouteWith(nw.Send, tk)
 }
 
@@ -162,7 +164,7 @@ func (pr *proto) toggleRouteWith(send func(sim.ProcID, sim.Payload), tk tokenPay
 	pr.routeWith(send, tk, right)
 }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case tokenPayload:
 		nd := &pr.nodes[pl.Node]
@@ -174,7 +176,7 @@ func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
 			tok := nd.tok
 			nd.parked = nil
 			nd.tok = sim.OpToken{}
-			pr.diffracted++
+			atomic.AddInt64(&pr.diffracted, 1)
 			pr.routeWith(func(to sim.ProcID, p sim.Payload) { nw.SendAs(tok, to, p) }, partner, false)
 			pr.route(nw, pl, true)
 			return
@@ -285,6 +287,32 @@ func New(n int, opts ...Option) *Counter {
 	return &Counter{net: sim.New(n, pr, c.simOpts...), proto: pr}
 }
 
+// NewMachine returns the backend-independent protocol descriptor for n
+// processors (sim options in opts are ignored). Each inner node's toggle and
+// prism live at its host processor and each leaf counter at its owner, so
+// handlers may run concurrently per processor.
+func NewMachine(n int, opts ...Option) counter.Machine {
+	var c cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.width == 0 {
+		c.width = 2
+		for c.width < n && c.width < 8 {
+			c.width <<= 1
+		}
+	}
+	pr := newProto(n, c.width, c.window)
+	return counter.Machine{
+		Name:     "difftree",
+		N:        n,
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.Quiescent,
+	}
+}
+
 // Name implements counter.Counter.
 func (c *Counter) Name() string { return "difftree" }
 
@@ -298,7 +326,7 @@ func (c *Counter) Net() *sim.Network { return c.net }
 func (c *Counter) Width() int { return c.proto.width }
 
 // Diffracted returns the number of token pairs that bypassed a toggle.
-func (c *Counter) Diffracted() int64 { return c.proto.diffracted }
+func (c *Counter) Diffracted() int64 { return atomic.LoadInt64(&c.proto.diffracted) }
 
 // RootToggles returns how often the root toggle was used — the contention
 // hot spot diffraction exists to relieve.

@@ -77,7 +77,7 @@ type proto struct {
 
 var _ sim.CloneableProtocol = (*proto)(nil)
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	idx := int(p) - 1 + pr.sys.N()*pr.localOps[p]
 	pr.localOps[p]++
 	st := pr.ops.Begin(nw, p)
@@ -104,7 +104,7 @@ func (pr *proto) observe(st *opState, r replica) {
 	}
 }
 
-func (pr *proto) startWrite(nw *sim.Network, origin sim.ProcID, st *opState) {
+func (pr *proto) startWrite(nw sim.Transport, origin sim.ProcID, st *opState) {
 	val, ver := st.bestVal+1, st.ver+1
 	for _, member := range st.quorum {
 		if member == int(origin) {
@@ -119,7 +119,7 @@ func (pr *proto) startWrite(nw *sim.Network, origin sim.ProcID, st *opState) {
 	}
 }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case readReq:
 		r := pr.replicas[msg.To]
@@ -186,6 +186,27 @@ func New(sys quorum.System, simOpts ...sim.Option) *Counter {
 		net:   sim.New(sys.N(), pr, simOpts...),
 		proto: pr,
 		name:  "quorum-" + sys.Name(),
+	}
+}
+
+// NewMachine returns the backend-independent protocol descriptor over the
+// given quorum system. Replica i and the rotation count of initiator i are
+// only ever touched in processor i's execution context, so handlers may run
+// concurrently per processor.
+func NewMachine(sys quorum.System) counter.Machine {
+	pr := &proto{
+		sys:      sys,
+		replicas: make([]replica, sys.N()+1),
+		localOps: make([]int, sys.N()+1),
+		ops:      counter.NewOps[opState, int](),
+	}
+	return counter.Machine{
+		Name:     "quorum-" + sys.Name(),
+		N:        sys.N(),
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.SequentialOnly,
 	}
 }
 

@@ -46,7 +46,7 @@ func (pr *proto) next(p sim.ProcID) sim.ProcID {
 	return p + 1
 }
 
-func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
+func (pr *proto) initiate(nw sim.Transport, p sim.ProcID) {
 	pr.ops.Begin(nw, p)
 	if p == pr.holder {
 		pr.ops.Finish(nw, p, pr.val)
@@ -66,7 +66,7 @@ func (pr *proto) initiate(nw *sim.Network, p sim.ProcID) {
 // Called in the initiator's context; the first hop is accounted to the
 // holder by sending a steering request to it when the initiator is not the
 // holder.
-func (pr *proto) routeToken(nw *sim.Network, dest sim.ProcID) {
+func (pr *proto) routeToken(nw sim.Transport, dest sim.ProcID) {
 	// Request message: initiator -> holder (1 message), then token hops
 	// holder -> ... -> dest along the ring.
 	nw.Send(pr.holder, requestPayload{Dest: dest})
@@ -76,7 +76,7 @@ type requestPayload struct{ Dest sim.ProcID }
 
 func (requestPayload) Kind() string { return "token-request" }
 
-func (pr *proto) Deliver(nw *sim.Network, msg sim.Message) {
+func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 	switch pl := msg.Payload.(type) {
 	case requestPayload:
 		// Current holder releases the token toward the destination.
@@ -117,6 +117,22 @@ var (
 func New(n int, simOpts ...sim.Option) *Counter {
 	pr := &proto{n: n, holder: 1, ops: counter.NewOps[struct{}, int]()}
 	return &Counter{net: sim.New(n, pr, simOpts...), proto: pr}
+}
+
+// NewMachine returns the backend-independent protocol descriptor for n
+// processors. Serial: initiate reads the current holder, which every token
+// landing rewrites, so the rt backend must serialize all callbacks.
+func NewMachine(n int) counter.Machine {
+	pr := &proto{n: n, holder: 1, ops: counter.NewOps[struct{}, int]()}
+	return counter.Machine{
+		Name:     "tokenring",
+		N:        n,
+		Proto:    pr,
+		Initiate: pr.initiate,
+		Value:    pr.ops.Take,
+		Level:    counter.SequentialOnly,
+		Serial:   true,
+	}
 }
 
 // Name implements counter.Counter.

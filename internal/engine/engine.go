@@ -253,6 +253,17 @@ type Result struct {
 	// Config.Verify was set): the delivered values evaluated against the
 	// algorithm's claimed consistency level.
 	Verification *verify.Report `json:"verification,omitempty"`
+	// Wall reports that the run executed on the real-hardware rt backend
+	// (RunWall). In wall mode every time-valued field — SimTime,
+	// MeasureStart, the latency digests, Series times, bucket spans — is in
+	// wall-clock nanoseconds instead of simulated ticks, and every rate —
+	// Throughput, the buckets' and knee's OfferedRate — is in operations
+	// per second instead of operations per tick. TickNs records the wall
+	// duration of one simulated tick the backend was configured with, the
+	// conversion factor for comparing against a sim-backend run of the same
+	// cell (1 op/tick predicts 1e9/TickNs ops/sec).
+	Wall   bool  `json:"wall,omitempty"`
+	TickNs int64 `json:"tick_ns,omitempty"`
 
 	// Latencies holds the raw measured end-to-end latencies, for
 	// percentile re-binning and benchmarks; omitted from JSON.
@@ -266,6 +277,9 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 
 	net := c.Net()
+	if net == nil {
+		return nil, fmt.Errorf("engine: counter %q has no simulated network (an rt-backend counter); drive it with RunWall", c.Name())
+	}
 	// The report's time axis, load baselines and series are all relative
 	// to a fresh network; a reused counter would silently fold its
 	// previous traffic into every metric.

@@ -78,6 +78,14 @@ type Fingerprint struct {
 	// processors lose more capacity here than those that spread it.
 	HeteroKneeRate   float64 `json:"hetero_knee_rate"`
 	HeteroKneeReason string  `json:"hetero_knee_reason"`
+	// StragglerKneeRate and StragglerKneeReason are the ramp knee under
+	// the study's single-straggler profile (one processor slowed hard):
+	// adversarial for root-bound schemes — when the straggler hosts the
+	// hot path the knee collapses toward the straggler's own service
+	// rate, while schemes that spread or route around it keep most of
+	// their capacity.
+	StragglerKneeRate   float64 `json:"straggler_knee_rate"`
+	StragglerKneeReason string  `json:"straggler_knee_reason"`
 	// ScalingClass is the knee-vs-n verdict of the embedded scaling
 	// analysis (bottleneck-bound / merge-bound / scales-with-n /
 	// unsaturated / inconclusive) — the paper's conclusion as a pinned
@@ -96,25 +104,28 @@ type Baseline struct {
 	// Study names the producing study ("regression").
 	Study string `json:"study"`
 	// Seed, Ops, BaseWindow, Service, RateTo, KneeBuckets, SteadyRate,
-	// QueueCap and HeteroDist pin the study configuration: the scenario
-	// seed, operations per cell, merge window, uniform per-message service
-	// cost, the ramp's final offered rate, the knee analysis resolution,
-	// the fixed sub-knee rate of the latency cells, the tight
-	// admission-queue bound of the queue cells, and the heterogeneous
-	// service distribution name. CompareBaseline diffs them exactly, so a
-	// check against a baseline recorded under a drifted configuration
+	// QueueCap, HeteroDist and StragglerDist pin the study configuration:
+	// the scenario seed, operations per cell, merge window, uniform
+	// per-message service cost, the ramp's final offered rate, the knee
+	// analysis resolution, the fixed sub-knee rate of the latency cells,
+	// the tight admission-queue bound of the queue cells, and the
+	// heterogeneous and single-straggler service distribution names (each
+	// with its own ramp ceiling). CompareBaseline diffs them exactly, so
+	// a check against a baseline recorded under a drifted configuration
 	// fails on the config metric instead of comparing incomparable
 	// numbers.
-	Seed         uint64  `json:"seed"`
-	Ops          int     `json:"ops"`
-	BaseWindow   int64   `json:"base_window"`
-	Service      int64   `json:"service"`
-	RateTo       float64 `json:"rate_to"`
-	KneeBuckets  int     `json:"knee_buckets"`
-	SteadyRate   float64 `json:"steady_rate"`
-	QueueCap     int     `json:"queue_cap"`
-	HeteroDist   string  `json:"hetero_dist"`
-	HeteroRateTo float64 `json:"hetero_rate_to"`
+	Seed            uint64  `json:"seed"`
+	Ops             int     `json:"ops"`
+	BaseWindow      int64   `json:"base_window"`
+	Service         int64   `json:"service"`
+	RateTo          float64 `json:"rate_to"`
+	KneeBuckets     int     `json:"knee_buckets"`
+	SteadyRate      float64 `json:"steady_rate"`
+	QueueCap        int     `json:"queue_cap"`
+	HeteroDist      string  `json:"hetero_dist"`
+	HeteroRateTo    float64 `json:"hetero_rate_to"`
+	StragglerDist   string  `json:"straggler_dist"`
+	StragglerRateTo float64 `json:"straggler_rate_to"`
 	// ScalingNs and Windows pin the embedded scaling grid: the requested
 	// n axis of the knee-vs-n curve and the merge-window sub-sweep list.
 	// A change to either is a different experiment, diffed like the rest
@@ -176,7 +187,7 @@ func LoadBaseline(r io.Reader) (*Baseline, error) {
 // algorithm fingerprint.
 const BaselineCSVHeader = "algo,n,knee_rate,knee_reason,service_p50,service_p99,msgs_per_op," +
 	"bottleneck_share,queue_knee_rate,queue_knee_reason,drop_rate," +
-	"hetero_knee_rate,hetero_knee_reason,scaling_class"
+	"hetero_knee_rate,hetero_knee_reason,straggler_knee_rate,straggler_knee_reason,scaling_class"
 
 // WriteBaselineCSV writes the fingerprints as a flat CSV with the
 // BaselineCSVHeader columns — the plottable artifact form.
@@ -186,10 +197,11 @@ func WriteBaselineCSV(w io.Writer, b *Baseline) error {
 	}
 	b.Sort()
 	for _, f := range b.Fingerprints {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%.1f,%.1f,%.3f,%.4f,%.4f,%s,%.4f,%.4f,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%.1f,%.1f,%.3f,%.4f,%.4f,%s,%.4f,%.4f,%s,%.4f,%s,%s\n",
 			f.Algorithm, f.N, f.KneeRate, f.KneeReason, f.ServiceP50, f.ServiceP99, f.MessagesPerOp,
 			f.BottleneckShare, f.QueueKneeRate, f.QueueKneeReason, f.DropRate,
-			f.HeteroKneeRate, f.HeteroKneeReason, f.ScalingClass); err != nil {
+			f.HeteroKneeRate, f.HeteroKneeReason,
+			f.StragglerKneeRate, f.StragglerKneeReason, f.ScalingClass); err != nil {
 			return err
 		}
 	}
@@ -199,17 +211,18 @@ func WriteBaselineCSV(w io.Writer, b *Baseline) error {
 // RenderBaseline returns the human-readable fingerprint table.
 func RenderBaseline(b *Baseline) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "performance fingerprints (%s study: seed %d, ops %d, window %d, service %d, steady rate %.2f, tight queue %d, hetero %q)\n",
-		b.Study, b.Seed, b.Ops, b.BaseWindow, b.Service, b.SteadyRate, b.QueueCap, b.HeteroDist)
-	fmt.Fprintf(&sb, "%-16s %4s %13s %11s %7s %7s %7s %12s %9s %12s %-16s\n",
-		"algo", "n", "knee", "queue-knee", "p50", "p99", "msg/op", "bshare", "droprate", "hetero-knee", "class")
+	fmt.Fprintf(&sb, "performance fingerprints (%s study: seed %d, ops %d, window %d, service %d, steady rate %.2f, tight queue %d, hetero %q, straggler %q)\n",
+		b.Study, b.Seed, b.Ops, b.BaseWindow, b.Service, b.SteadyRate, b.QueueCap, b.HeteroDist, b.StragglerDist)
+	fmt.Fprintf(&sb, "%-16s %4s %13s %11s %7s %7s %7s %12s %9s %12s %14s %-16s\n",
+		"algo", "n", "knee", "queue-knee", "p50", "p99", "msg/op", "bshare", "droprate", "hetero-knee", "straggler-knee", "class")
 	b.Sort()
 	for _, f := range b.Fingerprints {
-		fmt.Fprintf(&sb, "%-16s %4d %13s %11s %7.1f %7.1f %7.2f %12.3f %9.3f %12s %-16s\n",
+		fmt.Fprintf(&sb, "%-16s %4d %13s %11s %7.1f %7.1f %7.2f %12.3f %9.3f %12s %14s %-16s\n",
 			f.Algorithm, f.N,
 			kneeLabel(f.KneeRate, f.KneeReason), kneeLabel(f.QueueKneeRate, f.QueueKneeReason),
 			f.ServiceP50, f.ServiceP99, f.MessagesPerOp, f.BottleneckShare, f.DropRate,
-			kneeLabel(f.HeteroKneeRate, f.HeteroKneeReason), f.ScalingClass)
+			kneeLabel(f.HeteroKneeRate, f.HeteroKneeReason),
+			kneeLabel(f.StragglerKneeRate, f.StragglerKneeReason), f.ScalingClass)
 	}
 	return sb.String()
 }

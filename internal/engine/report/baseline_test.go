@@ -9,20 +9,22 @@ import (
 // magnitudes.
 func testBaseline() *Baseline {
 	return &Baseline{
-		Schema:       BaselineSchema,
-		Study:        RegressionStudy,
-		Seed:         1,
-		Ops:          4000,
-		BaseWindow:   16,
-		Service:      1,
-		RateTo:       8,
-		KneeBuckets:  48,
-		SteadyRate:   0.25,
-		QueueCap:     16,
-		HeteroDist:   "halfslow",
-		HeteroRateTo: 4,
-		ScalingNs:    []int{8, 16, 32},
-		Windows:      []int{1, 4, 64},
+		Schema:          BaselineSchema,
+		Study:           RegressionStudy,
+		Seed:            1,
+		Ops:             4000,
+		BaseWindow:      16,
+		Service:         1,
+		RateTo:          8,
+		KneeBuckets:     48,
+		SteadyRate:      0.25,
+		QueueCap:        16,
+		HeteroDist:      "halfslow",
+		HeteroRateTo:    4,
+		StragglerDist:   "straggler",
+		StragglerRateTo: 4,
+		ScalingNs:       []int{8, 16, 32},
+		Windows:         []int{1, 4, 64},
 		Fingerprints: []Fingerprint{
 			{
 				Algorithm: "combining", N: 16,
@@ -31,6 +33,7 @@ func testBaseline() *Baseline {
 				MessagesPerOp: 3.1, BottleneckShare: 0.22,
 				QueueKneeRate: 1.2, QueueKneeReason: "queue", DropRate: 0.31,
 				HeteroKneeRate: 0.9, HeteroKneeReason: "latency",
+				StragglerKneeRate: 1.1, StragglerKneeReason: "latency",
 				ScalingClass: ClassMergeBound,
 			},
 			{
@@ -40,6 +43,7 @@ func testBaseline() *Baseline {
 				MessagesPerOp: 2.0, BottleneckShare: 0.5,
 				QueueKneeRate: 1.0, QueueKneeReason: "queue", DropRate: 0.4,
 				HeteroKneeRate: 1.0, HeteroKneeReason: "latency",
+				StragglerKneeRate: 0.15, StragglerKneeReason: "latency",
 				ScalingClass: ClassBottleneckBound,
 			},
 		},
@@ -81,8 +85,8 @@ func TestBaselineRoundTrip(t *testing.T) {
 			cmp.Pass, cmp.Failures, cmp.FirstFailure())
 	}
 	// Every fingerprint metric of both algorithms was actually compared:
-	// 12 config metrics + 2 algos x 13 metrics.
-	if want := 12 + 2*13; len(cmp.Diffs) != want {
+	// 14 config metrics + 2 algos x 15 metrics.
+	if want := 14 + 2*15; len(cmp.Diffs) != want {
 		t.Fatalf("compared %d metrics, want %d", len(cmp.Diffs), want)
 	}
 }

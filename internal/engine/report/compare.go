@@ -36,7 +36,7 @@ func (t Band) Within(base, current float64) bool {
 // Tolerances groups the tolerance bands by metric family.
 type Tolerances struct {
 	// Knee bounds the saturation knees (knee_rate, queue_knee_rate,
-	// hetero_knee_rate).
+	// hetero_knee_rate, straggler_knee_rate).
 	Knee Band `json:"knee"`
 	// Latency bounds the sub-knee service percentiles (service_p50,
 	// service_p99).
@@ -164,6 +164,9 @@ func CompareBaseline(base, current *Baseline, tol Tolerances) *Comparison {
 	record(MetricDiff{Metric: "hetero_dist", BaseLabel: base.HeteroDist, CurrentLabel: current.HeteroDist,
 		OK: base.HeteroDist == current.HeteroDist})
 	cfgNum("hetero_rate_to", base.HeteroRateTo, current.HeteroRateTo)
+	record(MetricDiff{Metric: "straggler_dist", BaseLabel: labelOrNone(base.StragglerDist),
+		CurrentLabel: labelOrNone(current.StragglerDist), OK: base.StragglerDist == current.StragglerDist})
+	cfgNum("straggler_rate_to", base.StragglerRateTo, current.StragglerRateTo)
 	cfgList := func(metric string, b, cur []int) {
 		bl, cl := fmt.Sprint(b), fmt.Sprint(cur)
 		record(MetricDiff{Metric: metric, BaseLabel: bl, CurrentLabel: cl, OK: bl == cl})
@@ -201,6 +204,8 @@ func CompareBaseline(base, current *Baseline, tol Tolerances) *Comparison {
 		num("drop_rate", bf.DropRate, cf.DropRate, tol.Drop)
 		num("hetero_knee_rate", bf.HeteroKneeRate, cf.HeteroKneeRate, tol.Knee)
 		str("hetero_knee_reason", bf.HeteroKneeReason, cf.HeteroKneeReason)
+		num("straggler_knee_rate", bf.StragglerKneeRate, cf.StragglerKneeRate, tol.Knee)
+		str("straggler_knee_reason", bf.StragglerKneeReason, cf.StragglerKneeReason)
 		str("scaling_class", bf.ScalingClass, cf.ScalingClass)
 	}
 	for _, cf := range current.Fingerprints {

@@ -42,22 +42,31 @@ func WriteCSV(w io.Writer, res *engine.Result) error {
 	return nil
 }
 
-// Render returns the human-readable text summary.
+// Render returns the human-readable text summary. Wall-clock results (rt
+// backend) render in ns and ops/sec; simulated results in ticks and
+// ops/tick.
 func Render(res *engine.Result) string {
 	var b strings.Builder
+	tickU, rateU := "ticks", "ops/tick"
+	if res.Wall {
+		tickU, rateU = "ns", "ops/sec"
+	}
 	fmt.Fprintf(&b, "workload %s on %s, n=%d, %s loop\n", res.Scenario, res.Algorithm, res.N, res.Mode)
+	if res.Wall {
+		fmt.Fprintf(&b, "  backend    rt (goroutine per processor, wall clock; 1 tick = %d ns)\n", res.TickNs)
+	}
 	fmt.Fprintf(&b, "  ops        %d (%d warmup + %d measured), window %d (peak in flight %d)\n",
 		res.Ops, res.Warmup, res.Measured, res.InFlight, res.PeakInFlight)
 	if res.Mode == engine.Open.String() {
 		fmt.Fprintf(&b, "  admission  queue cap %d, peak depth %d, dropped %d of %d arrivals (drop rate %.3f)\n",
 			res.QueueCap, res.PeakQueueDepth, res.Dropped, res.Arrivals, res.DropRate)
 	}
-	fmt.Fprintf(&b, "  makespan   %d ticks (measure window opened at %d)\n", res.SimTime, res.MeasureStart)
-	fmt.Fprintf(&b, "  throughput %.4f ops/tick\n", res.Throughput)
-	fmt.Fprintf(&b, "  latency    mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %d ticks\n",
-		res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max)
-	fmt.Fprintf(&b, "  queueing   mean %.1f  p99 %.1f ticks, service mean %.1f  p99 %.1f ticks\n",
-		res.QueueDelay.Mean, res.QueueDelay.P99, res.ServiceLatency.Mean, res.ServiceLatency.P99)
+	fmt.Fprintf(&b, "  makespan   %d %s (measure window opened at %d)\n", res.SimTime, tickU, res.MeasureStart)
+	fmt.Fprintf(&b, "  throughput %.4f %s\n", res.Throughput, rateU)
+	fmt.Fprintf(&b, "  latency    mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %d %s\n",
+		res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, tickU)
+	fmt.Fprintf(&b, "  queueing   mean %.1f  p99 %.1f %s, service mean %.1f  p99 %.1f %s\n",
+		res.QueueDelay.Mean, res.QueueDelay.P99, tickU, res.ServiceLatency.Mean, res.ServiceLatency.P99, tickU)
 	fmt.Fprintf(&b, "  messages   %d total, %d in measure window (%.2f per op)\n",
 		res.Messages, res.Loads.TotalMessages, res.MessagesPerOp)
 	b.WriteString(loadstat.FormatSummary("measured loads", res.Loads))
@@ -67,8 +76,8 @@ func Render(res *engine.Result) string {
 			len(res.Series), last.BottleneckLoad, last.Bottleneck)
 	}
 	if res.Knee != nil {
-		fmt.Fprintf(&b, "  saturation knee: %.4f ops/tick offered (bucket %d, t=%d, %s: p99 %.1f vs baseline %.1f)\n",
-			res.Knee.OfferedRate, res.Knee.Bucket, res.Knee.SimTime, res.Knee.Reason,
+		fmt.Fprintf(&b, "  saturation knee: %.4f %s offered (bucket %d, t=%d, %s: p99 %.1f vs baseline %.1f)\n",
+			res.Knee.OfferedRate, rateU, res.Knee.Bucket, res.Knee.SimTime, res.Knee.Reason,
 			res.Knee.P99, res.Knee.BaselineP99)
 	} else if res.Mode == engine.Open.String() {
 		b.WriteString("  saturation knee: not reached\n")
@@ -102,6 +111,11 @@ type SweepRow struct {
 	// costs up — see loadgen -service-dist).
 	ServiceTime int64  `json:"service_time"`
 	ServiceDist string `json:"service_dist,omitempty"`
+	// Backend is the execution backend the cell ran on: "" for the
+	// discrete-event simulator (the default), "rt" for the goroutine-per-
+	// processor wall-clock runtime. rt rows carry ns-valued time fields and
+	// ops/sec rates (Result.Wall is set).
+	Backend string `json:"backend,omitempty"`
 	// Skipped is the reason this cell could not run (empty for completed
 	// cells); its Result carries coordinates but no measurements.
 	Skipped string `json:"skipped,omitempty"`
@@ -127,7 +141,7 @@ func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, ser
 }
 
 // SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
-const SweepCSVHeader = "algo,scenario,mode,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
+const SweepCSVHeader = "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 	"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 	"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
@@ -154,8 +168,8 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			vViol = fmt.Sprintf("%d", v.Violations)
 			vDup = fmt.Sprintf("%d", v.Duplicates)
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
-			r.Algorithm, r.Scenario, r.Mode, r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap,
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
+			r.Algorithm, r.Scenario, r.Mode, backendLabel(r.Backend), r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap,
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Arrivals, r.Dropped, r.DropRate, r.PeakQueueDepth,
 			r.Messages, r.MessagesPerOp, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
@@ -164,6 +178,15 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 		}
 	}
 	return nil
+}
+
+// backendLabel normalizes a SweepRow backend for the CSV: the simulator's
+// empty default renders as "sim" so the column is never blank.
+func backendLabel(b string) string {
+	if b == "" {
+		return "sim"
+	}
+	return b
 }
 
 // csvField makes an arbitrary message safe as one unquoted CSV field:
@@ -192,20 +215,29 @@ func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
 
 // RenderSweep returns a text table of the sweep, one line per run. Skipped
 // cells render with their reason instead of measurements, and failed
-// verifications flag their violation count.
+// verifications flag their violation count. rt-backend rows report
+// throughput in ops/sec and p99 in ns (Result.Wall); sim rows in ops/tick
+// and ticks.
 func RenderSweep(rows []SweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-10s %-6s %6s %5s %6s %5s %9s %9s %9s %7s %8s %12s %12s\n",
-		"algo", "scenario", "mode", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "msg/op", "dropped", "knee", "verify")
+	fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6s %5s %6s %5s %12s %10s %9s %7s %8s %14s %12s\n",
+		"algo", "scenario", "mode", "back", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "msg/op", "dropped", "knee", "verify")
 	for _, r := range rows {
+		back := r.Backend
+		if back == "" {
+			back = "sim"
+		}
 		if r.Skipped != "" {
-			fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d SKIPPED: %s\n",
-				r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MergeWindow, r.MeanGap, r.N, r.Skipped)
+			fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6d %5d %6d %5d SKIPPED: %s\n",
+				r.Algorithm, r.Scenario, r.Mode, back, r.InFlight, r.MergeWindow, r.MeanGap, r.N, r.Skipped)
 			continue
 		}
 		knee := "-"
 		if r.Knee != nil {
 			knee = fmt.Sprintf("%.3f/%s", r.Knee.OfferedRate, r.Knee.Reason)
+			if r.Wall {
+				knee = fmt.Sprintf("%.0f/%s", r.Knee.OfferedRate, r.Knee.Reason)
+			}
 		}
 		vcol := "-"
 		if v := r.Verification; v != nil {
@@ -218,8 +250,8 @@ func RenderSweep(rows []SweepRow) string {
 				vcol = "pass"
 			}
 		}
-		fmt.Fprintf(&b, "%-16s %-10s %-6s %6d %5d %6d %5d %9.4f %9.1f %9d %7.2f %8d %12s %12s\n",
-			r.Algorithm, r.Scenario, r.Mode, r.InFlight, r.MergeWindow, r.MeanGap, r.N,
+		fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6d %5d %6d %5d %12.4f %10.1f %9d %7.2f %8d %14s %12s\n",
+			r.Algorithm, r.Scenario, r.Mode, back, r.InFlight, r.MergeWindow, r.MeanGap, r.N,
 			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.MessagesPerOp, r.Dropped, knee, vcol)
 	}
 	return b.String()

@@ -41,6 +41,17 @@ func (v *verifier) observe(st *sim.OpStats) {
 	v.vals = append(v.vals, verify.TimedValue{Op: st.ID, Value: val, Start: st.StartedAt, End: st.DoneAt})
 }
 
+// observeTimes is observe for the wall-clock drivers, whose completion
+// events carry explicit wall-clock interval bounds instead of sim.OpStats.
+func (v *verifier) observeTimes(id sim.OpID, startNs, doneNs int64) {
+	val, ok := v.c.OpValue(id)
+	if !ok {
+		v.missing++
+		return
+	}
+	v.vals = append(v.vals, verify.TimedValue{Op: id, Value: val, Start: startNs, End: doneNs})
+}
+
 // report evaluates the collected values against the claimed consistency
 // level.
 func (v *verifier) report() *verify.Report {

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"distcount/internal/loadstat"
+	"distcount/internal/rt"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+// wallStall bounds how long a wall-clock driver waits for a completion
+// before declaring the run wedged. The simulator detects a stalled protocol
+// by running out of events; real goroutines just stay silent, so the wall
+// drivers need a timeout — generous enough that scheduler hiccups under a
+// loaded CI machine never trip it.
+const wallStall = 30 * time.Second
+
+// RunWall drives an rt-backend counter with the scenario in the mode
+// selected by cfg — the wall-clock analog of Run. The scenario's tick-
+// denominated arrival times are scaled by the runtime's tick duration and
+// paced in real time, so the same generator offers the same logical load to
+// both backends; the result reports wall-clock nanoseconds and operations
+// per second (Result.Wall).
+func RunWall(r *rt.Runtime, gen workload.Generator, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if r.Ops() != 0 {
+		return nil, fmt.Errorf("engine: runtime %q has already run %d ops; build a fresh runtime per run", r.Name(), r.Ops())
+	}
+	var vf *verifier
+	if cfg.Verify {
+		var err error
+		if vf, err = newVerifier(r); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode == Open {
+		return runWallOpen(r, gen, cfg, vf)
+	}
+	return runWallClosed(r, gen, cfg, vf)
+}
+
+// completionsFor registers a channel-backed completion sink on the runtime.
+// The buffer covers the maximum possible number of undrained completions
+// (one in-flight operation per initiator), so a processor goroutine never
+// blocks delivering a completion even while the driver sleeps.
+func completionsFor(r *rt.Runtime) chan rt.OpDone {
+	comp := make(chan rt.OpDone, r.N()+8)
+	r.OnOpDone(func(d rt.OpDone) { comp <- d })
+	return comp
+}
+
+// runWallClosed is the closed-loop wall driver: the window admits the next
+// request on completion, with future arrivals awaited in real time.
+func runWallClosed(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier) (*Result, error) {
+	n := r.N()
+	tickNs := r.Tick().Nanoseconds()
+	res := &Result{
+		Algorithm: r.Name(),
+		Scenario:  gen.Name(),
+		Mode:      Closed.String(),
+		N:         n,
+		Warmup:    cfg.Warmup,
+		InFlight:  cfg.InFlight,
+		Wall:      true,
+		TickNs:    tickNs,
+	}
+
+	src := newSource(gen, n)
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	var (
+		busy     = make([]bool, n+1)
+		timesOf  = make(map[sim.OpID]opTimes)
+		inFlight = 0
+		m        = newWallMetrics(cfg.Warmup)
+		comp     = completionsFor(r)
+	)
+	defer r.Close()
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	handle := func(d rt.OpDone) {
+		inFlight--
+		busy[d.Initiator] = false
+		tm := timesOf[d.ID]
+		delete(timesOf, d.ID)
+		if vf != nil {
+			vf.observeTimes(d.ID, d.StartNs, d.DoneNs)
+		} else {
+			r.OpValue(d.ID) // drain the value table
+		}
+		m.onDone(res, r, cfg.Warmup, d.DoneNs, tm)
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, wallSampleNow(r, m.completed, inFlight, 0))
+		}
+	}
+
+	for {
+		// Admit, in arrival order, while a window slot is free, the
+		// head-of-line initiator is idle, and the head's arrival time has
+		// come. Requests whose arrival is already past start immediately;
+		// the wait is their queueing delay.
+		for inFlight < cfg.InFlight && src.have && !busy[src.head.Proc] {
+			at := src.arrival * tickNs
+			now := r.NowNs()
+			if at > now {
+				break
+			}
+			start := now
+			if at > start {
+				start = at
+			}
+			id := r.StartNow(src.head.Proc)
+			timesOf[id] = opTimes{arrival: at, start: start}
+			busy[src.head.Proc] = true
+			inFlight++
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		if !src.have && inFlight == 0 {
+			break
+		}
+		// Blocked on a future arrival only: sleep until it, waking early
+		// for completions. Otherwise blocked on the window or a busy
+		// initiator: a completion is the only thing that can unblock us.
+		if src.have && inFlight < cfg.InFlight && !busy[src.head.Proc] {
+			wait := time.Duration(src.arrival*tickNs - r.NowNs())
+			if wait <= 0 {
+				continue
+			}
+			select {
+			case d := <-comp:
+				handle(d)
+			case <-time.After(wait):
+			}
+			continue
+		}
+		select {
+		case d := <-comp:
+			handle(d)
+		case <-time.After(wallStall):
+			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight",
+				res.Algorithm, res.Scenario, wallStall, inFlight)
+		}
+	}
+	if err := m.finalize(res, r, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	if vf != nil {
+		res.Verification = vf.report()
+	}
+	return res, nil
+}
+
+// runWallOpen is the open-loop wall driver: requests are admitted at their
+// (tick-scaled) arrival instants regardless of completions, queueing
+// boundedly when their initiator is busy — real overload on real cores.
+func runWallOpen(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier) (*Result, error) {
+	n := r.N()
+	tickNs := r.Tick().Nanoseconds()
+	res := &Result{
+		Algorithm: r.Name(),
+		Scenario:  gen.Name(),
+		Mode:      Open.String(),
+		N:         n,
+		Warmup:    cfg.Warmup,
+		QueueCap:  cfg.QueueCap,
+		Wall:      true,
+		TickNs:    tickNs,
+	}
+
+	src := newSource(gen, n)
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	var (
+		recs        []opRec
+		recOf       = make(map[sim.OpID]int)
+		busy        = make([]bool, n+1)
+		queued      = make([][]int, n+1)
+		totalQueued = 0
+		inFlight    = 0
+		m           = newWallMetrics(cfg.Warmup)
+		comp        = completionsFor(r)
+	)
+	defer r.Close()
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	inject := func(idx int, p sim.ProcID) {
+		recs[idx].start = r.NowNs()
+		recOf[r.StartNow(p)] = idx
+		busy[p] = true
+		inFlight++
+	}
+
+	// admit decides the head request's fate at its arrival instant. The
+	// arrival timestamp is the scheduled one, not the instant the driver
+	// got around to it: offered rate is a property of the scenario, and
+	// charging driver lateness to the operation's latency (rather than
+	// silently re-timing the arrival) is what keeps an overloaded run
+	// honest — the coordinated-omission rule.
+	admit := func() {
+		rec := opRec{
+			arrival:    src.arrival * tickNs,
+			start:      -1,
+			done:       -1,
+			queueDepth: totalQueued,
+			backlog:    inFlight + totalQueued,
+		}
+		p := src.head.Proc
+		switch {
+		case !busy[p]:
+			recs = append(recs, rec)
+			inject(len(recs)-1, p)
+		case totalQueued >= cfg.QueueCap:
+			rec.dropped = true
+			res.Dropped++
+			recs = append(recs, rec)
+		default:
+			recs = append(recs, rec)
+			queued[p] = append(queued[p], len(recs)-1)
+			totalQueued++
+			if totalQueued > res.PeakQueueDepth {
+				res.PeakQueueDepth = totalQueued
+			}
+		}
+	}
+
+	handle := func(d rt.OpDone) {
+		inFlight--
+		busy[d.Initiator] = false
+		idx := recOf[d.ID]
+		delete(recOf, d.ID)
+		if vf != nil {
+			vf.observeTimes(d.ID, d.StartNs, d.DoneNs)
+		} else {
+			r.OpValue(d.ID)
+		}
+		rec := &recs[idx]
+		rec.done = d.DoneNs
+		m.onDone(res, r, cfg.Warmup, d.DoneNs, opTimes{arrival: rec.arrival, start: rec.start})
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, wallSampleNow(r, m.completed, inFlight, totalQueued))
+		}
+		// Hand the freed initiator its oldest queued request.
+		if q := queued[d.Initiator]; len(q) > 0 {
+			next := q[0]
+			queued[d.Initiator] = q[1:]
+			totalQueued--
+			inject(next, d.Initiator)
+		}
+	}
+
+	for {
+		now := r.NowNs()
+		for src.have && src.arrival*tickNs <= now {
+			admit()
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		if !src.have && inFlight == 0 && totalQueued == 0 {
+			break
+		}
+		if src.have {
+			wait := time.Duration(src.arrival*tickNs - r.NowNs())
+			if wait <= 0 {
+				// More arrivals already due; drain one completion if
+				// ready, then keep admitting.
+				select {
+				case d := <-comp:
+					handle(d)
+				default:
+				}
+				continue
+			}
+			select {
+			case d := <-comp:
+				handle(d)
+			case <-time.After(wait):
+			}
+			continue
+		}
+		select {
+		case d := <-comp:
+			handle(d)
+		case <-time.After(wallStall):
+			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight, %d queued",
+				res.Algorithm, res.Scenario, wallStall, inFlight, totalQueued)
+		}
+	}
+
+	if err := m.finalize(res, r, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	res.Buckets = bucketize(recs, cfg.KneeBuckets)
+	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
+	// bucketize computed rates over nanosecond spans; report them in the
+	// wall mode's rate unit, operations per second.
+	for i := range res.Buckets {
+		res.Buckets[i].OfferedRate *= 1e9
+	}
+	if res.Knee != nil {
+		res.Knee.OfferedRate *= 1e9
+	}
+	if vf != nil {
+		res.Verification = vf.report()
+	}
+	return res, nil
+}
+
+// wallMetrics is runMetrics for the wall drivers: identical accumulation,
+// with the runtime's atomic load counters standing in for the network's.
+type wallMetrics struct {
+	completed          int
+	opStarts, opDones  []int64
+	lastDone           int64
+	measureBegan       bool
+	baseSent, baseRecv []int64
+	queueDelays        []int64
+	serviceLats        []int64
+}
+
+func newWallMetrics(warmup int) *wallMetrics {
+	return &wallMetrics{measureBegan: warmup == 0}
+}
+
+func (m *wallMetrics) onDone(res *Result, r *rt.Runtime, warmup int, doneNs int64, tm opTimes) {
+	m.completed++
+	m.opStarts = append(m.opStarts, tm.start)
+	m.opDones = append(m.opDones, doneNs)
+	if doneNs > m.lastDone {
+		m.lastDone = doneNs
+	}
+	if m.completed > warmup {
+		if !m.measureBegan {
+			m.measureBegan = true
+			res.MeasureStart = r.NowNs()
+			m.baseSent, m.baseRecv = r.Loads()
+		}
+		res.Latencies = append(res.Latencies, doneNs-tm.arrival)
+		m.queueDelays = append(m.queueDelays, tm.start-tm.arrival)
+		m.serviceLats = append(m.serviceLats, doneNs-tm.start)
+	}
+}
+
+func (m *wallMetrics) finalize(res *Result, r *rt.Runtime, warmup int, thinAfter bool) error {
+	res.Ops = m.completed
+	res.Measured = len(res.Latencies)
+	if res.Measured == 0 {
+		return fmt.Errorf("engine: warmup %d consumed all %d operations", warmup, m.completed)
+	}
+	res.SimTime = m.lastDone
+	res.Messages = r.MessagesTotal()
+	res.PeakInFlight = peakConcurrency(m.opStarts, m.opDones)
+	if thinAfter {
+		res.Series = thinSeries(res.Series, 64)
+	}
+	res.Loads = wallMeasuredLoads(r, m.baseSent, m.baseRecv)
+	res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	res.Arrivals = res.Ops + res.Dropped
+	if res.Arrivals > 0 {
+		res.DropRate = float64(res.Dropped) / float64(res.Arrivals)
+	}
+
+	window := res.SimTime - res.MeasureStart
+	if window < 1 {
+		window = 1
+	}
+	res.Throughput = float64(res.Measured) / float64(window) * 1e9 // ops/sec
+	res.Latency = summarizeLatencies(res.Latencies)
+	res.QueueDelay = summarizeLatencies(m.queueDelays)
+	res.ServiceLatency = summarizeLatencies(m.serviceLats)
+	return nil
+}
+
+// wallSampleNow takes one bottleneck-series point from a load snapshot.
+// Unlike the simulator's O(1) incremental tracker this is an O(n) scan, but
+// the wall drivers sample at the same thinned stride.
+func wallSampleNow(r *rt.Runtime, completed, inFlight, queueDepth int) Sample {
+	sent, recv := r.Loads()
+	var (
+		bottleneck int
+		maxLoad    int64
+		sum        int64
+	)
+	for p := 1; p < len(sent); p++ {
+		l := sent[p] + recv[p]
+		sum += l
+		if l > maxLoad {
+			maxLoad, bottleneck = l, p
+		}
+	}
+	return Sample{
+		SimTime:        r.NowNs(),
+		Completed:      completed,
+		Bottleneck:     bottleneck,
+		BottleneckLoad: maxLoad,
+		MeanLoad:       float64(sum) / float64(r.N()),
+		InFlight:       inFlight,
+		QueueDepth:     queueDepth,
+	}
+}
+
+// wallMeasuredLoads is measuredLoads over the runtime's counters.
+func wallMeasuredLoads(r *rt.Runtime, baseSent, baseRecv []int64) loadstat.Summary {
+	sent, recv := r.Loads()
+	if baseSent != nil {
+		for p := range sent {
+			sent[p] -= baseSent[p]
+			recv[p] -= baseRecv[p]
+		}
+	}
+	return loadstat.Summarize(sent, recv)
+}

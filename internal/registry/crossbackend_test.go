@@ -1,0 +1,91 @@
+package registry_test
+
+import (
+	"testing"
+
+	"distcount/internal/engine"
+	"distcount/internal/registry"
+	"distcount/internal/rt"
+	"distcount/internal/workload"
+)
+
+// TestCrossBackendEquivalence runs every registered algorithm on both
+// execution backends — the discrete-event simulator and the goroutine-per-
+// processor rt runtime — under the same per-initiator operation sequence
+// (same scenario, same seed), and checks that both complete every operation
+// and that verify.Evaluate passes at the algorithm's claimed consistency
+// level on both. The sim run checks the property on a simulated
+// interleaving; the rt run re-checks it on a real one, which is the point:
+// a protocol whose correctness secretly leaned on the simulator's single
+// thread fails here (run under -race in CI's rt smoke job).
+func TestCrossBackendEquivalence(t *testing.T) {
+	const ops = 160
+	for _, name := range registry.Names() {
+		t.Run(name, func(t *testing.T) {
+			cfg := registry.Concurrent()
+
+			simC, err := registry.NewWith(name, 8, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtCfg := cfg
+			rtCfg.Backend = "rt"
+			rtC, err := registry.NewWith(name, 8, rtCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := rtC.(*rt.Runtime)
+			if !ok {
+				t.Fatalf("rt backend built %T, want *rt.Runtime", rtC)
+			}
+			if simC.N() != r.N() {
+				t.Fatalf("backend sizes differ: sim n=%d, rt n=%d", simC.N(), r.N())
+			}
+
+			wl := workload.Config{N: simC.N(), Ops: ops, Seed: 7, MeanGap: 4}
+			ecfg := engine.Config{InFlight: simC.N(), Verify: true}
+
+			simGen, err := workload.New("uniform", wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := engine.Run(simC, simGen, ecfg)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+
+			rtGen, err := workload.New("uniform", wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtRes, err := engine.RunWall(r, rtGen, ecfg)
+			if err != nil {
+				t.Fatalf("rt run: %v", err)
+			}
+
+			if simRes.Ops != ops || rtRes.Ops != ops {
+				t.Fatalf("completed ops differ: sim %d, rt %d, want %d", simRes.Ops, rtRes.Ops, ops)
+			}
+			for backend, res := range map[string]*engine.Result{"sim": simRes, "rt": rtRes} {
+				v := res.Verification
+				if v == nil {
+					t.Fatalf("%s: no verification report", backend)
+				}
+				if v.Ops != ops {
+					t.Errorf("%s: verified %d ops, want %d", backend, v.Ops, ops)
+				}
+				if v.Missing != 0 {
+					t.Errorf("%s: %d completed ops had no value", backend, v.Missing)
+				}
+				if v.Violations != 0 {
+					t.Errorf("%s: %d violations of %s (first: %s)", backend, v.Violations, v.Property, v.First)
+				}
+			}
+			// Both backends claim the same property for the same machine.
+			if simRes.Verification.Property != rtRes.Verification.Property {
+				t.Errorf("claimed property differs: sim %q, rt %q",
+					simRes.Verification.Property, rtRes.Verification.Property)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ package registry
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"distcount/internal/core"
 	"distcount/internal/counter"
@@ -26,6 +27,7 @@ import (
 	"distcount/internal/counters/quorumctr"
 	"distcount/internal/counters/tokenring"
 	"distcount/internal/quorum"
+	"distcount/internal/rt"
 	"distcount/internal/sim"
 )
 
@@ -44,6 +46,22 @@ type Config struct {
 	Checks bool
 	// SimOpts are forwarded to the underlying network.
 	SimOpts []sim.Option
+	// Backend selects the execution backend: "" or "sim" builds the
+	// discrete-event simulator (deterministic, simulated time); "rt" builds
+	// the goroutine-per-processor real-hardware runtime (internal/rt),
+	// which runs the identical protocol state machine on real cores with
+	// wall-clock time. The rt backend ignores SimOpts and Checks (the ctree
+	// lemma instrumentation assumes the sequential simulated model); its
+	// analogs of the service-time options are RTService and RTTick.
+	Backend string
+	// RTTick is the rt backend's wall-clock duration of one simulated tick
+	// (protocol delays and service costs are written in ticks on both
+	// backends). Zero keeps the backend default, 1 microsecond.
+	RTTick time.Duration
+	// RTService is the rt backend's per-processor service cost in ticks —
+	// the analog of sim.WithServiceProfile, emulated by busy-spinning the
+	// receiving goroutine per network message. Nil means no emulated cost.
+	RTService func(p sim.ProcID) int64
 }
 
 // Sequential returns the construction regime of the paper's model: windows
@@ -80,6 +98,10 @@ type Factory func(n int, cfg Config) counter.Async
 // study layer keys on.
 type algorithm struct {
 	build Factory
+	// machine builds the backend-independent protocol descriptor the rt
+	// backend wraps in goroutines — the same state machine build wires into
+	// a simulated network.
+	machine func(n int, cfg Config) counter.Machine
 	// windowed marks the constructions that consume Config.Window — the
 	// request-merging schemes, whose capacity is set by how many concurrent
 	// requests a node may merge rather than by a fixed per-op message count.
@@ -89,12 +111,26 @@ type algorithm struct {
 // algorithms maps names to registry entries. Keep in sync with the
 // documentation in the README's "algorithms" section.
 func algorithms() map[string]algorithm {
+	quorumEntry := func(sys func(n int) quorum.System) algorithm {
+		return algorithm{
+			build: func(n int, cfg Config) counter.Async {
+				return quorumctr.New(sys(n), cfg.SimOpts...)
+			},
+			machine: func(n int, cfg Config) counter.Machine {
+				return quorumctr.NewMachine(sys(n))
+			},
+		}
+	}
 	return map[string]algorithm{
 		"central": {build: func(n int, cfg Config) counter.Async {
 			return central.New(n, central.WithSimOptions(cfg.SimOpts...))
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return central.NewMachine(n)
 		}},
 		"tokenring": {build: func(n int, cfg Config) counter.Async {
 			return tokenring.New(n, cfg.SimOpts...)
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return tokenring.NewMachine(n)
 		}},
 		"ctree": {build: func(n int, cfg Config) counter.Async {
 			opts := []core.Option{core.WithSimOptions(cfg.SimOpts...)}
@@ -102,36 +138,39 @@ func algorithms() map[string]algorithm {
 				opts = append(opts, core.WithoutChecks())
 			}
 			return core.NewForSize(n, opts...)
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return core.NewMachine(n)
 		}},
 		"combining": {windowed: true, build: func(n int, cfg Config) counter.Async {
 			return combining.New(n, combining.WithWindow(cfg.Window), combining.WithSimOptions(cfg.SimOpts...))
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return combining.NewMachine(n, combining.WithWindow(cfg.Window))
 		}},
 		"cnet": {build: func(n int, cfg Config) counter.Async {
 			return cnet.New(n, cnet.WithSimOptions(cfg.SimOpts...))
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return cnet.NewMachine(n)
 		}},
 		"cnet-periodic": {build: func(n int, cfg Config) counter.Async {
 			return cnet.New(n, cnet.WithConstruction(cnet.Periodic), cnet.WithSimOptions(cfg.SimOpts...))
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return cnet.NewMachine(n, cnet.WithConstruction(cnet.Periodic))
 		}},
 		"difftree": {windowed: true, build: func(n int, cfg Config) counter.Async {
 			return difftree.New(n, difftree.WithWindow(cfg.Window), difftree.WithSimOptions(cfg.SimOpts...))
+		}, machine: func(n int, cfg Config) counter.Machine {
+			return difftree.NewMachine(n, difftree.WithWindow(cfg.Window))
 		}},
-		"quorum-singleton": {build: func(n int, cfg Config) counter.Async {
-			return quorumctr.New(quorum.NewSingleton(n), cfg.SimOpts...)
-		}},
-		"quorum-majority": {build: func(n int, cfg Config) counter.Async {
-			return quorumctr.New(quorum.NewMajority(n), cfg.SimOpts...)
-		}},
-		"quorum-grid": {build: func(n int, cfg Config) counter.Async {
-			return quorumctr.New(quorum.NewGrid(n), cfg.SimOpts...)
-		}},
-		"quorum-tree": {build: func(n int, cfg Config) counter.Async {
-			return quorumctr.New(quorum.NewTree(n), cfg.SimOpts...)
-		}},
-		"quorum-wall": {build: func(n int, cfg Config) counter.Async {
-			return quorumctr.New(quorum.NewWall(n), cfg.SimOpts...)
-		}},
+		"quorum-singleton": quorumEntry(func(n int) quorum.System { return quorum.NewSingleton(n) }),
+		"quorum-majority":  quorumEntry(func(n int) quorum.System { return quorum.NewMajority(n) }),
+		"quorum-grid":      quorumEntry(func(n int) quorum.System { return quorum.NewGrid(n) }),
+		"quorum-tree":      quorumEntry(func(n int) quorum.System { return quorum.NewTree(n) }),
+		"quorum-wall":      quorumEntry(func(n int) quorum.System { return quorum.NewWall(n) }),
 	}
 }
+
+// Backends returns the selectable execution backends.
+func Backends() []string { return []string{"sim", "rt"} }
 
 // Names returns all registered algorithm names, sorted.
 func Names() []string {
@@ -174,7 +213,31 @@ func NewWith(name string, n int, cfg Config) (counter.Async, error) {
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown algorithm %q (have %v)", name, Names())
 	}
-	return a.build(n, cfg), nil
+	switch cfg.Backend {
+	case "", "sim":
+		return a.build(n, cfg), nil
+	case "rt":
+		var opts []rt.Option
+		if cfg.RTTick > 0 {
+			opts = append(opts, rt.WithTick(cfg.RTTick))
+		}
+		if cfg.RTService != nil {
+			opts = append(opts, rt.WithServiceProfile(cfg.RTService))
+		}
+		return rt.New(a.machine(n, cfg), opts...), nil
+	}
+	return nil, fmt.Errorf("registry: unknown backend %q (have %v)", cfg.Backend, Backends())
+}
+
+// NewMachine builds the named algorithm's backend-independent protocol
+// descriptor — the state machine both backends wrap. Window-sensitive
+// algorithms consume cfg.Window exactly as in NewWith.
+func NewMachine(name string, n int, cfg Config) (counter.Machine, error) {
+	a, ok := algorithms()[name]
+	if !ok {
+		return counter.Machine{}, fmt.Errorf("registry: unknown algorithm %q (have %v)", name, Names())
+	}
+	return a.machine(n, cfg), nil
 }
 
 // New builds the named counter in the sequential regime of the paper's

@@ -1,0 +1,589 @@
+// Package rt is the real-hardware execution backend: it runs the same
+// counter protocols as the discrete-event simulator (internal/sim), but on
+// real cores — one goroutine per processor, messages passed through
+// per-processor mailboxes, time measured by the wall clock.
+//
+// The protocol code is shared, not ported. Every algorithm is described by
+// a counter.Machine (its sim.Protocol, initiation callback and value
+// reader); the simulator wraps the machine in a single-threaded event queue
+// with simulated time, while this package wraps the identical machine in
+// goroutines and channels. The sim.Transport interface is the seam: a
+// delivery callback cannot tell which backend it runs on, so consistency
+// properties verified on simulated interleavings (internal/verify) can be
+// re-checked on real ones — under the race detector — and the simulator's
+// predicted saturation knees can be compared against knees measured in
+// operations per second on actual hardware (loadgen -study simvsreal).
+//
+// # Execution model
+//
+// Each processor p in 1..n owns one goroutine and one unbounded FIFO
+// mailbox. Send appends to the destination's mailbox; the destination's
+// goroutine delivers messages in arrival order by calling the protocol's
+// Deliver with a Transport view whose CurrentOp is the operation the
+// message is attributed to. Mailboxes are unbounded deliberately: the
+// protocols exchange cyclic request/reply patterns, and a bounded channel
+// could deadlock two processors sending to each other's full queues. The
+// paper's model (Section 2) promises unbounded local memory and finite but
+// unbounded message delay, which is exactly what an unbounded mailbox plus
+// the Go scheduler provides.
+//
+// Operation accounting mirrors the simulator event for event: an operation
+// is open while it has pending attributed work (its initiation callback,
+// in-flight attributed messages and timers, and Adopt holds); when the
+// count reaches zero the operation is complete and the OnOpDone callback
+// fires. The per-message service cost of sim.WithServiceTime is emulated by
+// busy-spinning the receiving goroutine for cost x tick per network
+// message, which reproduces the serial-server bottleneck — the paper's
+// hot-spot — on real cores.
+//
+// Machines flagged Serial (token ring, the paper's tree) have handlers
+// that touch state owned by other processors; the simulator's single thread
+// hides that, so this backend serializes all their protocol callbacks under
+// one mutex. Message passing and service spinning still run concurrently.
+//
+// # Time
+//
+// Transport.Now returns wall-clock nanoseconds since the runtime started.
+// Protocol-visible delays (After, AfterDetached, service costs) are written
+// in simulated ticks; the runtime scales them by the configured tick
+// duration (WithTick, default 1 microsecond — so a tick-1 service cost caps
+// a processor near 10^6 messages/second, the scale of SNIPPETS.md's
+// million-increments-per-second shared counters). Note that real timers
+// have coarser resolution than the discrete-event queue: a merge window of
+// w ticks opens for at least w x tick, usually somewhat longer.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// DefaultTick is the wall-clock duration of one simulated tick.
+const DefaultTick = time.Microsecond
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithTick sets the wall-clock duration of one simulated tick, the unit of
+// protocol delays (After) and emulated service costs. Non-positive values
+// keep the default.
+func WithTick(d time.Duration) Option {
+	return func(r *Runtime) {
+		if d > 0 {
+			r.tick = d
+		}
+	}
+}
+
+// WithService sets a uniform per-message service cost in ticks: every
+// network message occupies its receiving goroutine for cost x tick of wall
+// time (busy-spun, so the core is genuinely consumed). Zero means messages
+// are handled as fast as the hardware allows.
+func WithService(cost int64) Option {
+	return WithServiceProfile(func(sim.ProcID) int64 { return cost })
+}
+
+// WithServiceProfile sets a per-processor service cost in ticks, the rt
+// analog of sim.WithServiceProfile: heterogeneous profiles (a straggler, a
+// slow half) move the bottleneck exactly as they do in the simulator.
+func WithServiceProfile(cost func(p sim.ProcID) int64) Option {
+	return func(r *Runtime) { r.svcProfile = cost }
+}
+
+// OpDone reports one completed operation to the OnOpDone callback. Times
+// are wall-clock nanoseconds since the runtime started.
+type OpDone struct {
+	ID        sim.OpID
+	Initiator sim.ProcID
+	// StartNs is when the operation was injected (Start called), DoneNs
+	// when its last attributed work finished.
+	StartNs, DoneNs int64
+	// Messages is the number of network messages attributed to the
+	// operation.
+	Messages int64
+}
+
+// opRec is the runtime's record of one in-flight operation. pending counts
+// open attributed work exactly like the simulator's per-op event count:
+// +1 at injection (released when the initiation callback returns), +1 per
+// attributed message or timer (released when its delivery returns), +1 per
+// Adopt hold (released by Release, or transferred to a SendAs message and
+// released when that delivery returns). The transition to zero completes
+// the operation, exactly once, on whichever goroutine performed it.
+type opRec struct {
+	id        sim.OpID
+	initiator sim.ProcID
+	startNs   int64
+	doneNs    int64
+	pending   int32
+	msgs      int64
+	waiter    chan<- OpDone // synchronous Inc; nil otherwise
+}
+
+// item is one mailbox entry: an initiation callback (start) or a message
+// delivery, attributed to rec (nil = detached maintenance work).
+type item struct {
+	msg   sim.Message
+	rec   *opRec
+	start bool
+}
+
+// processor is one mailbox + goroutine pair.
+type processor struct {
+	p       sim.ProcID
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []item
+	stopped bool
+}
+
+// Runtime executes one counter.Machine on real goroutines. It implements
+// counter.Valued, so the workload engine's wall-clock drivers and the
+// verification layer use it like any simulator-backed counter — except that
+// Net returns nil (there is no simulated network to introspect) and Start
+// ignores its scheduling time (real time cannot be fast-forwarded; the
+// wall-clock drivers pace admission themselves).
+//
+// A Runtime is live from New until Close: its goroutines exist even while
+// no operation is in flight. Close must be called at quiescence (every
+// started operation completed); operations still open at Close never
+// complete.
+type Runtime struct {
+	m          counter.Machine
+	n          int
+	tick       time.Duration
+	svcProfile func(p sim.ProcID) int64
+	svc        []int64 // resolved per-processor service cost in ticks
+
+	procs []*processor // 1..n
+	wg    sync.WaitGroup
+	// serial, when non-nil, is held around every protocol callback
+	// (Machine.Serial).
+	serial *sync.Mutex
+
+	start   time.Time
+	nextOp  int64
+	started int64
+	closed  int32
+
+	opsMu sync.Mutex
+	ops   map[sim.OpID]*opRec
+
+	onDone func(OpDone)
+
+	sent, recv []int64 // per-processor message loads, updated atomically
+	msgTotal   int64
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+}
+
+var _ counter.Valued = (*Runtime)(nil)
+
+// New builds a runtime for the machine and starts its processor goroutines.
+func New(m counter.Machine, opts ...Option) *Runtime {
+	if m.Proto == nil || m.Initiate == nil || m.N < 1 {
+		panic("rt: incomplete machine (need Proto, Initiate, N >= 1)")
+	}
+	r := &Runtime{
+		m:      m,
+		n:      m.N,
+		tick:   DefaultTick,
+		ops:    make(map[sim.OpID]*opRec),
+		sent:   make([]int64, m.N+1),
+		recv:   make([]int64, m.N+1),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.svc = make([]int64, r.n+1)
+	if r.svcProfile != nil {
+		for p := 1; p <= r.n; p++ {
+			if c := r.svcProfile(sim.ProcID(p)); c > 0 {
+				r.svc[p] = c
+			}
+		}
+	}
+	if m.Serial {
+		r.serial = &sync.Mutex{}
+	}
+	r.procs = make([]*processor, r.n+1)
+	r.start = time.Now()
+	for p := 1; p <= r.n; p++ {
+		pr := &processor{p: sim.ProcID(p)}
+		pr.cond = sync.NewCond(&pr.mu)
+		r.procs[p] = pr
+		r.wg.Add(1)
+		go r.loop(pr)
+	}
+	return r
+}
+
+// Name implements counter.Counter.
+func (r *Runtime) Name() string { return r.m.Name }
+
+// N implements counter.Counter.
+func (r *Runtime) N() int { return r.n }
+
+// Net implements counter.Counter. The rt backend has no simulated network;
+// callers that need one (trace recording, the sequential paper-model tools)
+// must build the sim backend instead.
+func (r *Runtime) Net() *sim.Network { return nil }
+
+// Tick returns the wall-clock duration of one simulated tick.
+func (r *Runtime) Tick() time.Duration { return r.tick }
+
+// NowNs returns wall-clock nanoseconds since the runtime started.
+func (r *Runtime) NowNs() int64 { return time.Since(r.start).Nanoseconds() }
+
+// Ops returns the number of operations started so far.
+func (r *Runtime) Ops() int { return int(atomic.LoadInt64(&r.started)) }
+
+// MessagesTotal returns the total number of network messages sent so far.
+func (r *Runtime) MessagesTotal() int64 { return atomic.LoadInt64(&r.msgTotal) }
+
+// Loads returns a snapshot of the per-processor sent and received message
+// counts (1-indexed, length n+1) — the paper's m_p split into its two
+// halves, as Network.Sent/Recv report for the sim backend.
+func (r *Runtime) Loads() (sent, recv []int64) {
+	sent = make([]int64, r.n+1)
+	recv = make([]int64, r.n+1)
+	for p := 1; p <= r.n; p++ {
+		sent[p] = atomic.LoadInt64(&r.sent[p])
+		recv[p] = atomic.LoadInt64(&r.recv[p])
+	}
+	return sent, recv
+}
+
+// OnOpDone registers the completion callback. It must be set before the
+// first Start and not changed while operations are in flight; the callback
+// runs on processor goroutines and must not block for long (the engine's
+// drivers hand the event to a buffered channel).
+func (r *Runtime) OnOpDone(fn func(OpDone)) { r.onDone = fn }
+
+// StartNow injects one increment by p and returns its operation id without
+// waiting. Completion is observable via OnOpDone. Callers must keep at most
+// one operation per initiator in flight (counter.Ops.Begin panics on
+// overlap, as on the sim backend).
+func (r *Runtime) StartNow(p sim.ProcID) sim.OpID {
+	return r.startWith(p, nil)
+}
+
+// Start implements counter.Async. Real time cannot be scheduled ahead, so
+// the at argument is ignored and the operation starts immediately; the
+// wall-clock engine drivers pace their Start calls in real time instead.
+func (r *Runtime) Start(at int64, p sim.ProcID) sim.OpID {
+	return r.startWith(p, nil)
+}
+
+// Inc implements counter.Counter: it runs one increment synchronously and
+// returns the delivered value. Unlike the sim backend's Inc it does not
+// drain other in-flight operations — it only waits for its own.
+func (r *Runtime) Inc(p sim.ProcID) (int, error) {
+	if p < 1 || int(p) > r.n {
+		return 0, fmt.Errorf("rt: processor %v outside [1,%d]", p, r.n)
+	}
+	ch := make(chan OpDone, 1)
+	id := r.startWith(p, ch)
+	<-ch
+	if r.m.Value == nil {
+		return 0, fmt.Errorf("rt: machine %q records no values", r.m.Name)
+	}
+	v, ok := r.m.Value(id)
+	if !ok {
+		return 0, fmt.Errorf("rt: op %d completed without a value", id)
+	}
+	return v, nil
+}
+
+// OpValue implements counter.Valued.
+func (r *Runtime) OpValue(id sim.OpID) (int, bool) {
+	if r.m.Value == nil {
+		return 0, false
+	}
+	return r.m.Value(id)
+}
+
+// Consistency implements counter.Valued: the machine's claimed level.
+func (r *Runtime) Consistency() counter.Consistency { return r.m.Level }
+
+func (r *Runtime) startWith(p sim.ProcID, waiter chan<- OpDone) sim.OpID {
+	if atomic.LoadInt32(&r.closed) != 0 {
+		panic("rt: Start after Close")
+	}
+	if p < 1 || int(p) > r.n {
+		panic(fmt.Sprintf("rt: processor %v outside [1,%d]", p, r.n))
+	}
+	id := sim.OpID(atomic.AddInt64(&r.nextOp, 1))
+	rec := &opRec{id: id, initiator: p, startNs: r.NowNs(), pending: 1, waiter: waiter}
+	r.opsMu.Lock()
+	r.ops[id] = rec
+	r.opsMu.Unlock()
+	atomic.AddInt64(&r.started, 1)
+	r.enqueue(p, item{rec: rec, start: true})
+	return id
+}
+
+// Close stops every processor goroutine and cancels detached timers. It
+// must be called at quiescence: operations still in flight never complete
+// (their remaining messages are dropped at the stopped mailboxes).
+func (r *Runtime) Close() {
+	if !atomic.CompareAndSwapInt32(&r.closed, 0, 1) {
+		return
+	}
+	r.timerMu.Lock()
+	for t := range r.timers {
+		t.Stop()
+	}
+	r.timers = nil
+	r.timerMu.Unlock()
+	for p := 1; p <= r.n; p++ {
+		pr := r.procs[p]
+		pr.mu.Lock()
+		pr.stopped = true
+		pr.cond.Broadcast()
+		pr.mu.Unlock()
+	}
+	r.wg.Wait()
+}
+
+// enqueue appends an item to processor p's mailbox. After Close the item is
+// dropped — only detached maintenance work can still be in motion then.
+func (r *Runtime) enqueue(p sim.ProcID, it item) {
+	pr := r.procs[p]
+	pr.mu.Lock()
+	if pr.stopped {
+		pr.mu.Unlock()
+		return
+	}
+	pr.queue = append(pr.queue, it)
+	if len(pr.queue) == 1 {
+		pr.cond.Signal()
+	}
+	pr.mu.Unlock()
+}
+
+// loop is one processor's goroutine: drain the mailbox in arrival order,
+// delivering each item through a Transport view bound to this processor.
+func (r *Runtime) loop(pr *processor) {
+	defer r.wg.Done()
+	view := &procView{r: r, p: pr.p}
+	var batch []item
+	for {
+		pr.mu.Lock()
+		for len(pr.queue) == 0 && !pr.stopped {
+			pr.cond.Wait()
+		}
+		if len(pr.queue) == 0 && pr.stopped {
+			pr.mu.Unlock()
+			return
+		}
+		batch, pr.queue = pr.queue, batch[:0]
+		pr.mu.Unlock()
+		for i := range batch {
+			r.deliver(view, batch[i])
+			batch[i] = item{} // drop the opRec reference
+		}
+	}
+}
+
+// deliver runs one mailbox item: service emulation, then the protocol
+// callback, then the pending release that may complete the operation —
+// the same order as the simulator's event delivery.
+func (r *Runtime) deliver(view *procView, it item) {
+	network := !it.start && !it.msg.Local
+	if network {
+		atomic.AddInt64(&r.recv[view.p], 1)
+		if c := r.svc[view.p]; c > 0 {
+			spin(time.Duration(c) * r.tick)
+		}
+	}
+	view.cur = it.rec
+	if r.serial != nil {
+		r.serial.Lock()
+	}
+	if it.start {
+		r.m.Initiate(view, view.p)
+	} else {
+		r.m.Proto.Deliver(view, it.msg)
+	}
+	if r.serial != nil {
+		r.serial.Unlock()
+	}
+	view.cur = nil
+	if it.rec != nil {
+		r.opRelease(it.rec)
+	}
+}
+
+// opRelease retires one unit of pending attributed work; the transition to
+// zero completes the operation.
+func (r *Runtime) opRelease(rec *opRec) {
+	if atomic.AddInt32(&rec.pending, -1) > 0 {
+		return
+	}
+	rec.doneNs = r.NowNs()
+	r.opsMu.Lock()
+	delete(r.ops, rec.id)
+	r.opsMu.Unlock()
+	d := OpDone{
+		ID:        rec.id,
+		Initiator: rec.initiator,
+		StartNs:   rec.startNs,
+		DoneNs:    rec.doneNs,
+		Messages:  atomic.LoadInt64(&rec.msgs),
+	}
+	if rec.waiter != nil {
+		rec.waiter <- d
+	}
+	if r.onDone != nil {
+		r.onDone(d)
+	}
+}
+
+func (r *Runtime) lookup(id sim.OpID) *opRec {
+	r.opsMu.Lock()
+	rec := r.ops[id]
+	r.opsMu.Unlock()
+	return rec
+}
+
+// scheduleTimer arms a wall-clock timer that re-enters processor p's
+// mailbox as a local message. Attributed timers (rec != nil) already hold a
+// pending unit taken by After.
+func (r *Runtime) scheduleTimer(p sim.ProcID, delay int64, pl sim.Payload, rec *opRec) {
+	d := time.Duration(delay) * r.tick
+	if d < 0 {
+		d = 0
+	}
+	r.timerMu.Lock()
+	if r.timers == nil { // closed: only detached maintenance gets here
+		r.timerMu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		r.timerMu.Lock()
+		delete(r.timers, t)
+		r.timerMu.Unlock()
+		r.enqueue(p, item{msg: sim.Message{From: p, To: p, Payload: pl, Local: true}, rec: rec})
+	})
+	r.timers[t] = struct{}{}
+	r.timerMu.Unlock()
+}
+
+// spin busy-waits for d, consuming the goroutine's core — the emulated
+// per-message processing cost. Sleeping would free the core and let the
+// scheduler hide the serial-server bottleneck the emulation exists to
+// expose; at microsecond scale the sleep granularity would also swamp the
+// cost being modelled.
+func spin(d time.Duration) {
+	for t0 := time.Now(); time.Since(t0) < d; {
+	}
+}
+
+// procView is the sim.Transport implementation handed to protocol
+// callbacks: it is owned by one processor's goroutine and carries the
+// operation the current delivery is attributed to. All Transport methods
+// are called from that goroutine only (the interface's calling discipline).
+type procView struct {
+	r   *Runtime
+	p   sim.ProcID
+	cur *opRec // operation of the executing callback; nil when detached
+}
+
+var _ sim.Transport = (*procView)(nil)
+
+// N implements sim.Transport.
+func (v *procView) N() int { return v.r.n }
+
+// Now implements sim.Transport: wall-clock nanoseconds since the runtime
+// started.
+func (v *procView) Now() int64 { return v.r.NowNs() }
+
+// CurrentOp implements sim.Transport.
+func (v *procView) CurrentOp() sim.OpID {
+	if v.cur == nil {
+		return 0
+	}
+	return v.cur.id
+}
+
+// Send implements sim.Transport: the message is appended to the
+// destination's mailbox and, when the executing callback belongs to an
+// operation, attributed to it (one pending unit, released when the
+// delivery returns — the simulator's accounting exactly).
+func (v *procView) Send(to sim.ProcID, pl sim.Payload) {
+	if to < 1 || int(to) > v.r.n {
+		panic(fmt.Sprintf("rt: send to processor %v outside [1,%d]", to, v.r.n))
+	}
+	rec := v.cur
+	if rec != nil {
+		atomic.AddInt32(&rec.pending, 1)
+		atomic.AddInt64(&rec.msgs, 1)
+	}
+	atomic.AddInt64(&v.r.sent[v.p], 1)
+	atomic.AddInt64(&v.r.msgTotal, 1)
+	v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
+}
+
+// Adopt implements sim.Transport: it takes an extra pending unit on the
+// current operation, keeping it open until SendAs transfers the unit to a
+// message or Release discards it.
+func (v *procView) Adopt() sim.OpToken {
+	if v.cur == nil {
+		panic("rt: Adopt outside an operation")
+	}
+	atomic.AddInt32(&v.cur.pending, 1)
+	return sim.TokenFor(v.cur.id)
+}
+
+// SendAs implements sim.Transport: Send attributed to the adopted
+// operation. The token's pending hold transfers to the in-flight message
+// (no new unit taken; the delivery's return releases it).
+func (v *procView) SendAs(tok sim.OpToken, to sim.ProcID, pl sim.Payload) {
+	if to < 1 || int(to) > v.r.n {
+		panic(fmt.Sprintf("rt: send to processor %v outside [1,%d]", to, v.r.n))
+	}
+	rec := v.r.lookup(tok.Op())
+	if rec == nil {
+		panic(fmt.Sprintf("rt: SendAs with spent or unknown token (op %d)", tok.Op()))
+	}
+	atomic.AddInt64(&rec.msgs, 1)
+	atomic.AddInt64(&v.r.sent[v.p], 1)
+	atomic.AddInt64(&v.r.msgTotal, 1)
+	v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
+}
+
+// Release implements sim.Transport: it discards an adopted hold, possibly
+// completing the operation.
+func (v *procView) Release(tok sim.OpToken) {
+	rec := v.r.lookup(tok.Op())
+	if rec == nil {
+		panic(fmt.Sprintf("rt: Release of spent or unknown token (op %d)", tok.Op()))
+	}
+	v.r.opRelease(rec)
+}
+
+// After implements sim.Transport: a local wakeup for this processor after
+// delay ticks of wall time, attributed to (and keeping open) the current
+// operation.
+func (v *procView) After(delay int64, pl sim.Payload) {
+	rec := v.cur
+	if rec != nil {
+		atomic.AddInt32(&rec.pending, 1)
+	}
+	v.r.scheduleTimer(v.p, delay, pl, rec)
+}
+
+// AfterDetached implements sim.Transport: a maintenance wakeup belonging to
+// no operation.
+func (v *procView) AfterDetached(delay int64, pl sim.Payload) {
+	v.r.scheduleTimer(v.p, delay, pl, nil)
+}

@@ -1,0 +1,133 @@
+package rt_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"distcount/internal/core"
+	"distcount/internal/counter"
+	"distcount/internal/counters/central"
+	"distcount/internal/counters/cnet"
+	"distcount/internal/counters/combining"
+	"distcount/internal/counters/difftree"
+	"distcount/internal/counters/quorumctr"
+	"distcount/internal/counters/tokenring"
+	"distcount/internal/quorum"
+	"distcount/internal/rt"
+	"distcount/internal/sim"
+)
+
+// machines returns every algorithm family as a backend-independent machine
+// over (at least) n processors, windows open for the request-merging
+// schemes.
+func machines(n int) []counter.Machine {
+	return []counter.Machine{
+		central.NewMachine(n),
+		tokenring.NewMachine(n),
+		core.NewMachine(n),
+		combining.NewMachine(n, combining.WithWindow(4)),
+		difftree.NewMachine(n, difftree.WithWindow(4)),
+		cnet.NewMachine(n),
+		quorumctr.NewMachine(quorum.NewMajority(n)),
+	}
+}
+
+// TestSequentialInc runs each machine one synchronous increment at a time —
+// the paper's sequential model — and expects the values 0..ops-1 in order
+// (every algorithm is sequentially correct).
+func TestSequentialInc(t *testing.T) {
+	const n, ops = 8, 24
+	for _, m := range machines(n) {
+		t.Run(m.Name, func(t *testing.T) {
+			r := rt.New(m)
+			defer r.Close()
+			for i := 0; i < ops; i++ {
+				p := sim.ProcID(i%r.N() + 1)
+				got, err := r.Inc(p)
+				if err != nil {
+					t.Fatalf("inc %d by %v: %v", i, p, err)
+				}
+				if got != i {
+					t.Fatalf("inc %d by %v: got %d", i, p, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentOps starts one operation per processor at once — real
+// concurrency, real interleavings — and checks that every operation
+// completes and yields a value. Value-correctness under concurrency is the
+// cross-backend equivalence test's business (internal/registry); here the
+// runtime's accounting is under test.
+func TestConcurrentOps(t *testing.T) {
+	const n = 8
+	for _, m := range machines(n) {
+		t.Run(m.Name, func(t *testing.T) {
+			r := rt.New(m)
+			defer r.Close()
+			var (
+				mu   sync.Mutex
+				done = make(chan struct{})
+				ids  []sim.OpID
+			)
+			r.OnOpDone(func(d rt.OpDone) {
+				mu.Lock()
+				ids = append(ids, d.ID)
+				if len(ids) == r.N() {
+					close(done)
+				}
+				mu.Unlock()
+			})
+			for p := 1; p <= r.N(); p++ {
+				r.StartNow(sim.ProcID(p))
+			}
+			<-done
+			mu.Lock()
+			defer mu.Unlock()
+			vals := make([]int, 0, len(ids))
+			for _, id := range ids {
+				v, ok := r.OpValue(id)
+				if !ok {
+					t.Fatalf("op %d completed without a value", id)
+				}
+				vals = append(vals, v)
+			}
+			sort.Ints(vals)
+			for i, v := range vals[:len(vals)-1] {
+				if vals[i+1] == v {
+					t.Logf("duplicate value %d (claimed level %v)", v, m.Level)
+					break
+				}
+			}
+			if r.Ops() != r.N() {
+				t.Fatalf("Ops() = %d, want %d", r.Ops(), r.N())
+			}
+			if r.MessagesTotal() == 0 {
+				t.Fatalf("no messages counted")
+			}
+		})
+	}
+}
+
+// TestLoadsAccounting checks that the central counter's bottleneck shows up
+// in the rt load counters just as it does in the simulator: the holder's
+// receive count equals the number of requests from other processors.
+func TestLoadsAccounting(t *testing.T) {
+	const n, ops = 4, 12
+	r := rt.New(central.NewMachine(n))
+	defer r.Close()
+	for i := 0; i < ops; i++ {
+		if _, err := r.Inc(sim.ProcID(i%(n-1) + 2)); err != nil { // never the holder
+			t.Fatal(err)
+		}
+	}
+	sent, recv := r.Loads()
+	if recv[1] != ops {
+		t.Errorf("holder recv = %d, want %d", recv[1], ops)
+	}
+	if sent[1] != ops {
+		t.Errorf("holder sent = %d, want %d", sent[1], ops)
+	}
+}

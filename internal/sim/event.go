@@ -9,7 +9,7 @@ type event struct {
 	msg    Message
 	op     OpID
 	parent int // trace node index of the sending event within op's DAG
-	start  func(nw *Network, p ProcID)
+	start  func(nw Transport, p ProcID)
 	// reserved marks a delivery deferred by the service-time model: the
 	// event holds a reservation for its receiver's service slot at `at`
 	// and must not be deferred again.

@@ -380,16 +380,19 @@ func (nw *Network) ForgetOp(id OpID) {
 // Ops returns the number of operations started so far.
 func (nw *Network) Ops() int { return int(nw.nextOp) }
 
+// Network implements the Transport surface protocols run against.
+var _ Transport = (*Network)(nil)
+
 // StartOp opens a new operation initiated by p: the start callback runs at
 // the current simulated time in p's execution context and typically sends
 // the operation's first message(s). It returns the operation id.
-func (nw *Network) StartOp(p ProcID, start func(nw *Network, p ProcID)) OpID {
+func (nw *Network) StartOp(p ProcID, start func(nw Transport, p ProcID)) OpID {
 	return nw.ScheduleOp(nw.now, p, start)
 }
 
 // ScheduleOp is StartOp at an absolute future time; it is the injection
 // mechanism for the concurrent experiments.
-func (nw *Network) ScheduleOp(at int64, p ProcID, start func(nw *Network, p ProcID)) OpID {
+func (nw *Network) ScheduleOp(at int64, p ProcID, start func(nw Transport, p ProcID)) OpID {
 	nw.checkProc(p, "ScheduleOp")
 	if at < nw.now {
 		panic(fmt.Sprintf("sim: ScheduleOp at %d is in the past (now %d)", at, nw.now))
@@ -478,6 +481,15 @@ type OpToken struct {
 
 // Valid reports whether the token holds an operation.
 func (t OpToken) Valid() bool { return t.op != 0 }
+
+// Op returns the operation the token continues (0 for an invalid token).
+func (t OpToken) Op() OpID { return t.op }
+
+// TokenFor builds a continuation token for the given operation with no DAG
+// position. It exists for alternative Transport implementations (the rt
+// backend keeps its own pending accounting and has no trace nodes); inside
+// the simulator, tokens must come from Adopt so the hold is counted.
+func TokenFor(op OpID) OpToken { return OpToken{op: op} }
 
 // Adopt captures the current operation as a continuation token and keeps
 // the operation open (pending) until the token is spent with SendAs or

@@ -18,7 +18,7 @@ type sinkProto struct {
 	senders    []ProcID
 }
 
-func (s *sinkProto) Deliver(nw *Network, msg Message) {
+func (s *sinkProto) Deliver(nw Transport, msg Message) {
 	s.deliveries = append(s.deliveries, nw.Now())
 	s.senders = append(s.senders, msg.From)
 }
@@ -30,8 +30,8 @@ func (s *sinkProto) CloneProtocol() Protocol {
 	}
 }
 
-func sendTo(target ProcID) func(nw *Network, p ProcID) {
-	return func(nw *Network, p ProcID) { nw.Send(target, sinkPayload{}) }
+func sendTo(target ProcID) func(nw Transport, p ProcID) {
+	return func(nw Transport, p ProcID) { nw.Send(target, sinkPayload{}) }
 }
 
 // TestServiceTimeSerializesReceiver: three messages reaching one processor
@@ -197,7 +197,7 @@ func TestServiceTimeAffectsOpCompletion(t *testing.T) {
 func TestServiceTimeExemptsLocalAndStarts(t *testing.T) {
 	tp := &timerProto{fired: new(int)}
 	nw := New(2, tp, WithServiceTime(50))
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.After(3, tickPayload{})
 	})
 	if err := nw.Run(); err != nil {

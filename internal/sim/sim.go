@@ -78,13 +78,52 @@ type Message struct {
 	Local bool
 }
 
-// Protocol is a distributed algorithm running on the network. Per-processor
+// Transport is the messaging surface a protocol runs against: everything a
+// Deliver or operation-start callback may do, and nothing more. The
+// discrete-event Network is one implementation (simulated time, single
+// thread); internal/rt's goroutine-per-processor runtime is the second
+// (wall-clock time, real concurrency). Protocols written against Transport
+// run unchanged on either.
+//
+// All methods except N, Now and CurrentOp must be called from within a
+// delivery or start callback, in the execution context of one processor.
+// On the rt backend that context is the receiving processor's goroutine,
+// so the single-threaded calling discipline carries over per processor.
+type Transport interface {
+	// N returns the number of processors.
+	N() int
+	// Now returns the current time: simulated ticks on the Network,
+	// wall-clock nanoseconds since the run began on the rt backend.
+	Now() int64
+	// CurrentOp returns the id of the operation the currently executing
+	// callback belongs to (0 outside a callback or in a detached timer).
+	CurrentOp() OpID
+	// Send transmits a message from the currently executing processor,
+	// attributed to the current operation.
+	Send(to ProcID, pl Payload)
+	// Adopt captures the current operation as a continuation token, keeping
+	// it open until the token is spent with SendAs or discarded with Release.
+	Adopt() OpToken
+	// SendAs is Send attributed to the adopted operation instead of the
+	// current one, spending the token.
+	SendAs(tok OpToken, to ProcID, pl Payload)
+	// Release discards an adopted continuation without sending.
+	Release(tok OpToken)
+	// After schedules a local wakeup for the current processor, attributed
+	// to (and keeping open) the current operation.
+	After(delay int64, pl Payload)
+	// AfterDetached is After for maintenance wakeups that belong to no
+	// operation.
+	AfterDetached(delay int64, pl Payload)
+}
+
+// Protocol is a distributed algorithm running on a transport. Per-processor
 // state is owned by the protocol; the contract — enforced by convention and
 // exercised by the tests — is that Deliver(nw, msg) reads and writes only
 // the local state of msg.To and communicates with other processors solely
 // via nw.Send.
 type Protocol interface {
-	Deliver(nw *Network, msg Message)
+	Deliver(nw Transport, msg Message)
 }
 
 // CloneableProtocol is implemented by protocols that support deep-copying

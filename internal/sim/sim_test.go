@@ -17,7 +17,7 @@ type pingPong struct {
 	pings, pongs int
 }
 
-func (pp *pingPong) Deliver(nw *Network, msg Message) {
+func (pp *pingPong) Deliver(nw Transport, msg Message) {
 	switch pl := msg.Payload.(type) {
 	case pingPayload:
 		pp.pings++
@@ -39,8 +39,8 @@ func (pp *pingPong) CloneProtocol() Protocol {
 	return &cp
 }
 
-func startPing(hops int) func(nw *Network, p ProcID) {
-	return func(nw *Network, p ProcID) {
+func startPing(hops int) func(nw Transport, p ProcID) {
+	return func(nw Transport, p ProcID) {
 		next := p + 1
 		if int(next) > nw.N() {
 			next = 1
@@ -206,7 +206,7 @@ func TestAfterIsNotCounted(t *testing.T) {
 	timers := 0
 	tp := &timerProto{fired: &timers}
 	nw := New(2, tp)
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.After(5, tickPayload{})
 	})
 	if err := nw.Run(); err != nil {
@@ -232,7 +232,7 @@ func (tickPayload) Kind() string { return "tick" }
 
 type timerProto struct{ fired *int }
 
-func (tp *timerProto) Deliver(_ *Network, msg Message) {
+func (tp *timerProto) Deliver(_ Transport, msg Message) {
 	if !msg.Local {
 		panic("timer delivered as network message")
 	}
@@ -298,7 +298,7 @@ func TestEventBudget(t *testing.T) {
 	// A protocol that ping-pongs forever must hit the budget.
 	pp := &forever{}
 	nw := New(2, pp, WithMaxEvents(100))
-	nw.StartOp(1, func(nw *Network, p ProcID) { nw.Send(2, tickPayload{}) })
+	nw.StartOp(1, func(nw Transport, p ProcID) { nw.Send(2, tickPayload{}) })
 	err := nw.Run()
 	if !errors.Is(err, ErrEventBudget) {
 		t.Fatalf("err = %v, want ErrEventBudget", err)
@@ -307,7 +307,7 @@ func TestEventBudget(t *testing.T) {
 
 type forever struct{}
 
-func (forever) Deliver(nw *Network, msg Message) {
+func (forever) Deliver(nw Transport, msg Message) {
 	nw.Send(msg.From, tickPayload{})
 }
 
@@ -527,7 +527,7 @@ func TestAccessors(t *testing.T) {
 
 func TestBitsAccounting(t *testing.T) {
 	nw := New(2, &sizedProto{})
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.Send(2, sizedPayload{bits: 7})
 		nw.Send(2, sizedPayload{bits: 3})
 	})
@@ -549,7 +549,7 @@ func (s sizedPayload) Bits() int  { return s.bits }
 
 type sizedProto struct{}
 
-func (sizedProto) Deliver(*Network, Message) {}
+func (sizedProto) Deliver(Transport, Message) {}
 
 func TestAfterNegativeDelayPanics(t *testing.T) {
 	nw := New(2, &sizedProto{})
@@ -558,7 +558,7 @@ func TestAfterNegativeDelayPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.After(-1, tickPayload{})
 	})
 	_ = nw.Run()
@@ -612,7 +612,7 @@ func TestOnOpDoneTimerKeepsOpOpen(t *testing.T) {
 	nw := New(2, &timerProto{fired: &timers})
 	var doneAt int64 = -1
 	nw.OnOpDone(func(st *OpStats) { doneAt = nw.Now() })
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.After(9, tickPayload{})
 	})
 	if err := nw.Run(); err != nil {
@@ -701,7 +701,7 @@ type parkAck struct{}
 func (parkReq) Kind() string { return "park-request" }
 func (parkAck) Kind() string { return "park-ack" }
 
-func (pp *parkProto) Deliver(nw *Network, msg Message) {
+func (pp *parkProto) Deliver(nw Transport, msg Message) {
 	switch pl := msg.Payload.(type) {
 	case parkReq:
 		if pp.parked == 0 {
@@ -717,7 +717,7 @@ func (pp *parkProto) Deliver(nw *Network, msg Message) {
 	}
 }
 
-func startParkReq(nw *Network, p ProcID) {
+func startParkReq(nw Transport, p ProcID) {
 	nw.Send(3, parkReq{Origin: p})
 }
 
@@ -782,7 +782,7 @@ type releaseProto struct {
 	tok    OpToken
 }
 
-func (rp *releaseProto) Deliver(nw *Network, msg Message) {
+func (rp *releaseProto) Deliver(nw Transport, msg Message) {
 	if pl, ok := msg.Payload.(parkReq); ok {
 		if rp.parked == 0 {
 			rp.parked = pl.Origin
@@ -812,7 +812,7 @@ func TestSendAsInvalidTokenPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	nw.StartOp(1, func(nw *Network, p ProcID) {
+	nw.StartOp(1, func(nw Transport, p ProcID) {
 		nw.SendAs(OpToken{}, 2, tickPayload{})
 	})
 	_ = nw.Run()
@@ -820,4 +820,4 @@ func TestSendAsInvalidTokenPanics(t *testing.T) {
 
 type invalidTokProto struct{}
 
-func (invalidTokProto) Deliver(*Network, Message) {}
+func (invalidTokProto) Deliver(Transport, Message) {}

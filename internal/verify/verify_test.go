@@ -95,9 +95,9 @@ type brokenProto struct {
 	shard []int
 }
 
-func (bp *brokenProto) Deliver(*sim.Network, sim.Message) {}
+func (bp *brokenProto) Deliver(sim.Transport, sim.Message) {}
 
-func (bp *brokenProto) initiate(_ *sim.Network, p sim.ProcID) {
+func (bp *brokenProto) initiate(_ sim.Transport, p sim.ProcID) {
 	bp.shard[p]++
 }
 
