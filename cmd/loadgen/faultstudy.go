@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"distcount/internal/engine/report"
+	"distcount/internal/registry"
+)
+
+// The faults study is the packaged form of the fault-injection recipe in
+// docs/EXPERIMENTS.md §9: every algorithm runs the open-loop ramprate
+// scenario at a fixed n under a ladder of fault plans — none, light and
+// heavy message loss, duplication, a mid-run crash, and membership churn —
+// with verification on in every cell. The questions it answers: where does
+// each scheme's knee move under faults, and does any scheme ever fail
+// *silently* (a verification violation not attributable to an injected
+// fault fails the process via gateRows, exactly like a fault-free sweep).
+
+// faultStudyN pins the study's network size: large enough that the quorum
+// and tree schemes have real structure to lose processors from, small
+// enough that the full algorithm grid stays a seconds-scale run.
+const faultStudyN = 16
+
+// faultStudyPlans is the fault ladder, one cell per algorithm per entry.
+// Each spec is a valid -faults value (the same string labels the row in
+// every output format, so any cell is reproducible as a single run). The
+// crash hits processor 1 — an initiator on every algorithm — a quarter of
+// the way into a default-length ramp; the churn period is chosen so a
+// default ramp (~1000 ticks) crosses several rotation cycles.
+var faultStudyPlans = []string{
+	"",
+	"loss:0.005",
+	"loss:0.05",
+	"dup:0.02",
+	"crash:1@t=500",
+	"churn:2@every=400/down=100",
+}
+
+// runFaultStudy executes the algorithm × fault-plan grid and renders it as
+// a sweep in the selected format.
+func runFaultStudy(out io.Writer, opt options, format string, cfg studyConfig) error {
+	algoList := expandAlgos(cfg.algos)
+	if !cfg.algosSet {
+		algoList = registry.Names() // the study's default scope is everything
+	}
+	if len(algoList) == 0 {
+		return fmt.Errorf("-study needs a non-empty -algos")
+	}
+	applyStudyDefaults(&opt, cfg)
+
+	var cells []sweepCell
+	for _, algo := range algoList {
+		for _, spec := range faultStudyPlans {
+			cells = append(cells, sweepCell{idx: len(cells), algo: algo, scen: "ramprate",
+				n: faultStudyN, inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+				faults: spec, verify: true})
+		}
+	}
+
+	rows, err := runCells(opt, cells, cfg.parallel)
+	if err != nil {
+		return fmt.Errorf("study: %w", err)
+	}
+
+	switch format {
+	case "csv":
+		err = report.WriteSweepCSV(out, rows)
+	case "text":
+		_, err = io.WriteString(out, report.RenderSweep(rows))
+	default:
+		err = report.WriteSweepJSON(out, rows)
+	}
+	if err != nil {
+		return err
+	}
+	return gateRows(rows)
+}

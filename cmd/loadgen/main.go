@@ -11,7 +11,9 @@
 //	loadgen -algo tokenring -scenario uniform -verify -format text
 //	loadgen -sweep -algos central,ctree -scenarios uniform,zipf -format csv
 //	loadgen -sweep -algos all -scenarios ramprate -mode open -service 1 -format text
+//	loadgen -algo quorum-majority -scenario uniform -faults loss:0.01 -verify -format text
 //	loadgen -study scaling -format text
+//	loadgen -study faults -format text
 //	loadgen -study regression -format text -baseline check baselines/default.json
 //	loadgen -backend rt -algo central -n 8 -ops 2000 -service 1 -verify -format text
 //	loadgen -study simvsreal -format text
@@ -38,6 +40,18 @@
 // quiescent consistency for the counting and diffracting networks, and
 // duplicate-value accounting for the protocols that are only sequentially
 // correct (tokenring, quorum-*).
+//
+// With -faults the run executes under a deterministic, seeded
+// fault-injection plan — message loss and duplication (probabilistic or
+// every-Nth-send), processor crash/recover windows, rotating membership
+// churn — on either backend (see internal/sim's fault layer). Lost events
+// wedge their operations visibly instead of completing them silently;
+// combined with -verify, fault-attributable anomalies are excused and
+// measured while a completed operation without a value stays a hard
+// violation. -study faults packages the grid: every algorithm under a
+// fixed plan ladder (none, loss low/high, duplication, crash, churn) with
+// verification on, reporting knee, wedged/unserved counts and excused
+// anomalies per cell.
 //
 // With -sweep the tool runs the full -algos x -scenarios x -windows x
 // -gaps x -ns grid (windows apply to closed loop only) and merges all
@@ -140,6 +154,7 @@ type options struct {
 	window      int64 // combining/diffraction merge window
 	kneeBuckets int   // open-loop rate buckets (0 = engine default)
 	verify      bool
+	faults      string          // fault-injection spec (see faults.go); "" = no faults
 	wcfg        workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
 }
 
@@ -163,6 +178,7 @@ func run(args []string, out io.Writer) error {
 		window   = fs.Int64("window", registry.DefaultWindow, "combining/diffraction merge window in ticks (request-merging algorithms only)")
 		kneeBk   = fs.Int("knee-buckets", 0, "open-loop rate buckets for the saturation analysis (0 = engine default; more buckets = finer knee resolution)")
 		verify   = fs.Bool("verify", false, "check delivered values against the algorithm's claimed consistency level")
+		faults   = fs.String("faults", "", `deterministic fault-injection spec, comma-separated clauses: "loss:0.01" / "dup:0.01" (i.i.d. per-send probabilities), "dropnth:2@every=5" / "dupnth:2@every=5" (deterministic per-sender rules; proc 0 = all), "crash:1@t=500" / "crash:1@t=500-900" (crash/recover windows), "churn:2@every=400/down=100" (rotating membership churn), "freeze" (crashed processors buffer instead of drop), "seed:7" (fault RNG seed). Applies on both backends`)
 		format   = fs.String("format", "json", "output format: json, text, csv")
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
 		hotFrac  = fs.Float64("hot-frac", 0.1, "hot-set fraction (scenario hotspot)")
@@ -238,14 +254,15 @@ func run(args []string, out io.Writer) error {
 		}
 	case *study != "":
 		switch *study {
-		case "scaling", "regression", "simvsreal":
+		case "scaling", "regression", "simvsreal", "faults":
 		default:
-			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal)", *study)
+			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal, faults)", *study)
 		}
-		// Studies pin their own backends: scaling and regression are sim
-		// experiments (the committed baselines are sim fingerprints), and
-		// simvsreal runs both sides itself.
-		banned := []string{"algo", "scenario", "scenarios", "gaps", "backend"}
+		// Studies pin their own backends and fault plans: scaling and
+		// regression are sim experiments (the committed baselines are sim
+		// fingerprints), simvsreal runs both sides itself, and the faults
+		// study injects its own fixed plan grid.
+		banned := []string{"algo", "scenario", "scenarios", "gaps", "backend", "faults"}
 		if *study == "simvsreal" {
 			// The comparison is only meaningful under the uniform service
 			// model both backends share; windows stay at the base value so
@@ -262,6 +279,11 @@ func run(args []string, out io.Writer) error {
 			// window, and neither is recorded.
 			banned = append(banned, "ns", "windows", "service-dist", "queue-cap", "rate-from",
 				"mean-gap", "warmup", "verify")
+		}
+		if *study == "faults" {
+			// The fault grid is the experiment: plans, n, and verification
+			// are pinned so every run of the study is the same measurement.
+			banned = append(banned, "ns", "windows", "service-dist", "queue-cap", "rate-from", "verify")
 		}
 		for _, name := range banned {
 			if set[name] {
@@ -316,6 +338,10 @@ func run(args []string, out io.Writer) error {
 		// the simulation; 0-service "flat" passes (it is the default shape).
 		return err
 	}
+	if _, err := parseFaultSpec(*faults); err != nil {
+		// Same early validation for the fault spec.
+		return err
+	}
 
 	opt := options{
 		mode:        m,
@@ -333,6 +359,7 @@ func run(args []string, out io.Writer) error {
 		window:      *window,
 		kneeBuckets: *kneeBk,
 		verify:      *verify,
+		faults:      *faults,
 		wcfg: workload.Config{
 			Ops:      *ops,
 			Seed:     *seed,
@@ -374,6 +401,8 @@ func run(args []string, out io.Writer) error {
 			return runRegressionStudy(out, opt, *format, scfg, *baseline, fs.Arg(0), *artdir)
 		case "simvsreal":
 			return runSimVsRealStudy(out, opt, *format, scfg)
+		case "faults":
+			return runFaultStudy(out, opt, *format, scfg)
 		}
 		return runScalingStudy(out, opt, *format, scfg)
 	}
@@ -417,6 +446,9 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	rcfg := registry.Concurrent(simOpts...)
 	rcfg.Window = opt.window
 	rcfg.Backend = opt.backend
+	if rcfg.Faults, err = parseFaultSpec(opt.faults); err != nil {
+		return nil, err
+	}
 	if opt.backend == "rt" {
 		// The rt backend emulates the same per-processor service costs by
 		// busy-spinning the receiving goroutine (ticks scale to wall time).
@@ -531,10 +563,11 @@ func distLabel(service int64, dist string) string {
 // output slot so parallel execution keeps row order deterministic. inflight
 // is the closed-loop admission window; mwin the merge window the cell's
 // counter is built with. The remaining fields are per-cell overrides used
-// by the regression and simvsreal studies (zero values inherit the run's
-// options): dist selects a -service-dist profile, qcap an admission-queue
-// bound, rateFrom/rateTo pin the ramprate sweep bounds, and backend
-// overrides the execution backend.
+// by the regression, simvsreal and faults studies (zero values inherit the
+// run's options): dist selects a -service-dist profile, qcap an
+// admission-queue bound, rateFrom/rateTo pin the ramprate sweep bounds,
+// backend overrides the execution backend, faults installs a fault plan
+// (same grammar as -faults), and verify forces value verification on.
 type sweepCell struct {
 	idx        int
 	algo, scen string
@@ -547,6 +580,8 @@ type sweepCell struct {
 	rateFrom   float64
 	rateTo     float64
 	backend    string
+	faults     string
+	verify     bool
 }
 
 // runSweep executes the grid — cells spread over a worker pool, each cell
@@ -710,6 +745,12 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 	if cl.backend != "" {
 		cell.backend = cl.backend
 	}
+	if cl.faults != "" {
+		cell.faults = cl.faults
+	}
+	if cl.verify {
+		cell.verify = true
+	}
 	dist := distLabel(cell.service, cell.svcDist)
 	back := ""
 	if cell.backend == "rt" {
@@ -721,6 +762,7 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 				fmt.Errorf("panic: %v", r))
 			row.ServiceDist = dist
 			row.Backend = back
+			row.FaultSpec = cell.faults
 		}
 	}()
 	res, err := runOne(cell, cl.algo, cl.scen)
@@ -728,9 +770,10 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 		row = report.SkippedRow(cl.algo, cl.scen, opt.mode, cl.n, cl.inflight, cl.gap, opt.service, cl.mwin, err)
 		row.ServiceDist = dist
 		row.Backend = back
+		row.FaultSpec = cell.faults
 		return row
 	}
-	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Backend: back, Result: res}
+	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Backend: back, FaultSpec: cell.faults, Result: res}
 }
 
 // expandAlgos splits an -algos flag value, expanding the "all" sentinel to

@@ -176,11 +176,12 @@ func TestRunSweepCSVGolden(t *testing.T) {
 	if len(lines) != 1+2*2*2 {
 		t.Fatalf("sweep CSV has %d lines, want header + 8 rows:\n%s", len(lines), out)
 	}
-	wantHeader := "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
+	wantHeader := "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap,faults," +
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 		"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 		"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
-		"verify_property,verify_violations,verify_duplicates,skipped"
+		"verify_property,verify_violations,verify_duplicates,verify_excused," +
+		"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped,skipped"
 	if lines[0] != wantHeader {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
 	}

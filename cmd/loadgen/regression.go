@@ -69,6 +69,16 @@ const (
 	// scheme whose hot path lands on the straggler keeps only ~1/8 of its
 	// flat capacity, which the default ramp's bucket width cannot resolve.
 	fpStragglerRateTo = 4
+	// fpLossSpec is the loss cell's fault plan (-faults grammar): i.i.d.
+	// 2% message loss — heavy enough that every algorithm wedges some
+	// initiators inside the ramp, light enough that the pre-wedge knee is
+	// still resolvable for the cheap schemes.
+	fpLossSpec = "loss:0.02"
+	// fpCrashSpec is the crash cell's fault plan: processor 1 down forever
+	// from tick 500 — mid-ramp. Processor 1 is the central counter's
+	// serving site, so this is the adversarial robustness cell: central
+	// wedges entirely while the replicated schemes keep serving.
+	fpCrashSpec = "crash:1@t=500"
 )
 
 // fpScalingNs is the n axis of the embedded knee-vs-n curve. Smaller than
@@ -103,7 +113,7 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		cells = append(cells, c)
 		return c.idx
 	}
-	type fpCells struct{ knee, steady, queue, hetero, straggler int }
+	type fpCells struct{ knee, steady, queue, hetero, straggler, loss, crash int }
 	cellsOf := map[string]fpCells{}
 	var scalingIdx []int // cells feeding report.AnalyzeScaling
 	for _, algo := range algoList {
@@ -139,6 +149,17 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		fc.straggler = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
 			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
 			dist: fpStragglerDist, rateTo: fpStragglerRateTo})
+		// The fault cells verify (the regression study otherwise leaves
+		// -verify off): Excused is a verification measurement, and running
+		// the checker here also makes the gate assert, on every push, that
+		// no algorithm fails *silently* under the pinned plans — a
+		// non-excusable violation skips the cell and gateRows fails.
+		fc.loss = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+			faults: fpLossSpec, verify: true})
+		fc.crash = add(sweepCell{algo: algo, scen: "ramprate", n: fpN,
+			inflight: opt.inflight, gap: opt.meanGap, mwin: opt.window,
+			faults: fpCrashSpec, verify: true})
 		cellsOf[algo] = fc
 	}
 
@@ -172,6 +193,8 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		HeteroRateTo:    fpHeteroRateTo,
 		StragglerDist:   fpStragglerDist,
 		StragglerRateTo: fpStragglerRateTo,
+		LossSpec:        fpLossSpec,
+		CrashSpec:       fpCrashSpec,
 		ScalingNs:       append([]int(nil), fpScalingNs...),
 		Windows:         append([]int(nil), studyDefaultWindows...),
 	}
@@ -208,6 +231,24 @@ func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConf
 		if r := rows[fc.straggler]; r.Skipped == "" {
 			if r.Knee != nil {
 				f.StragglerKneeRate, f.StragglerKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+		}
+		if r := rows[fc.loss]; r.Skipped == "" {
+			if r.Knee != nil {
+				f.LossKneeRate, f.LossKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+			f.LossWedged = r.Result.Wedged
+			if r.Verification != nil {
+				f.LossExcused = r.Verification.Excused
+			}
+		}
+		if r := rows[fc.crash]; r.Skipped == "" {
+			if r.Knee != nil {
+				f.CrashKneeRate, f.CrashKneeReason = r.Knee.OfferedRate, r.Knee.Reason
+			}
+			f.CrashWedged = r.Result.Wedged
+			if r.Verification != nil {
+				f.CrashExcused = r.Verification.Excused
 			}
 		}
 		cur.Fingerprints = append(cur.Fingerprints, f)

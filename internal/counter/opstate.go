@@ -19,9 +19,18 @@ import (
 // in the same way: state is keyed by initiator, never global, so operations
 // from distinct initiators cannot clobber each other. Begin enforces the
 // Async contract — at most one operation per initiator in flight — by
-// panicking on overlap instead of silently corrupting state, and Finish
-// panics when an operation completes in a foreign operation's delivery
-// context, the canonical symptom of cross-op state bleed.
+// panicking on overlap instead of silently corrupting state.
+//
+// Finish, by contrast, tolerates staleness: under fault injection a
+// duplicated or crash-deferred reply legitimately arrives after its
+// operation already finished (or after the initiator moved on to its next
+// operation), so a Finish whose entry is missing or whose in-flight
+// operation is not the current delivery context is dropped and counted
+// (DroppedStale) rather than treated as fatal. Protocols that read state on
+// a reply path use GetFor, which makes the same discrimination explicit. In
+// fault-free runs a dropped Finish still surfaces — the operation completes
+// without a value and verification reports it as missing — so the bug class
+// the old panic caught remains visible, just as data instead of a crash.
 //
 // Values are read either per operation with Take (the engine's verification
 // path and the shared sequential driver RunInc) or per initiator with Last
@@ -43,6 +52,10 @@ type Ops[S, V any] struct {
 	// lastVal/lastOK expose the most recent value per initiator.
 	lastVal map[sim.ProcID]V
 	lastOK  map[sim.ProcID]bool
+	// droppedStale counts Finish calls discarded because their operation
+	// was no longer the initiator's current one (duplicated or late
+	// replies under fault injection).
+	droppedStale int64
 }
 
 // opEntry pairs an operation's protocol state with its simulator id, so
@@ -109,22 +122,50 @@ func (o *Ops[S, V]) InFlight(p sim.ProcID) bool {
 // Finish completes initiator p's operation with the delivered value v,
 // recording it under the operation's id and as p's most recent value, and
 // frees p for its next operation. It must run in the completing operation's
-// own delivery context: a mismatch means a value was routed through the
-// wrong operation's causal chain (cross-op state bleed) and panics.
-func (o *Ops[S, V]) Finish(nw sim.Transport, p sim.ProcID, v V) {
+// own delivery context: when p has no operation in flight, or the in-flight
+// operation differs from the current delivery context, the call is a stale
+// completion — a duplicated or crash-deferred reply outliving its
+// operation — and is dropped and counted rather than applied, so a late
+// copy can never overwrite a newer operation's state. It reports whether
+// the completion was applied.
+func (o *Ops[S, V]) Finish(nw sim.Transport, p sim.ProcID, v V) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	e, ok := o.inflight[p]
-	if !ok {
-		panic(fmt.Sprintf("counter: Finish for initiator %v with no operation in flight", p))
-	}
-	if cur := nw.CurrentOp(); cur != e.op {
-		panic(fmt.Sprintf("counter: operation %d of initiator %v finished in context of operation %d", e.op, p, cur))
+	if !ok || nw.CurrentOp() != e.op {
+		o.droppedStale++
+		return false
 	}
 	delete(o.inflight, p)
 	o.values[e.op] = v
 	o.lastVal[p] = v
 	o.lastOK[p] = true
+	return true
+}
+
+// GetFor returns initiator p's in-flight operation state only when that
+// operation is the one the current delivery belongs to. Reply-path handlers
+// use it instead of Get so a duplicated or late message — whose delivery
+// context is its original operation — cannot touch the state of the
+// initiator's NEXT operation, and is instead recognized as stale (ok
+// false, counted) and ignored.
+func (o *Ops[S, V]) GetFor(nw sim.Transport, p sim.ProcID) (*S, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.inflight[p]
+	if !ok || nw.CurrentOp() != e.op {
+		o.droppedStale++
+		return nil, false
+	}
+	return &e.st, true
+}
+
+// DroppedStale returns the number of stale Finish/GetFor calls discarded so
+// far.
+func (o *Ops[S, V]) DroppedStale() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.droppedStale
 }
 
 // Take returns the value delivered to the completed operation id and
@@ -172,6 +213,7 @@ func (o *Ops[S, V]) Clone(deepState func(*S) S) *Ops[S, V] {
 	for p, ok := range o.lastOK {
 		cp.lastOK[p] = ok
 	}
+	cp.droppedStale = o.droppedStale
 	return cp
 }
 

@@ -128,6 +128,93 @@ func TestOpsCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestOpsFinishStaleDropped: under fault injection a duplicated reply
+// arrives after its operation already finished; the second Finish is
+// dropped and counted, never applied, and the operation's value is the
+// first delivery's.
+func TestOpsFinishStaleDropped(t *testing.T) {
+	pr := &echoProto{ops: NewOps[struct{}, int]()}
+	// Duplicate every send of the server (processor 1): the reply to the
+	// initiator is delivered twice, so Finish runs twice for one operation.
+	net := sim.New(4, pr, sim.WithFaults(sim.FaultPlan{
+		DupNth: []sim.NthRule{{Proc: 1, Every: 1}},
+	}))
+	id := net.ScheduleOp(0, 2, pr.initiate)
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.ops.DroppedStale(); got != 1 {
+		t.Fatalf("dropped stale = %d, want 1 (the duplicated reply)", got)
+	}
+	if v, ok := pr.ops.Take(id); !ok || v != 0 {
+		t.Fatalf("operation value = (%d,%v), want (0,true)", v, ok)
+	}
+	if pr.ops.InFlight(2) {
+		t.Fatal("operation still in flight after its first completion")
+	}
+}
+
+// getForProto is echoProto with per-operation state read through GetFor on
+// the reply path — the discrimination every quorum-style protocol needs so
+// a duplicated response cannot mutate the initiator's NEXT operation.
+type getForProto struct {
+	val   int
+	ops   *Ops[int, int]
+	stale int
+}
+
+func (pr *getForProto) initiate(nw sim.Transport, p sim.ProcID) {
+	st := pr.ops.Begin(nw, p)
+	*st = 7 // marker: live state is visible on the reply path
+	nw.Send(1, echoReq{Origin: p})
+}
+
+func (pr *getForProto) Deliver(nw sim.Transport, msg sim.Message) {
+	switch pl := msg.Payload.(type) {
+	case echoReq:
+		nw.Send(pl.Origin, echoResp{Val: pr.val})
+		pr.val++
+	case echoResp:
+		st, ok := pr.ops.GetFor(nw, msg.To)
+		if !ok {
+			pr.stale++
+			return
+		}
+		if *st != 7 {
+			panic("GetFor returned another operation's state")
+		}
+		pr.ops.Finish(nw, msg.To, pl.Val)
+	}
+}
+
+func TestOpsGetForRejectsStaleReplies(t *testing.T) {
+	pr := &getForProto{ops: NewOps[int, int]()}
+	net := sim.New(4, pr, sim.WithFaults(sim.FaultPlan{
+		DupNth: []sim.NthRule{{Proc: 1, Every: 1}},
+	}))
+	id := net.ScheduleOp(0, 2, pr.initiate)
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.stale != 1 {
+		t.Fatalf("stale replies seen = %d, want 1", pr.stale)
+	}
+	if got := pr.ops.DroppedStale(); got != 1 {
+		t.Fatalf("dropped stale = %d, want 1", got)
+	}
+	if v, ok := pr.ops.Take(id); !ok || v != 0 {
+		t.Fatalf("operation value = (%d,%v), want (0,true)", v, ok)
+	}
+	// A fresh operation after the stale traffic works normally.
+	id2 := net.ScheduleOp(net.Now(), 3, pr.initiate)
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := pr.ops.Take(id2); !ok || v != 1 {
+		t.Fatalf("follow-up operation value = (%d,%v), want (1,true)", v, ok)
+	}
+}
+
 // TestRunIncSequence: the shared sequential driver produces 0, 1, 2, ...
 // through a Valued wrapper.
 func TestRunIncSequence(t *testing.T) {

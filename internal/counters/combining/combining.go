@@ -227,7 +227,10 @@ func (pr *proto) handleResp(nw sim.Transport, pl respPayload) {
 	nd := &pr.nodes[pl.Node]
 	b, ok := nd.inFlight[pl.Batch]
 	if !ok {
-		panic(fmt.Sprintf("combining: node %d has no in-flight batch %d", pl.Node, pl.Batch))
+		// A response for a batch already distributed can only be a
+		// duplicated delivery (fault injection); it carries no new
+		// information, so drop it rather than re-assign the range.
+		return
 	}
 	delete(nd.inFlight, pl.Batch)
 	pr.distribute(nw, b, pl.Base)

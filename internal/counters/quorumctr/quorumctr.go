@@ -125,7 +125,16 @@ func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 		r := pr.replicas[msg.To]
 		nw.Send(pl.Origin, readResp{Val: r.val, Ver: r.ver})
 	case readResp:
-		st := pr.ops.Get(msg.To)
+		// GetFor discriminates stale replies: under fault injection a
+		// duplicated readResp may arrive after its operation finished or
+		// after the initiator began its next one, and must not perturb that
+		// newer probe's counts.
+		st, ok := pr.ops.GetFor(nw, msg.To)
+		if !ok || st.awaitReads == 0 {
+			// Stale, or a duplicated reply arriving after the read phase
+			// already closed: the probe has moved on.
+			return
+		}
 		pr.observe(st, replica{val: pl.Val, ver: pl.Ver})
 		st.awaitReads--
 		if st.awaitReads == 0 {
@@ -138,7 +147,10 @@ func (pr *proto) Deliver(nw sim.Transport, msg sim.Message) {
 		}
 		nw.Send(pl.Origin, writeAck{})
 	case writeAck:
-		st := pr.ops.Get(msg.To)
+		st, ok := pr.ops.GetFor(nw, msg.To)
+		if !ok || st.awaitAcks == 0 {
+			return
+		}
 		st.awaitAcks--
 		if st.awaitAcks == 0 {
 			pr.ops.Finish(nw, msg.To, st.bestVal)

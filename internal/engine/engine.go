@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"distcount/internal/counter"
 	"distcount/internal/loadstat"
@@ -124,6 +125,15 @@ type Config struct {
 	// Result.Verification. Requires a counter.Valued implementation — every
 	// algorithm in this repository qualifies.
 	Verify bool
+	// WedgeIdle is the wall-clock drivers' stall timeout once a fault has
+	// fired (default 2s): a run whose fault plan has destroyed events may
+	// legitimately never complete its in-flight operations, so after the
+	// first fault event the drivers wait only this long for further
+	// completions before declaring the remainder wedged. Fault-free wall
+	// runs keep the generous 30s stall timeout (a stall there is a driver
+	// error, not a wedge). Ignored by the simulator drivers, which detect a
+	// wedge by running out of events.
+	WedgeIdle time.Duration
 }
 
 func (cfg Config) withDefaults() Config {
@@ -141,6 +151,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.KneeFactor <= 1 {
 		cfg.KneeFactor = 4
+	}
+	if cfg.WedgeIdle <= 0 {
+		cfg.WedgeIdle = 2 * time.Second
 	}
 	return cfg
 }
@@ -253,6 +266,17 @@ type Result struct {
 	// Config.Verify was set): the delivered values evaluated against the
 	// algorithm's claimed consistency level.
 	Verification *verify.Report `json:"verification,omitempty"`
+	// Wedged is the number of operations stalled forever by injected faults
+	// (a fault destroyed one of their events, so they can never complete);
+	// Unserved counts scenario requests never injected because their
+	// initiator — or the whole run — wedged first. Both are zero without
+	// fault injection: a fault-free run that cannot drain is a driver error,
+	// not a wedge.
+	Wedged   int `json:"wedged,omitempty"`
+	Unserved int `json:"unserved,omitempty"`
+	// Faults reports the injected-fault events that fired during the run
+	// (nil when no fault plan was installed).
+	Faults *sim.FaultStats `json:"faults,omitempty"`
 	// Wall reports that the run executed on the real-hardware rt backend
 	// (RunWall). In wall mode every time-valued field — SimTime,
 	// MeasureStart, the latency digests, Series times, bucket spans — is in
@@ -423,16 +447,43 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier
 		return nil, src.err
 	}
 	if src.have || inFlight != 0 {
-		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight",
-			res.Algorithm, res.Scenario, inFlight)
+		if !net.FaultStats().Any() {
+			return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight",
+				res.Algorithm, res.Scenario, inFlight)
+		}
+		// Injected faults wedged part of the workload: the in-flight
+		// operations can never complete (a fault destroyed one of their
+		// events) and the requests still behind them were never served.
+		// That is the expected shape of a faulty run — account for it
+		// instead of failing.
+		res.Wedged = inFlight
+		for src.have {
+			res.Unserved++
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+	}
+	if net.FaultsActive() {
+		fs := net.FaultStats()
+		res.Faults = &fs
 	}
 	if err := m.finalize(res, net, cfg.Warmup, thinAfter); err != nil {
 		return nil, err
 	}
 	if vf != nil {
-		res.Verification = vf.report()
+		res.Verification = vf.report(faultContext(res))
 	}
 	return res, nil
+}
+
+// faultContext summarizes a result's fault activity for the verifier.
+func faultContext(res *Result) verify.FaultContext {
+	return verify.FaultContext{
+		Fired:  res.Faults != nil && res.Faults.Any(),
+		Wedged: res.Wedged,
+	}
 }
 
 // drainFor returns the value sink of a run without verification: every
@@ -501,7 +552,11 @@ func (m *runMetrics) onDone(res *Result, net *sim.Network, warmup int, st *sim.O
 func (m *runMetrics) finalize(res *Result, net *sim.Network, warmup int, thinAfter bool) error {
 	res.Ops = m.completed
 	res.Measured = len(res.Latencies)
-	if res.Measured == 0 {
+	if res.Measured == 0 && res.Wedged == 0 {
+		// A wedged run may legitimately complete nothing (every operation
+		// stalled on a destroyed event); its zero latency digests are part
+		// of the measurement. Without faults an empty measure window is a
+		// configuration error.
 		return fmt.Errorf("engine: warmup %d consumed all %d operations", warmup, m.completed)
 	}
 	res.SimTime = m.lastDone
@@ -511,7 +566,9 @@ func (m *runMetrics) finalize(res *Result, net *sim.Network, warmup int, thinAft
 		res.Series = thinSeries(res.Series, 64)
 	}
 	res.Loads = measuredLoads(net, m.baseSent, m.baseRecv)
-	res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	if res.Measured > 0 {
+		res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	}
 	res.Arrivals = res.Ops + res.Dropped
 	if res.Arrivals > 0 {
 		res.DropRate = float64(res.Dropped) / float64(res.Arrivals)

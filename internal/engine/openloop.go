@@ -201,8 +201,19 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 		}
 	}
 	if totalQueued != 0 || inFlight != 0 {
-		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight, %d queued",
-			res.Algorithm, res.Scenario, inFlight, totalQueued)
+		if !net.FaultStats().Any() {
+			return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight, %d queued",
+				res.Algorithm, res.Scenario, inFlight, totalQueued)
+		}
+		// Injected faults wedged part of the workload: the stuck in-flight
+		// operations and the requests queued behind their initiators are
+		// the faulty run's expected residue.
+		res.Wedged = inFlight
+		res.Unserved = totalQueued
+	}
+	if net.FaultsActive() {
+		fs := net.FaultStats()
+		res.Faults = &fs
 	}
 
 	if err := m.finalize(res, net, cfg.Warmup, thinAfter); err != nil {
@@ -211,7 +222,7 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 	res.Buckets = bucketize(recs, cfg.KneeBuckets)
 	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
 	if vf != nil {
-		res.Verification = vf.report()
+		res.Verification = vf.report(faultContext(res))
 	}
 	return res, nil
 }

@@ -86,6 +86,30 @@ type Fingerprint struct {
 	// their capacity.
 	StragglerKneeRate   float64 `json:"straggler_knee_rate"`
 	StragglerKneeReason string  `json:"straggler_knee_reason"`
+	// LossKneeRate and LossKneeReason are the ramp knee under the study's
+	// pinned message-loss plan (Baseline.LossSpec), measured over the
+	// operations that completed before their initiators wedged. LossWedged
+	// counts the initiators left stalled forever by lost messages (bounded
+	// by n: one in-flight operation per initiator), and LossExcused the
+	// verification anomalies attributed to the injected faults — both are
+	// behavioral fingerprints: a protocol change that alters how an
+	// algorithm degrades under loss moves them even when the fault-free
+	// knee stands still.
+	LossKneeRate   float64 `json:"loss_knee_rate"`
+	LossKneeReason string  `json:"loss_knee_reason"`
+	LossWedged     int     `json:"loss_wedged"`
+	LossExcused    int     `json:"loss_excused"`
+	// CrashKneeRate, CrashKneeReason, CrashWedged and CrashExcused are the
+	// same fingerprint under the study's pinned mid-run crash plan
+	// (Baseline.CrashSpec) — processor 1 down forever, which for the
+	// central counter is the serving site itself: the whole scheme wedges
+	// (CrashWedged = n, knee unreachable), while replicated schemes keep
+	// serving at reduced capacity. That contrast is the robustness half of
+	// the multi-metric tradeoff the gate tracks.
+	CrashKneeRate   float64 `json:"crash_knee_rate"`
+	CrashKneeReason string  `json:"crash_knee_reason"`
+	CrashWedged     int     `json:"crash_wedged"`
+	CrashExcused    int     `json:"crash_excused"`
 	// ScalingClass is the knee-vs-n verdict of the embedded scaling
 	// analysis (bottleneck-bound / merge-bound / scales-with-n /
 	// unsaturated / inconclusive) — the paper's conclusion as a pinned
@@ -126,6 +150,12 @@ type Baseline struct {
 	HeteroRateTo    float64 `json:"hetero_rate_to"`
 	StragglerDist   string  `json:"straggler_dist"`
 	StragglerRateTo float64 `json:"straggler_rate_to"`
+	// LossSpec and CrashSpec pin the fault plans of the loss and crash
+	// cells, in -faults grammar. Like the distribution names above they are
+	// config: a drifted plan is a different experiment and fails the check
+	// on the spec metric.
+	LossSpec  string `json:"loss_spec"`
+	CrashSpec string `json:"crash_spec"`
 	// ScalingNs and Windows pin the embedded scaling grid: the requested
 	// n axis of the knee-vs-n curve and the merge-window sub-sweep list.
 	// A change to either is a different experiment, diffed like the rest
@@ -187,7 +217,9 @@ func LoadBaseline(r io.Reader) (*Baseline, error) {
 // algorithm fingerprint.
 const BaselineCSVHeader = "algo,n,knee_rate,knee_reason,service_p50,service_p99,msgs_per_op," +
 	"bottleneck_share,queue_knee_rate,queue_knee_reason,drop_rate," +
-	"hetero_knee_rate,hetero_knee_reason,straggler_knee_rate,straggler_knee_reason,scaling_class"
+	"hetero_knee_rate,hetero_knee_reason,straggler_knee_rate,straggler_knee_reason," +
+	"loss_knee_rate,loss_knee_reason,loss_wedged,loss_excused," +
+	"crash_knee_rate,crash_knee_reason,crash_wedged,crash_excused,scaling_class"
 
 // WriteBaselineCSV writes the fingerprints as a flat CSV with the
 // BaselineCSVHeader columns — the plottable artifact form.
@@ -197,11 +229,13 @@ func WriteBaselineCSV(w io.Writer, b *Baseline) error {
 	}
 	b.Sort()
 	for _, f := range b.Fingerprints {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%.1f,%.1f,%.3f,%.4f,%.4f,%s,%.4f,%.4f,%s,%.4f,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%.1f,%.1f,%.3f,%.4f,%.4f,%s,%.4f,%.4f,%s,%.4f,%s,%.4f,%s,%d,%d,%.4f,%s,%d,%d,%s\n",
 			f.Algorithm, f.N, f.KneeRate, f.KneeReason, f.ServiceP50, f.ServiceP99, f.MessagesPerOp,
 			f.BottleneckShare, f.QueueKneeRate, f.QueueKneeReason, f.DropRate,
 			f.HeteroKneeRate, f.HeteroKneeReason,
-			f.StragglerKneeRate, f.StragglerKneeReason, f.ScalingClass); err != nil {
+			f.StragglerKneeRate, f.StragglerKneeReason,
+			f.LossKneeRate, f.LossKneeReason, f.LossWedged, f.LossExcused,
+			f.CrashKneeRate, f.CrashKneeReason, f.CrashWedged, f.CrashExcused, f.ScalingClass); err != nil {
 			return err
 		}
 	}
@@ -211,18 +245,23 @@ func WriteBaselineCSV(w io.Writer, b *Baseline) error {
 // RenderBaseline returns the human-readable fingerprint table.
 func RenderBaseline(b *Baseline) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "performance fingerprints (%s study: seed %d, ops %d, window %d, service %d, steady rate %.2f, tight queue %d, hetero %q, straggler %q)\n",
-		b.Study, b.Seed, b.Ops, b.BaseWindow, b.Service, b.SteadyRate, b.QueueCap, b.HeteroDist, b.StragglerDist)
-	fmt.Fprintf(&sb, "%-16s %4s %13s %11s %7s %7s %7s %12s %9s %12s %14s %-16s\n",
-		"algo", "n", "knee", "queue-knee", "p50", "p99", "msg/op", "bshare", "droprate", "hetero-knee", "straggler-knee", "class")
+	fmt.Fprintf(&sb, "performance fingerprints (%s study: seed %d, ops %d, window %d, service %d, steady rate %.2f, tight queue %d, hetero %q, straggler %q, loss %q, crash %q)\n",
+		b.Study, b.Seed, b.Ops, b.BaseWindow, b.Service, b.SteadyRate, b.QueueCap, b.HeteroDist, b.StragglerDist,
+		b.LossSpec, b.CrashSpec)
+	fmt.Fprintf(&sb, "%-16s %4s %13s %11s %7s %7s %7s %12s %9s %12s %14s %12s %12s %11s %-16s\n",
+		"algo", "n", "knee", "queue-knee", "p50", "p99", "msg/op", "bshare", "droprate", "hetero-knee", "straggler-knee",
+		"loss-knee", "crash-knee", "wedged(l/c)", "class")
 	b.Sort()
 	for _, f := range b.Fingerprints {
-		fmt.Fprintf(&sb, "%-16s %4d %13s %11s %7.1f %7.1f %7.2f %12.3f %9.3f %12s %14s %-16s\n",
+		fmt.Fprintf(&sb, "%-16s %4d %13s %11s %7.1f %7.1f %7.2f %12.3f %9.3f %12s %14s %12s %12s %11s %-16s\n",
 			f.Algorithm, f.N,
 			kneeLabel(f.KneeRate, f.KneeReason), kneeLabel(f.QueueKneeRate, f.QueueKneeReason),
 			f.ServiceP50, f.ServiceP99, f.MessagesPerOp, f.BottleneckShare, f.DropRate,
 			kneeLabel(f.HeteroKneeRate, f.HeteroKneeReason),
-			kneeLabel(f.StragglerKneeRate, f.StragglerKneeReason), f.ScalingClass)
+			kneeLabel(f.StragglerKneeRate, f.StragglerKneeReason),
+			kneeLabel(f.LossKneeRate, f.LossKneeReason),
+			kneeLabel(f.CrashKneeRate, f.CrashKneeReason),
+			fmt.Sprintf("%d/%d", f.LossWedged, f.CrashWedged), f.ScalingClass)
 	}
 	return sb.String()
 }

@@ -23,6 +23,8 @@ func testBaseline() *Baseline {
 		HeteroRateTo:    4,
 		StragglerDist:   "straggler",
 		StragglerRateTo: 4,
+		LossSpec:        "loss:0.02",
+		CrashSpec:       "crash:1@t=500",
 		ScalingNs:       []int{8, 16, 32},
 		Windows:         []int{1, 4, 64},
 		Fingerprints: []Fingerprint{
@@ -34,6 +36,8 @@ func testBaseline() *Baseline {
 				QueueKneeRate: 1.2, QueueKneeReason: "queue", DropRate: 0.31,
 				HeteroKneeRate: 0.9, HeteroKneeReason: "latency",
 				StragglerKneeRate: 1.1, StragglerKneeReason: "latency",
+				LossKneeRate: 1.3, LossKneeReason: "latency", LossWedged: 12, LossExcused: 5,
+				CrashKneeRate: 1.1, CrashKneeReason: "latency", CrashWedged: 4, CrashExcused: 2,
 				ScalingClass: ClassMergeBound,
 			},
 			{
@@ -44,6 +48,8 @@ func testBaseline() *Baseline {
 				QueueKneeRate: 1.0, QueueKneeReason: "queue", DropRate: 0.4,
 				HeteroKneeRate: 1.0, HeteroKneeReason: "latency",
 				StragglerKneeRate: 0.15, StragglerKneeReason: "latency",
+				LossKneeRate: 0.95, LossKneeReason: "latency", LossWedged: 16, LossExcused: 8,
+				CrashWedged:  16,
 				ScalingClass: ClassBottleneckBound,
 			},
 		},
@@ -85,8 +91,8 @@ func TestBaselineRoundTrip(t *testing.T) {
 			cmp.Pass, cmp.Failures, cmp.FirstFailure())
 	}
 	// Every fingerprint metric of both algorithms was actually compared:
-	// 14 config metrics + 2 algos x 15 metrics.
-	if want := 14 + 2*15; len(cmp.Diffs) != want {
+	// 16 config metrics + 2 algos x 23 metrics.
+	if want := 16 + 2*23; len(cmp.Diffs) != want {
 		t.Fatalf("compared %d metrics, want %d", len(cmp.Diffs), want)
 	}
 }

@@ -47,6 +47,9 @@ type Tolerances struct {
 	Share Band `json:"share"`
 	// Drop bounds drop_rate.
 	Drop Band `json:"drop"`
+	// Faults bounds the fault-cell wedge and excusal counts (loss_wedged,
+	// loss_excused, crash_wedged, crash_excused).
+	Faults Band `json:"faults"`
 }
 
 // DefaultTolerances returns the bands the CI gate runs with. The
@@ -66,6 +69,13 @@ func DefaultTolerances() Tolerances {
 		Messages: Band{Rel: 0.10, Abs: 0.25},
 		Share:    Band{Rel: 0.15, Abs: 0.03},
 		Drop:     Band{Rel: 0.20, Abs: 0.02},
+		// The fault cells' wedge/excusal counts are small integers whose
+		// exact values ride on which probabilistic draws hit which sends —
+		// maximally sensitive to incidental RNG-sequence drift — while the
+		// regressions worth catching are categorical (an algorithm that
+		// wedged entirely now limps along, or excusals exploding because a
+		// retry loop appeared). The wide band encodes that.
+		Faults: Band{Rel: 0.25, Abs: 8},
 	}
 }
 
@@ -167,6 +177,10 @@ func CompareBaseline(base, current *Baseline, tol Tolerances) *Comparison {
 	record(MetricDiff{Metric: "straggler_dist", BaseLabel: labelOrNone(base.StragglerDist),
 		CurrentLabel: labelOrNone(current.StragglerDist), OK: base.StragglerDist == current.StragglerDist})
 	cfgNum("straggler_rate_to", base.StragglerRateTo, current.StragglerRateTo)
+	record(MetricDiff{Metric: "loss_spec", BaseLabel: labelOrNone(base.LossSpec),
+		CurrentLabel: labelOrNone(current.LossSpec), OK: base.LossSpec == current.LossSpec})
+	record(MetricDiff{Metric: "crash_spec", BaseLabel: labelOrNone(base.CrashSpec),
+		CurrentLabel: labelOrNone(current.CrashSpec), OK: base.CrashSpec == current.CrashSpec})
 	cfgList := func(metric string, b, cur []int) {
 		bl, cl := fmt.Sprint(b), fmt.Sprint(cur)
 		record(MetricDiff{Metric: metric, BaseLabel: bl, CurrentLabel: cl, OK: bl == cl})
@@ -206,6 +220,14 @@ func CompareBaseline(base, current *Baseline, tol Tolerances) *Comparison {
 		str("hetero_knee_reason", bf.HeteroKneeReason, cf.HeteroKneeReason)
 		num("straggler_knee_rate", bf.StragglerKneeRate, cf.StragglerKneeRate, tol.Knee)
 		str("straggler_knee_reason", bf.StragglerKneeReason, cf.StragglerKneeReason)
+		num("loss_knee_rate", bf.LossKneeRate, cf.LossKneeRate, tol.Knee)
+		str("loss_knee_reason", bf.LossKneeReason, cf.LossKneeReason)
+		num("loss_wedged", float64(bf.LossWedged), float64(cf.LossWedged), tol.Faults)
+		num("loss_excused", float64(bf.LossExcused), float64(cf.LossExcused), tol.Faults)
+		num("crash_knee_rate", bf.CrashKneeRate, cf.CrashKneeRate, tol.Knee)
+		str("crash_knee_reason", bf.CrashKneeReason, cf.CrashKneeReason)
+		num("crash_wedged", float64(bf.CrashWedged), float64(cf.CrashWedged), tol.Faults)
+		num("crash_excused", float64(bf.CrashExcused), float64(cf.CrashExcused), tol.Faults)
 		str("scaling_class", bf.ScalingClass, cf.ScalingClass)
 	}
 	for _, cf := range current.Fingerprints {

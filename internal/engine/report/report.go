@@ -82,9 +82,21 @@ func Render(res *engine.Result) string {
 	} else if res.Mode == engine.Open.String() {
 		b.WriteString("  saturation knee: not reached\n")
 	}
+	if f := res.Faults; f != nil {
+		fmt.Fprintf(&b, "  faults     %d lost, %d duplicated, %d crash-dropped, %d crash-deferred, %d timers cancelled\n",
+			f.Lost, f.Duplicated, f.CrashDropped, f.CrashDeferred, f.TimersCancelled)
+		if res.Wedged > 0 || res.Unserved > 0 {
+			fmt.Fprintf(&b, "    wedged %d ops (stalled forever by faults), %d requests unserved\n",
+				res.Wedged, res.Unserved)
+		}
+	}
 	if v := res.Verification; v != nil {
 		fmt.Fprintf(&b, "  verification (%s): %d ops, %d violations (%d duplicates, %d gaps, %d order violations)\n",
 			v.Property, v.Ops, v.Violations, v.Duplicates, v.Gaps, v.OrderViolations)
+		if v.FaultsFired && v.Excused > 0 {
+			fmt.Fprintf(&b, "    excused %d fault-attributable anomalies (injected faults fired; missing values are never excused)\n",
+				v.Excused)
+		}
 		if v.First != "" {
 			fmt.Fprintf(&b, "    first violation: %s\n", v.First)
 		}
@@ -116,6 +128,12 @@ type SweepRow struct {
 	// processor wall-clock runtime. rt rows carry ns-valued time fields and
 	// ops/sec rates (Result.Wall is set).
 	Backend string `json:"backend,omitempty"`
+	// FaultSpec is the fault-injection spec the cell ran under, in the
+	// loadgen -faults grammar ("" = fault-free). The fired-fault counters,
+	// wedged operations and excused anomalies live on the embedded Result
+	// (whose own Faults field would collide with a field named Faults here,
+	// hence the distinct name).
+	FaultSpec string `json:"fault_spec,omitempty"`
 	// Skipped is the reason this cell could not run (empty for completed
 	// cells); its Result carries coordinates but no measurements.
 	Skipped string `json:"skipped,omitempty"`
@@ -141,17 +159,19 @@ func SkippedRow(algo, scenario string, mode engine.Mode, n, window int, gap, ser
 }
 
 // SweepCSVHeader is the column list of WriteSweepCSV, one row per run.
-const SweepCSVHeader = "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap," +
+const SweepCSVHeader = "algo,scenario,mode,backend,n,ops,inflight,merge_window,mean_gap,service_time,service_dist,queue_cap,faults," +
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 	"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 	"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
-	"verify_property,verify_violations,verify_duplicates,skipped"
+	"verify_property,verify_violations,verify_duplicates,verify_excused," +
+	"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped,skipped"
 
 // WriteSweepCSV writes the sweep as one merged CSV, a row per run, with
 // the SweepCSVHeader columns. Runs that never saturate leave knee_rate and
 // knee_reason empty; runs without verification leave the verify_* columns
-// empty; skipped cells carry their reason in the final column (commas and
-// newlines replaced so the row stays one record).
+// empty; fault-free rows leave the fault_* columns empty; skipped cells
+// carry their reason in the final column (commas and newlines replaced so
+// the row stays one record).
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	if _, err := fmt.Fprintln(w, SweepCSVHeader); err != nil {
 		return err
@@ -162,18 +182,26 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			kneeRate = fmt.Sprintf("%.4f", r.Knee.OfferedRate)
 			kneeReason = r.Knee.Reason
 		}
-		vProp, vViol, vDup := "", "", ""
+		vProp, vViol, vDup, vExc := "", "", "", ""
 		if v := r.Verification; v != nil {
 			vProp = v.Property
 			vViol = fmt.Sprintf("%d", v.Violations)
 			vDup = fmt.Sprintf("%d", v.Duplicates)
+			vExc = fmt.Sprintf("%d", v.Excused)
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s\n",
-			r.Algorithm, r.Scenario, r.Mode, backendLabel(r.Backend), r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap,
+		fLost, fDup, fCrash := "", "", ""
+		if f := r.Result.Faults; f != nil {
+			fLost = fmt.Sprintf("%d", f.Lost)
+			fDup = fmt.Sprintf("%d", f.Duplicated)
+			fCrash = fmt.Sprintf("%d", f.CrashDropped)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%s,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s\n",
+			r.Algorithm, r.Scenario, r.Mode, backendLabel(r.Backend), r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap, csvField(r.FaultSpec),
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Arrivals, r.Dropped, r.DropRate, r.PeakQueueDepth,
 			r.Messages, r.MessagesPerOp, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
-			kneeRate, kneeReason, vProp, vViol, vDup, csvField(r.Skipped)); err != nil {
+			kneeRate, kneeReason, vProp, vViol, vDup, vExc,
+			r.Wedged, r.Unserved, fLost, fDup, fCrash, csvField(r.Skipped)); err != nil {
 			return err
 		}
 	}
@@ -220,8 +248,8 @@ func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
 // and ticks.
 func RenderSweep(rows []SweepRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6s %5s %6s %5s %12s %10s %9s %7s %8s %14s %12s\n",
-		"algo", "scenario", "mode", "back", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "msg/op", "dropped", "knee", "verify")
+	fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6s %5s %6s %5s %12s %10s %9s %7s %8s %14s %12s %s\n",
+		"algo", "scenario", "mode", "back", "window", "mwin", "gap", "n", "thruput", "p99", "m_b", "msg/op", "dropped", "knee", "verify", "faults")
 	for _, r := range rows {
 		back := r.Backend
 		if back == "" {
@@ -244,15 +272,24 @@ func RenderSweep(rows []SweepRow) string {
 			switch {
 			case v.Violations > 0:
 				vcol = fmt.Sprintf("FAIL:%d", v.Violations)
+			case v.Excused > 0:
+				vcol = fmt.Sprintf("pass+%dexc", v.Excused)
 			case v.Duplicates > 0:
 				vcol = fmt.Sprintf("pass+%ddup", v.Duplicates)
 			default:
 				vcol = "pass"
 			}
 		}
-		fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6d %5d %6d %5d %12.4f %10.1f %9d %7.2f %8d %14s %12s\n",
+		fcol := "-"
+		if r.FaultSpec != "" {
+			fcol = r.FaultSpec
+			if r.Result.Wedged > 0 {
+				fcol = fmt.Sprintf("%s(w%d)", r.FaultSpec, r.Result.Wedged)
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %-6s %-4s %6d %5d %6d %5d %12.4f %10.1f %9d %7.2f %8d %14s %12s %s\n",
 			r.Algorithm, r.Scenario, r.Mode, back, r.InFlight, r.MergeWindow, r.MeanGap, r.N,
-			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.MessagesPerOp, r.Dropped, knee, vcol)
+			r.Throughput, r.Latency.P99, r.Loads.MaxLoad, r.MessagesPerOp, r.Dropped, knee, vcol, fcol)
 	}
 	return b.String()
 }

@@ -53,8 +53,9 @@ func (v *verifier) observeTimes(id sim.OpID, startNs, doneNs int64) {
 }
 
 // report evaluates the collected values against the claimed consistency
-// level.
-func (v *verifier) report() *verify.Report {
-	rep := verify.Evaluate(v.c.Consistency(), v.vals, v.missing)
+// level, excusing fault-attributable anomalies when the run's fault plan
+// actually fired (see verify.EvaluateWithFaults).
+func (v *verifier) report(fc verify.FaultContext) *verify.Report {
+	rep := verify.EvaluateWithFaults(v.c.Consistency(), v.vals, v.missing, fc)
 	return &rep
 }

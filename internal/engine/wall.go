@@ -76,6 +76,7 @@ func runWallClosed(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifi
 		busy     = make([]bool, n+1)
 		timesOf  = make(map[sim.OpID]opTimes)
 		inFlight = 0
+		wedged   = false
 		m        = newWallMetrics(cfg.Warmup)
 		comp     = completionsFor(r)
 	)
@@ -140,19 +141,45 @@ func runWallClosed(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifi
 			}
 			continue
 		}
+		// Once a fault has fired, a silent system is the expected shape of
+		// a wedged run, so wait only WedgeIdle before giving up on the
+		// remaining in-flight operations; without faults a stall is a
+		// driver error and gets the generous timeout.
+		stallT := wallStall
+		if r.FaultStats().Any() {
+			stallT = cfg.WedgeIdle
+		}
 		select {
 		case d := <-comp:
 			handle(d)
-		case <-time.After(wallStall):
-			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight",
-				res.Algorithm, res.Scenario, wallStall, inFlight)
+		case <-time.After(stallT):
+			if !r.FaultStats().Any() {
+				return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight",
+					res.Algorithm, res.Scenario, stallT, inFlight)
+			}
+			res.Wedged = inFlight
+			for src.have {
+				res.Unserved++
+				src.pull()
+			}
+			if src.err != nil {
+				return nil, src.err
+			}
+			wedged = true
 		}
+		if wedged {
+			break
+		}
+	}
+	if r.FaultsActive() {
+		fs := r.FaultStats()
+		res.Faults = &fs
 	}
 	if err := m.finalize(res, r, cfg.Warmup, thinAfter); err != nil {
 		return nil, err
 	}
 	if vf != nil {
-		res.Verification = vf.report()
+		res.Verification = vf.report(faultContext(res))
 	}
 	return res, nil
 }
@@ -186,6 +213,7 @@ func runWallOpen(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier
 		queued      = make([][]int, n+1)
 		totalQueued = 0
 		inFlight    = 0
+		wedged      = false
 		m           = newWallMetrics(cfg.Warmup)
 		comp        = completionsFor(r)
 	)
@@ -288,13 +316,29 @@ func runWallOpen(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier
 			}
 			continue
 		}
+		stallT := wallStall
+		if r.FaultStats().Any() {
+			stallT = cfg.WedgeIdle
+		}
 		select {
 		case d := <-comp:
 			handle(d)
-		case <-time.After(wallStall):
-			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight, %d queued",
-				res.Algorithm, res.Scenario, wallStall, inFlight, totalQueued)
+		case <-time.After(stallT):
+			if !r.FaultStats().Any() {
+				return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight, %d queued",
+					res.Algorithm, res.Scenario, stallT, inFlight, totalQueued)
+			}
+			res.Wedged = inFlight
+			res.Unserved = totalQueued
+			wedged = true
 		}
+		if wedged {
+			break
+		}
+	}
+	if r.FaultsActive() {
+		fs := r.FaultStats()
+		res.Faults = &fs
 	}
 
 	if err := m.finalize(res, r, cfg.Warmup, thinAfter); err != nil {
@@ -311,7 +355,7 @@ func runWallOpen(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier
 		res.Knee.OfferedRate *= 1e9
 	}
 	if vf != nil {
-		res.Verification = vf.report()
+		res.Verification = vf.report(faultContext(res))
 	}
 	return res, nil
 }
@@ -354,7 +398,9 @@ func (m *wallMetrics) onDone(res *Result, r *rt.Runtime, warmup int, doneNs int6
 func (m *wallMetrics) finalize(res *Result, r *rt.Runtime, warmup int, thinAfter bool) error {
 	res.Ops = m.completed
 	res.Measured = len(res.Latencies)
-	if res.Measured == 0 {
+	if res.Measured == 0 && res.Wedged == 0 {
+		// As in the simulator drivers, a wedged run may complete nothing;
+		// an empty measure window is an error only without faults.
 		return fmt.Errorf("engine: warmup %d consumed all %d operations", warmup, m.completed)
 	}
 	res.SimTime = m.lastDone
@@ -364,7 +410,9 @@ func (m *wallMetrics) finalize(res *Result, r *rt.Runtime, warmup int, thinAfter
 		res.Series = thinSeries(res.Series, 64)
 	}
 	res.Loads = wallMeasuredLoads(r, m.baseSent, m.baseRecv)
-	res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	if res.Measured > 0 {
+		res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	}
 	res.Arrivals = res.Ops + res.Dropped
 	if res.Arrivals > 0 {
 		res.DropRate = float64(res.Dropped) / float64(res.Arrivals)

@@ -2,10 +2,12 @@ package registry_test
 
 import (
 	"testing"
+	"time"
 
 	"distcount/internal/engine"
 	"distcount/internal/registry"
 	"distcount/internal/rt"
+	"distcount/internal/sim"
 	"distcount/internal/workload"
 )
 
@@ -85,6 +87,126 @@ func TestCrossBackendEquivalence(t *testing.T) {
 			if simRes.Verification.Property != rtRes.Verification.Property {
 				t.Errorf("claimed property differs: sim %q, rt %q",
 					simRes.Verification.Property, rtRes.Verification.Property)
+			}
+		})
+	}
+}
+
+// TestCrossBackendFaultEquivalence runs the same deterministic fault plan on
+// both backends and checks that the fault layer behaves identically: same
+// messages lost and duplicated, same operations completed and wedged.
+//
+// The plans are deliberately restricted to Nth rules pinned to processors
+// whose send sequence is delivery-order independent, because that is the
+// only regime where count equality is well-defined across backends: the rt
+// runtime delivers concurrently, so a processor that also *responds* to
+// requests interleaves its response sends with its own requests in a
+// timing-dependent order. For central, processors 2 and 3 only ever send
+// their own requests (the holder, processor 1, sends all replies), so their
+// k-th send is their k-th request on both backends. For quorum-majority
+// every processor responds, so the rule uses Every:1 — selecting every send
+// is permutation-invariant, and the set of messages a processor sends is
+// backend-independent even when their order is not.
+func TestCrossBackendFaultEquivalence(t *testing.T) {
+	const ops = 160
+	cases := []struct {
+		algo string
+		plan sim.FaultPlan
+		dup  bool // plan injects duplicates
+	}{
+		{
+			algo: "central",
+			plan: sim.FaultPlan{
+				DropNth: []sim.NthRule{{Proc: 2, Every: 3}},
+				DupNth:  []sim.NthRule{{Proc: 3, Every: 2}},
+			},
+			dup: true,
+		},
+		{
+			algo: "quorum-majority",
+			plan: sim.FaultPlan{
+				DropNth: []sim.NthRule{{Proc: 2, Every: 1}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.algo, func(t *testing.T) {
+			plan := tc.plan
+			cfg := registry.Concurrent()
+			cfg.Faults = &plan
+
+			simC, err := registry.NewWith(tc.algo, 8, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtCfg := cfg
+			rtCfg.Backend = "rt"
+			rtC, err := registry.NewWith(tc.algo, 8, rtCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := rtC.(*rt.Runtime)
+			if !ok {
+				t.Fatalf("rt backend built %T, want *rt.Runtime", rtC)
+			}
+
+			wl := workload.Config{N: simC.N(), Ops: ops, Seed: 7, MeanGap: 4}
+			// A short wedge-idle keeps the rt run fast: operations complete
+			// in microseconds, so 300ms of silence means wedged, not slow.
+			ecfg := engine.Config{InFlight: simC.N(), Verify: true, WedgeIdle: 300 * time.Millisecond}
+
+			simGen, err := workload.New("uniform", wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := engine.Run(simC, simGen, ecfg)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			rtGen, err := workload.New("uniform", wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtRes, err := engine.RunWall(r, rtGen, ecfg)
+			if err != nil {
+				t.Fatalf("rt run: %v", err)
+			}
+
+			if simRes.Faults == nil || rtRes.Faults == nil {
+				t.Fatalf("fault stats missing: sim %v, rt %v", simRes.Faults, rtRes.Faults)
+			}
+			if simRes.Faults.Lost == 0 {
+				t.Error("plan injected no losses — the equivalence check is vacuous")
+			}
+			if simRes.Faults.Lost != rtRes.Faults.Lost {
+				t.Errorf("messages lost differ: sim %d, rt %d", simRes.Faults.Lost, rtRes.Faults.Lost)
+			}
+			if tc.dup {
+				if simRes.Faults.Duplicated == 0 {
+					t.Error("plan injected no duplicates — the equivalence check is vacuous")
+				}
+				if simRes.Faults.Duplicated != rtRes.Faults.Duplicated {
+					t.Errorf("messages duplicated differ: sim %d, rt %d",
+						simRes.Faults.Duplicated, rtRes.Faults.Duplicated)
+				}
+			}
+			if simRes.Wedged == 0 {
+				t.Error("no operation wedged — the drop rule never bit")
+			}
+			if simRes.Ops != rtRes.Ops || simRes.Wedged != rtRes.Wedged || simRes.Unserved != rtRes.Unserved {
+				t.Errorf("outcome differs: sim ops/wedged/unserved %d/%d/%d, rt %d/%d/%d",
+					simRes.Ops, simRes.Wedged, simRes.Unserved,
+					rtRes.Ops, rtRes.Wedged, rtRes.Unserved)
+			}
+			for backend, res := range map[string]*engine.Result{"sim": simRes, "rt": rtRes} {
+				v := res.Verification
+				if v == nil {
+					t.Fatalf("%s: no verification report", backend)
+				}
+				if v.Missing != 0 || v.Violations != 0 {
+					t.Errorf("%s: missing %d, violations %d under faults (first: %s)",
+						backend, v.Missing, v.Violations, v.First)
+				}
 			}
 		})
 	}

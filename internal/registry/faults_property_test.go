@@ -1,0 +1,109 @@
+package registry_test
+
+import (
+	"testing"
+
+	"distcount/internal/engine"
+	"distcount/internal/registry"
+	"distcount/internal/rng"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+// randomPlan draws one fault plan of the given family from r. The families
+// partition the fault surface: probabilistic message faults, explicit
+// crash/recover windows (with and without frozen mailboxes), and membership
+// churn. Every plan is itself deterministic once built — the randomness
+// here only explores the plan space.
+func randomPlan(family string, r *rng.Source) sim.FaultPlan {
+	switch family {
+	case "lossdup":
+		return sim.FaultPlan{
+			Seed: uint64(r.Intn(1000) + 1),
+			Loss: 0.01 + 0.07*r.Float64(),
+			Dup:  0.05 * r.Float64(),
+		}
+	case "crash":
+		plan := sim.FaultPlan{Freeze: r.Intn(2) == 0}
+		for i, k := 0, r.Intn(2)+1; i < k; i++ {
+			d := sim.Downtime{
+				Proc: sim.ProcID(r.Intn(8) + 1),
+				From: int64(r.Intn(400)),
+			}
+			if r.Intn(3) > 0 { // 2/3 of windows recover
+				d.To = d.From + int64(r.Intn(150)+50)
+			}
+			plan.Crashes = append(plan.Crashes, d)
+		}
+		return plan
+	case "churn":
+		period := int64(r.Intn(350) + 50)
+		return sim.FaultPlan{Churn: &sim.ChurnSpec{
+			Procs:  r.Intn(3) + 1,
+			Period: period,
+			Down:   int64(r.Intn(int(period))) + 1,
+		}}
+	}
+	panic("unknown plan family " + family)
+}
+
+// TestFaultPropertyNoSilentFailures is the verification-first property of
+// the fault layer, checked over seeded random plans from every family
+// against every registered algorithm: no run ever reports a consistency
+// violation without the injected faults being on record. Fault-attributable
+// anomalies land in Excused (and only when faults actually fired); genuine
+// violations — which would mean an algorithm silently returned wrong values
+// under faults — fail the test. Operations are conserved: every request
+// either completes, wedges visibly, or is reported unserved.
+func TestFaultPropertyNoSilentFailures(t *testing.T) {
+	const (
+		n   = 8
+		ops = 120
+	)
+	for _, family := range []string{"lossdup", "crash", "churn"} {
+		for ai, name := range registry.Names() {
+			t.Run(family+"/"+name, func(t *testing.T) {
+				// One deterministic plan per (family, algorithm) pair: the
+				// grid stays reproducible while still covering the space.
+				r := rng.New(uint64(1000 + ai))
+				plan := randomPlan(family, r)
+
+				cfg := registry.Concurrent()
+				cfg.Faults = &plan
+				c, err := registry.NewWith(name, n, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gen, err := workload.New("uniform", workload.Config{
+					N: c.N(), Ops: ops, Seed: 7, MeanGap: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := engine.Run(c, gen, engine.Config{InFlight: c.N(), Verify: true})
+				if err != nil {
+					t.Fatalf("run under %+v: %v", plan, err)
+				}
+
+				v := res.Verification
+				if v == nil {
+					t.Fatal("no verification report")
+				}
+				if v.Violations != 0 {
+					t.Errorf("plan %+v: %d violations (first: %s) — a fault-injected run must stay correct or stall visibly",
+						plan, v.Violations, v.First)
+				}
+				if v.Excused > 0 && !v.FaultsFired {
+					t.Errorf("plan %+v: %d anomalies excused but no fault on record", plan, v.Excused)
+				}
+				if got := res.Ops + res.Wedged + res.Unserved; got != ops {
+					t.Errorf("plan %+v: ops %d + wedged %d + unserved %d = %d, want %d — operations leaked",
+						plan, res.Ops, res.Wedged, res.Unserved, got, ops)
+				}
+				if res.Wedged > 0 && (res.Faults == nil || !res.Faults.Any()) {
+					t.Errorf("plan %+v: %d operations wedged with no fault on record", plan, res.Wedged)
+				}
+			})
+		}
+	}
+}

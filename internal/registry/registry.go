@@ -62,6 +62,12 @@ type Config struct {
 	// the analog of sim.WithServiceProfile, emulated by busy-spinning the
 	// receiving goroutine per network message. Nil means no emulated cost.
 	RTService func(p sim.ProcID) int64
+	// Faults installs a fault-injection plan on whichever backend builds:
+	// sim.WithFaults on the simulator, rt.WithFaults on the runtime. Both
+	// backends share the decision core (sim.FaultInjector), so a plan made
+	// of deterministic Nth rules produces the identical drop/duplicate
+	// schedule on either. Nil (or an empty plan) injects nothing.
+	Faults *sim.FaultPlan
 }
 
 // Sequential returns the construction regime of the paper's model: windows
@@ -215,6 +221,9 @@ func NewWith(name string, n int, cfg Config) (counter.Async, error) {
 	}
 	switch cfg.Backend {
 	case "", "sim":
+		if cfg.Faults != nil {
+			cfg.SimOpts = append(cfg.SimOpts[:len(cfg.SimOpts):len(cfg.SimOpts)], sim.WithFaults(*cfg.Faults))
+		}
 		return a.build(n, cfg), nil
 	case "rt":
 		var opts []rt.Option
@@ -223,6 +232,9 @@ func NewWith(name string, n int, cfg Config) (counter.Async, error) {
 		}
 		if cfg.RTService != nil {
 			opts = append(opts, rt.WithServiceProfile(cfg.RTService))
+		}
+		if cfg.Faults != nil {
+			opts = append(opts, rt.WithFaults(*cfg.Faults))
 		}
 		return rt.New(a.machine(n, cfg), opts...), nil
 	}

@@ -95,6 +95,25 @@ func WithServiceProfile(cost func(p sim.ProcID) int64) Option {
 	return func(r *Runtime) { r.svcProfile = cost }
 }
 
+// WithFaults installs a fault-injection plan, the rt analog of
+// sim.WithFaults: loss and duplication are decided at the Send boundary,
+// crash/churn windows are enforced as each mailbox item is delivered (with
+// downtime expressed in ticks of wall time since the runtime started), and
+// local timers firing at a down processor are cancelled. The decision core
+// (sim.FaultInjector) is shared with the simulator, so a plan built from
+// deterministic Nth rules fires on the identical per-sender send indices on
+// both backends; probabilistic rules draw from the same seeded stream but
+// in goroutine-scheduling order, so only their statistics carry over.
+func WithFaults(plan sim.FaultPlan) Option {
+	return func(r *Runtime) {
+		if plan.Empty() {
+			r.faults = nil
+			return
+		}
+		r.faults = sim.NewFaultInjector(r.n, plan)
+	}
+}
+
 // OpDone reports one completed operation to the OnOpDone callback. Times
 // are wall-clock nanoseconds since the runtime started.
 type OpDone struct {
@@ -181,6 +200,11 @@ type Runtime struct {
 
 	timerMu sync.Mutex
 	timers  map[*time.Timer]struct{}
+
+	// faults, when non-nil, is the installed fault plan's decision core,
+	// guarded by faultMu (processor goroutines consult it concurrently).
+	faultMu sync.Mutex
+	faults  *sim.FaultInjector
 }
 
 var _ counter.Valued = (*Runtime)(nil)
@@ -259,6 +283,81 @@ func (r *Runtime) Loads() (sent, recv []int64) {
 		recv[p] = atomic.LoadInt64(&r.recv[p])
 	}
 	return sent, recv
+}
+
+// FaultsActive reports whether a fault plan is installed.
+func (r *Runtime) FaultsActive() bool { return r.faults != nil }
+
+// FaultStats returns the fault events fired so far (the zero value when no
+// plan is installed).
+func (r *Runtime) FaultStats() sim.FaultStats {
+	if r.faults == nil {
+		return sim.FaultStats{}
+	}
+	r.faultMu.Lock()
+	defer r.faultMu.Unlock()
+	return r.faults.Stats()
+}
+
+// sendFate serializes the injector's per-send decision across processor
+// goroutines.
+func (r *Runtime) sendFate(from sim.ProcID) (drop, dup bool) {
+	r.faultMu.Lock()
+	defer r.faultMu.Unlock()
+	return r.faults.SendFate(from)
+}
+
+// faultIntercept enforces crash/churn windows on a mailbox item about to be
+// delivered at processor p, mirroring the simulator's delivery-side check:
+// drained items are destroyed (wedging their operations — their pending
+// units are never released), frozen items re-enter the mailbox at recovery,
+// and local timers are cancelled outright. Downtime is measured in ticks of
+// wall time since the runtime started. Returns true when the item was
+// consumed.
+func (r *Runtime) faultIntercept(p sim.ProcID, it item) bool {
+	t := r.NowNs() / int64(r.tick)
+	r.faultMu.Lock()
+	down, until, forever := r.faults.DownAt(p, t)
+	if !down {
+		r.faultMu.Unlock()
+		return false
+	}
+	if it.msg.Local && !it.start {
+		r.faults.NoteTimerCancelled()
+		r.faultMu.Unlock()
+		return true
+	}
+	if r.faults.Plan().Freeze && !forever {
+		r.faults.NoteCrashDeferred()
+		r.faultMu.Unlock()
+		r.requeueAfter(p, time.Duration(until-t)*r.tick, it)
+		return true
+	}
+	r.faults.NoteCrashDropped()
+	r.faultMu.Unlock()
+	return true
+}
+
+// requeueAfter re-enqueues a frozen delivery once its processor's downtime
+// has passed, through the runtime's timer set so Close still cancels it.
+func (r *Runtime) requeueAfter(p sim.ProcID, d time.Duration, it item) {
+	if d < 0 {
+		d = 0
+	}
+	r.timerMu.Lock()
+	if r.timers == nil { // closed
+		r.timerMu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		r.timerMu.Lock()
+		delete(r.timers, t)
+		r.timerMu.Unlock()
+		r.enqueue(p, it)
+	})
+	r.timers[t] = struct{}{}
+	r.timerMu.Unlock()
 }
 
 // OnOpDone registers the completion callback. It must be set before the
@@ -397,6 +496,9 @@ func (r *Runtime) loop(pr *processor) {
 // callback, then the pending release that may complete the operation —
 // the same order as the simulator's event delivery.
 func (r *Runtime) deliver(view *procView, it item) {
+	if r.faults != nil && r.faultIntercept(view.p, it) {
+		return
+	}
 	network := !it.start && !it.msg.Local
 	if network {
 		atomic.AddInt64(&r.recv[view.p], 1)
@@ -530,6 +632,24 @@ func (v *procView) Send(to sim.ProcID, pl sim.Payload) {
 	}
 	atomic.AddInt64(&v.r.sent[v.p], 1)
 	atomic.AddInt64(&v.r.msgTotal, 1)
+	if v.r.faults != nil {
+		drop, dup := v.r.sendFate(v.p)
+		if drop {
+			// Destroyed in flight after the sender paid: the pending unit is
+			// never released, so the operation wedges — the simulator's loss
+			// semantics exactly.
+			return
+		}
+		if dup {
+			if rec != nil {
+				atomic.AddInt32(&rec.pending, 1)
+				atomic.AddInt64(&rec.msgs, 1)
+			}
+			atomic.AddInt64(&v.r.sent[v.p], 1)
+			atomic.AddInt64(&v.r.msgTotal, 1)
+			v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
+		}
+	}
 	v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
 }
 
@@ -558,6 +678,21 @@ func (v *procView) SendAs(tok sim.OpToken, to sim.ProcID, pl sim.Payload) {
 	atomic.AddInt64(&rec.msgs, 1)
 	atomic.AddInt64(&v.r.sent[v.p], 1)
 	atomic.AddInt64(&v.r.msgTotal, 1)
+	if v.r.faults != nil {
+		drop, dup := v.r.sendFate(v.p)
+		if drop {
+			// The adopted hold converts into nothing: it is never released,
+			// so the operation wedges.
+			return
+		}
+		if dup {
+			atomic.AddInt32(&rec.pending, 1)
+			atomic.AddInt64(&rec.msgs, 1)
+			atomic.AddInt64(&v.r.sent[v.p], 1)
+			atomic.AddInt64(&v.r.msgTotal, 1)
+			v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
+		}
+	}
 	v.r.enqueue(to, item{msg: sim.Message{From: v.p, To: to, Payload: pl}, rec: rec})
 }
 

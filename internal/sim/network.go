@@ -42,7 +42,21 @@ type OpStats struct {
 	// itself) still belonging to the operation; the operation is complete
 	// exactly when pending returns to zero.
 	pending int
+	// killed counts events of the operation destroyed by injected faults
+	// (lost messages, deliveries drained at a crashed processor, cancelled
+	// timers). A killed event is never delivered, so pending can no longer
+	// reach zero: the operation is wedged, visibly, rather than completing
+	// with a silent gap.
+	killed int
 }
+
+// Killed returns the number of the operation's events destroyed by injected
+// faults.
+func (s *OpStats) Killed() int { return s.killed }
+
+// Wedged reports whether the operation can no longer complete because an
+// injected fault destroyed at least one of its events.
+func (s *OpStats) Wedged() bool { return s.pending > 0 && s.killed > 0 }
 
 // Done reports whether the operation has completed: no queued event belongs
 // to it anymore.
@@ -114,6 +128,10 @@ type Network struct {
 	// belonged to a different operation; drained after each Step.
 	doneQ []*OpStats
 
+	// faults, when non-nil, is the installed fault-injection plan (see
+	// WithFaults and faults.go). All fault decisions run through it.
+	faults *FaultInjector
+
 	cur        ctx
 	inCallback bool
 }
@@ -166,6 +184,24 @@ func WithServiceTime(s int64) Option {
 		panic(fmt.Sprintf("sim: negative service time %d", s))
 	}
 	return func(nw *Network) { nw.service, nw.svcProfile = s, nil }
+}
+
+// WithFaults installs a deterministic, seeded fault-injection plan: message
+// loss and duplication decided at the Send boundary, processor crash/recover
+// windows and membership churn enforced at delivery, local timers cancelled
+// at crashed processors. The plan draws from its own random source, so a
+// plan with no probabilistic rules leaves the fault-free event schedule
+// byte-identical. Operations that lose an event to a fault wedge (never
+// complete) instead of completing incorrectly; the engine reports them. A
+// later WithFaults replaces an earlier one; an empty plan removes it.
+func WithFaults(plan FaultPlan) Option {
+	return func(nw *Network) {
+		if plan.Empty() {
+			nw.faults = nil
+			return
+		}
+		nw.faults = NewFaultInjector(nw.n, plan)
+	}
 }
 
 // WithServiceProfile is WithServiceTime with a per-processor cost:
@@ -339,6 +375,26 @@ func (nw *Network) NextAt() (int64, bool) {
 // op tracking is disabled).
 func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops[id] }
 
+// FaultsActive reports whether a fault plan is installed.
+func (nw *Network) FaultsActive() bool { return nw.faults != nil }
+
+// FaultStats returns the fault events fired so far (the zero value when no
+// plan is installed).
+func (nw *Network) FaultStats() FaultStats {
+	if nw.faults == nil {
+		return FaultStats{}
+	}
+	return nw.faults.Stats()
+}
+
+// FaultPlanInstalled returns the installed plan and whether one exists.
+func (nw *Network) FaultPlanInstalled() (FaultPlan, bool) {
+	if nw.faults == nil {
+		return FaultPlan{}, false
+	}
+	return nw.faults.Plan(), true
+}
+
 // CurrentOp returns the id of the operation the currently executing delivery
 // or start callback belongs to, and 0 outside a callback or inside a
 // detached maintenance event (AfterDetached). Protocols use it to key
@@ -367,10 +423,13 @@ func (nw *Network) OnOpDone(fn func(*OpStats)) {
 
 // ForgetOp drops the bookkeeping of a finished operation so that long
 // workload runs do not accumulate per-op state. Forgetting an operation
-// that is still pending would lose its completion; it panics.
+// that is still pending would lose its completion; it panics — unless the
+// operation is wedged (an injected fault destroyed one of its events, so
+// its completion is already lost), in which case forgetting is the only
+// way to reclaim it.
 func (nw *Network) ForgetOp(id OpID) {
 	if st, ok := nw.ops[id]; ok {
-		if st.pending != 0 {
+		if st.pending != 0 && st.killed == 0 {
 			panic(fmt.Sprintf("sim: ForgetOp(%d): operation still has %d pending events", id, st.pending))
 		}
 		delete(nw.ops, id)
@@ -460,6 +519,21 @@ func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, count
 			st.pending++
 		}
 	}
+	var dup bool
+	if nw.faults != nil {
+		var drop bool
+		drop, dup = nw.faults.SendFate(from)
+		if drop {
+			// The sender paid for the message and the operation still awaits
+			// the delivery, but the message is destroyed in flight: no event
+			// is enqueued, so the operation wedges visibly instead of
+			// completing with a silent gap.
+			if st != nil {
+				st.killed++
+			}
+			return
+		}
+	}
 	msg := Message{From: from, To: to, Payload: pl}
 	nw.seq++
 	nw.queue.push(event{
@@ -469,6 +543,29 @@ func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, count
 		op:     op,
 		parent: parent,
 	})
+	if dup {
+		// A duplicated message is a genuine second transmission: full load
+		// accounting, its own latency draw, one more pending delivery for
+		// the operation. Duplicate copies are not fed back through SendFate.
+		nw.sent[from]++
+		nw.tracker.Add(int(from), 1)
+		nw.msgTotal++
+		if sized, ok := pl.(BitSized); ok {
+			nw.bitsTotal += int64(sized.Bits())
+		}
+		if st != nil {
+			st.Messages++
+			st.pending++
+		}
+		nw.seq++
+		nw.queue.push(event{
+			at:     nw.now + nw.latency.Delay(msg, nw.rand),
+			seq:    nw.seq,
+			msg:    msg,
+			op:     op,
+			parent: parent,
+		})
+	}
 }
 
 // OpToken is a held continuation of an operation, created with Adopt: the
@@ -613,6 +710,13 @@ func (nw *Network) Step() (bool, error) {
 		return false, fmt.Errorf("%w (%d events)", ErrEventBudget, nw.maxEvents)
 	}
 	e := nw.queue.pop()
+	// Crash windows are enforced at delivery time: an event addressed to a
+	// down processor is drained, deferred to recovery (Freeze), or — for a
+	// local timer — cancelled. The check precedes service-slot reservation
+	// so a crashed processor's destroyed backlog does not consume slots.
+	if nw.faults != nil && nw.faultIntercept(&e) {
+		return true, nil
+	}
 	// Receiver-side service: a network message reaching a processor that
 	// is still busy — or that has outstanding slot reservations, which
 	// means earlier arrivals are still waiting — reserves the receiver's
@@ -696,6 +800,43 @@ func (nw *Network) Step() (bool, error) {
 	return true, nil
 }
 
+// faultIntercept applies the fault plan's crash/churn windows to a popped
+// event. It returns true when the event was consumed (drained, cancelled,
+// or re-enqueued for after recovery) and must not be delivered.
+func (nw *Network) faultIntercept(e *event) bool {
+	down, until, forever := nw.faults.DownAt(e.msg.To, e.at)
+	if !down {
+		return false
+	}
+	st := nw.ops[e.op]
+	if e.msg.Local {
+		// A crash loses soft state: local timers at a down processor are
+		// cancelled outright, even under Freeze.
+		nw.faults.NoteTimerCancelled()
+		if st != nil {
+			st.killed++
+		}
+		return true
+	}
+	if nw.faults.Plan().Freeze && !forever {
+		// Frozen mailbox: the delivery waits out the downtime and re-enters
+		// the heap at recovery, where it competes for service slots again.
+		nw.faults.NoteCrashDeferred()
+		nw.seq++
+		e.at = until
+		e.seq = nw.seq
+		e.reserved = false
+		nw.queue.push(*e)
+		return true
+	}
+	// Drained mailbox: the delivery is destroyed and its operation wedges.
+	nw.faults.NoteCrashDropped()
+	if st != nil {
+		st.killed++
+	}
+	return true
+}
+
 // Run delivers events until the network is quiescent (empty queue). In the
 // paper's sequential model this is called after each StartOp so that "the
 // preceding inc operation is finished before the next one starts".
@@ -748,6 +889,7 @@ func (nw *Network) Clone() (*Network, error) {
 		ops:        make(map[OpID]*OpStats),
 		trackOps:   nw.trackOps,
 		tracing:    nw.tracing,
+		faults:     nw.faults.Clone(),
 	}
 	copy(out.sent, nw.sent)
 	copy(out.recv, nw.recv)

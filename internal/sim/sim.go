@@ -7,7 +7,9 @@
 //   - any processor can exchange messages directly with any other;
 //   - a message arrives an unbounded but finite amount of time after it is
 //     sent (modelled by pluggable latency functions);
-//   - no failures.
+//   - no failures by default; WithFaults optionally injects a
+//     deterministic, seeded schedule of message loss/duplication, processor
+//     crash/recover, and membership churn (see faults.go).
 //
 // Counter algorithms are implemented as a Protocol whose Deliver method is
 // invoked for every arriving message. An operation (the paper's "process of

@@ -38,15 +38,53 @@ type Report struct {
 	// made; duplicates and gaps remain reported as measurements). Missing
 	// values always count as violations.
 	Violations int `json:"violations"`
+	// Excused counts property failures attributed to injected faults: when
+	// the run's fault plan actually fired, anomalies a fault can legitimately
+	// cause — duplicates, gaps, order violations — are measured here instead
+	// of in Violations. Missing values are never excused: an operation that
+	// completes without a value is a protocol bug even on a faulty network
+	// (fault-destroyed events wedge operations, they do not complete them).
+	Excused int `json:"excused,omitempty"`
+	// Wedged is the number of operations the run's injected faults stalled
+	// forever (carried in from the engine, for rendering alongside the value
+	// checks).
+	Wedged int `json:"wedged,omitempty"`
+	// FaultsFired reports whether any injected fault event actually fired.
+	FaultsFired bool `json:"faults_fired,omitempty"`
 	// First describes the first detected violation, empty when none.
 	First string `json:"first_violation,omitempty"`
+}
+
+// FaultContext tells Evaluate what the fault-injection layer did during the
+// run, so it can separate anomalies the plan explains from genuine
+// violations. The zero value (no faults) reproduces the strict semantics.
+type FaultContext struct {
+	// Fired is true when at least one fault event fired (not merely when a
+	// plan was installed: a plan that never triggers excuses nothing).
+	Fired bool
+	// Wedged is the number of operations stalled forever by faults.
+	Wedged int
 }
 
 // Evaluate checks the values of a concurrent run against the claimed
 // consistency level and returns the quantitative report. missing is the
 // number of completed operations whose value could not be read back.
 func Evaluate(level counter.Consistency, vals []TimedValue, missing int) Report {
-	rep := Report{Property: level.String(), Ops: len(vals), Missing: missing}
+	return EvaluateWithFaults(level, vals, missing, FaultContext{})
+}
+
+// EvaluateWithFaults is Evaluate for a run under fault injection: when the
+// plan actually fired, duplicates, gaps, and order violations are excused —
+// counted and reported, not asserted away and not violations — because a
+// faulty network legitimately causes them (a lost reply leaves its value
+// unhanded, a duplicated request mints an extra one). What is NOT excused
+// is a completed operation without a value (Missing): fault-destroyed
+// events wedge their operations instead of completing them, so Missing
+// remains a hard violation under any fault plan. A linearizable scheme
+// therefore satisfies "stay correct or visibly stall" exactly when its
+// report shows Violations == 0.
+func EvaluateWithFaults(level counter.Consistency, vals []TimedValue, missing int, fc FaultContext) Report {
+	rep := Report{Property: level.String(), Ops: len(vals), Missing: missing, Wedged: fc.Wedged, FaultsFired: fc.Fired}
 
 	// Exactly-once accounting: duplicates and gaps relative to {0..Ops-1}.
 	seen := make(map[int]bool, len(vals))
@@ -98,6 +136,11 @@ func Evaluate(level counter.Consistency, vals []TimedValue, missing int) Report 
 		rep.Violations = rep.Duplicates + rep.Gaps + rep.OrderViolations
 	case counter.Quiescent:
 		rep.Violations = rep.Duplicates + rep.Gaps
+	}
+	if fc.Fired {
+		rep.Excused = rep.Violations
+		rep.Violations = 0
+		rep.First = ""
 	}
 	rep.Violations += rep.Missing
 	if rep.Missing > 0 && rep.First == "" {
