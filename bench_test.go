@@ -258,8 +258,8 @@ func BenchmarkInc(b *testing.B) {
 }
 
 // BenchmarkSimulatorEventThroughput isolates the substrate: raw event
-// processing rate of the discrete-event engine (central counter ops are
-// two events each).
+// processing rate of the discrete-event engine (each central counter op is
+// three events: the operation start plus the request and reply deliveries).
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	c, err := registry.New("central", 64)
 	if err != nil {
@@ -303,7 +303,7 @@ func BenchmarkWorkloadEngine(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err = engine.Run(c, sc, engine.Config{InFlight: 16, Warmup: ops / 10})
+				rep, err = engine.Run(c, sc, engine.Config{InFlight: 16, Warmup: ops / 10, Ops: ops})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -333,7 +333,7 @@ func BenchmarkWorkloadEngineWindow(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err = engine.Run(c, sc, engine.Config{InFlight: window, Warmup: ops / 10})
+				rep, err = engine.Run(c, sc, engine.Config{InFlight: window, Warmup: ops / 10, Ops: ops})
 				if err != nil {
 					b.Fatal(err)
 				}

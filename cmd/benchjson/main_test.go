@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: distcount
+BenchmarkInc/central/n=81-8         	 1000000	      1103 ns/op	         3.951 msgs/op	     256 B/op	       5 allocs/op
+BenchmarkInc/central/n=81-8         	 1000000	      1097 ns/op	         3.951 msgs/op	     256 B/op	       5 allocs/op
+BenchmarkSimulatorEventThroughput-8 	 1698028	       660.0 ns/op	     171 B/op	       3 allocs/op
+BenchmarkSimulatorEventThroughput-8 	 1761006	       720.0 ns/op	     171 B/op	       3 allocs/op
+BenchmarkSimulatorEventThroughput-8 	 1840344	       690.0 ns/op	     170 B/op	       3 allocs/op
+PASS
+ok  	distcount	64.492s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+	// Sorted by name: Inc first.
+	inc, thr := entries[0], entries[1]
+	if inc.Name != "BenchmarkInc/central/n=81" || inc.Runs != 2 {
+		t.Fatalf("inc entry wrong: %+v", inc)
+	}
+	if got := inc.Metrics["ns/op"]; got != 1100 {
+		t.Fatalf("inc ns/op mean = %v, want 1100", got)
+	}
+	if got := inc.Metrics["msgs/op"]; got != 3.951 {
+		t.Fatalf("inc msgs/op = %v", got)
+	}
+	if thr.Name != "BenchmarkSimulatorEventThroughput" || thr.Runs != 3 {
+		t.Fatalf("throughput entry wrong: %+v", thr)
+	}
+	if got := thr.Metrics["ns/op"]; got != 690 {
+		t.Fatalf("throughput ns/op mean = %v, want 690", got)
+	}
+}
+
+func TestRunEmitsArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-pr", "8", "-wall-ms", "2100"}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(out.Bytes(), &art); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if art.Schema != "distcount-bench/v1" || art.PR != 8 || art.RegressionWallMs != 2100 {
+		t.Fatalf("header wrong: %+v", art)
+	}
+	if art.EventsPerOp != eventsPerOp {
+		t.Fatalf("events_per_op = %d, want %d", art.EventsPerOp, eventsPerOp)
+	}
+	if want := 690.0 / eventsPerOp; math.Abs(art.EventNs-want) > 1e-9 {
+		t.Fatalf("event_ns = %v, want %v", art.EventNs, want)
+	}
+	if want := 3.0 / eventsPerOp; math.Abs(art.EventAllocs-want) > 1e-9 {
+		t.Fatalf("event_allocs = %v, want %v", art.EventAllocs, want)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(art.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("want error on benchmark-free input")
+	}
+}

@@ -115,6 +115,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -197,6 +198,8 @@ func run(args []string, out io.Writer) error {
 		ns       = fs.String("ns", "", "comma-separated processor counts: the n grid dimension for -sweep and -study (default: -n)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for -sweep/-study cells (each cell owns an independent network)")
 		list     = fs.Bool("list", false, "list algorithms and scenarios, then exit")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (inspect with go tool pprof; recipe in docs/EXPERIMENTS.md §10)")
+		memprof  = fs.String("memprofile", "", "write an allocation profile, taken after a final GC at exit, to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -342,6 +345,11 @@ func run(args []string, out io.Writer) error {
 		// Same early validation for the fault spec.
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	opt := options{
 		mode:        m,
@@ -431,6 +439,47 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// startProfiles starts CPU profiling and/or arranges an exit-time
+// allocation profile, returning the teardown to defer. Teardown failures
+// are reported on stderr rather than through the exit code: a profile is a
+// measurement aid, and the run it measured still succeeded.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		if cpuFile, err = os.Create(cpuPath); err != nil {
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	stop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}
+
 // runOne builds a fresh counter and scenario and executes a single engine
 // run on the selected backend: the discrete-event simulator (engine.Run)
 // or the goroutine-per-processor rt runtime (engine.RunWall).
@@ -478,7 +527,10 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	}
 
 	ecfg := engine.Config{
-		Mode:        opt.mode,
+		Mode: opt.mode,
+		// The expected completion count preallocates the engine's per-op
+		// metric slices in one shot.
+		Ops:         genOps(scenario, opt.ops, c.N()),
 		InFlight:    opt.inflight,
 		QueueCap:    opt.queueCap,
 		Warmup:      opt.warmup,

@@ -254,6 +254,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 type Counter struct {
 	net          *sim.Network
 	proto        *proto
+	start        func(sim.Transport, sim.ProcID)
 	construction Construction
 }
 
@@ -381,7 +382,12 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 // linearizable under concurrency (Herlihy/Shavit/Waarts), which experiment
 // E13 demonstrates against the paper's tree counter.
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
-	return c.net.ScheduleOp(at, p, c.proto.initiate)
+	if c.start == nil {
+		// Cache the bound method value: a fresh one per operation is a heap
+		// allocation on the hot path.
+		c.start = c.proto.initiate
+	}
+	return c.net.ScheduleOp(at, p, c.start)
 }
 
 // ValueOf returns the value delivered to p's last *completed* operation;

@@ -235,6 +235,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 type Counter struct {
 	net   *sim.Network
 	proto *proto
+	start func(sim.Transport, sim.ProcID)
 }
 
 var (
@@ -343,7 +344,12 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 // Start begins p's operation without draining the network (concurrent
 // experiments); read the result with ValueOf after the network quiesces.
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
-	return c.net.ScheduleOp(at, p, c.proto.initiate)
+	if c.start == nil {
+		// Cache the bound method value: a fresh one per operation is a heap
+		// allocation on the hot path.
+		c.start = c.proto.initiate
+	}
+	return c.net.ScheduleOp(at, p, c.start)
 }
 
 // ValueOf returns the value delivered to p's last operation.

@@ -105,6 +105,7 @@ func (pr *proto) CloneProtocol() sim.Protocol {
 type Counter struct {
 	net   *sim.Network
 	proto *proto
+	start func(sim.Transport, sim.ProcID)
 }
 
 var (
@@ -159,7 +160,12 @@ func (c *Counter) Inc(p sim.ProcID) (int, error) {
 // still terminates at its destination and the hop-by-hop load profile
 // remains the quantity of interest for workload studies.
 func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
-	return c.net.ScheduleOp(at, p, c.proto.initiate)
+	if c.start == nil {
+		// Cache the bound method value: a fresh one per operation is a heap
+		// allocation on the hot path.
+		c.start = c.proto.initiate
+	}
+	return c.net.ScheduleOp(at, p, c.start)
 }
 
 // OpValue implements counter.Valued.

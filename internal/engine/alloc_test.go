@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"testing"
+
+	"distcount/internal/workload"
+)
+
+// TestRunWorkloadAllocCeiling pins an allocation budget on a small
+// closed-loop run, counter construction included. Unlike the simulator's
+// Send/Step guard (exactly zero), a workload run legitimately allocates:
+// the counter and network are built fresh, the per-op metric slices are
+// preallocated once, the result and its digests are assembled, and the
+// counter's value table records one entry per operation. The ceiling is set
+// with >2× headroom over the measured cost (~440 objects for 200 ops at
+// n=16, i.e. ~2.2 objects per op); a regression that reintroduces per-op
+// allocation in the hot path (per-send map inserts, per-quantile sort
+// copies, append-growth of the metric slices) blows through it at once.
+func TestRunWorkloadAllocCeiling(t *testing.T) {
+	const (
+		ops     = 200
+		ceiling = 1000 // objects per whole run (~5 per op), measured ~440
+	)
+	run := func() {
+		c := mustAsync(t, "central", 16)
+		gen := mustScenario(t, "uniform", workload.Config{N: 16, Ops: ops, Seed: 1})
+		if _, err := Run(c, gen, Config{InFlight: 8, Ops: ops}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm lazy runtime state out of the measurement
+	if avg := testing.AllocsPerRun(10, run); avg > ceiling {
+		t.Fatalf("RunWorkload allocates %.0f objects per %d-op run, ceiling %d", avg, ops, ceiling)
+	}
+}

@@ -40,7 +40,7 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"distcount/internal/counter"
@@ -94,6 +94,13 @@ type Config struct {
 	// Ignored in open-loop mode, where concurrency is bounded only by the
 	// number of processors.
 	InFlight int
+	// Ops is a capacity hint: the number of completions the run is expected
+	// to produce, used to preallocate the per-op metric slices (latencies,
+	// queue delays, activity intervals) in one shot instead of growing them
+	// by doubling mid-run. When 0 the engine falls back to the scenario's
+	// length hint (generators implementing Len() int). Purely a performance
+	// hint: a wrong value changes allocation behavior, never results.
+	Ops int
 	// QueueCap bounds the open-loop admission queue: requests that arrive
 	// while their initiator is busy wait here; a request arriving when the
 	// queue is full is dropped and counted in Result.Dropped (default
@@ -357,6 +364,19 @@ func (s *source) pull() {
 	s.head, s.have = req, true
 }
 
+// opsHint resolves the expected completion count used to size the per-op
+// metric slices: Config.Ops when set, else the scenario's length hint, else
+// 0 (grow-by-append).
+func opsHint(cfg Config, gen workload.Generator) int {
+	if cfg.Ops > 0 {
+		return cfg.Ops
+	}
+	if sized, ok := gen.(interface{ Len() int }); ok {
+		return sized.Len()
+	}
+	return 0
+}
+
 // resolveStride picks the bottleneck-series sampling stride: from the
 // config, the scenario's length hint, or per-completion sampling thinned
 // after the run.
@@ -392,13 +412,15 @@ func runClosed(c counter.Async, gen workload.Generator, cfg Config, vf *verifier
 		return nil, src.err
 	}
 
+	hint := opsHint(cfg, gen)
 	var (
 		busy     = make([]bool, n+1) // one op per initiator in flight
-		timesOf  = make(map[sim.OpID]opTimes)
+		timesOf  = make(map[sim.OpID]opTimes, cfg.InFlight)
 		inFlight = 0
-		m        = newRunMetrics(cfg.Warmup)
+		m        = newRunMetrics(cfg.Warmup, hint)
 		drain    = drainFor(c, vf)
 	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
 
 	// admit starts requests, in arrival order, while a window slot is free
 	// and the head-of-line initiator is idle. Requests whose arrival time
@@ -520,9 +542,30 @@ type runMetrics struct {
 	serviceLats        []int64
 }
 
-func newRunMetrics(warmup int) *runMetrics {
+// newRunMetrics sizes the accumulation slices from the expected completion
+// count (0 = grow by append), so a hinted run's metric collection performs
+// no mid-run reallocation.
+func newRunMetrics(warmup, hint int) *runMetrics {
 	// No warmup: measure from t=0 with a zero load baseline.
-	return &runMetrics{measureBegan: warmup == 0}
+	m := &runMetrics{measureBegan: warmup == 0}
+	if hint > 0 {
+		m.opStarts = make([]int64, 0, hint)
+		m.opDones = make([]int64, 0, hint)
+		if meas := hint - warmup; meas > 0 {
+			m.queueDelays = make([]int64, 0, meas)
+			m.serviceLats = make([]int64, 0, meas)
+		}
+	}
+	return m
+}
+
+// preallocLatencies sizes the result's raw latency vector from the hint
+// (nil when no hint, keeping append-growth semantics).
+func preallocLatencies(hint, warmup int) []int64 {
+	if meas := hint - warmup; hint > 0 && meas > 0 {
+		return make([]int64, 0, meas)
+	}
+	return nil
 }
 
 // onDone records one completion: its activity interval always, and past
@@ -621,7 +664,7 @@ func summarizeLatencies(lats []int64) LatencyStats {
 		return LatencyStats{}
 	}
 	sorted := append([]int64(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var sum float64
 	for _, l := range sorted {
 		sum += float64(l)
@@ -668,8 +711,8 @@ func peakConcurrency(starts, dones []int64) int {
 			dones[i]++
 		}
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	slices.Sort(starts)
+	slices.Sort(dones)
 	peak, cur, j := 0, 0, 0
 	for _, s := range starts {
 		for j < len(dones) && dones[j] <= s {

@@ -405,6 +405,53 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileType7 pins the estimator to R/NumPy's default "type 7":
+// linear interpolation between the order statistics at rank q·(len−1) —
+// checked against numpy.percentile reference values — and verifies the
+// digest computes every quantile from one shared sorted copy without
+// touching the caller's slice.
+func TestPercentileType7(t *testing.T) {
+	// numpy.percentile([15, 20, 35, 40, 50], q) for q in {5, 30, 40, 90, 99}.
+	sorted := []int64{15, 20, 35, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.05, 16.0}, // pos 0.2: 15 + 0.2·(20−15)
+		{0.25, 20.0}, // pos 1.0 lands exactly on an order statistic
+		{0.30, 23.0}, // pos 1.2: 20 + 0.2·(35−20) — NOT nearest-rank's 20
+		{0.40, 29.0}, // pos 1.6: 20 + 0.6·(35−20)
+		{0.90, 46.0}, // pos 3.6: 40 + 0.6·(50−40)
+		{0.99, 49.6}, // pos 3.96
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Fatalf("p%v = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+
+	// The digest must not reorder or modify the caller's latency vector.
+	lats := []int64{50, 15, 40, 20, 35}
+	orig := append([]int64(nil), lats...)
+	s := summarizeLatencies(lats)
+	for i := range orig {
+		if lats[i] != orig[i] {
+			t.Fatalf("summarizeLatencies mutated its argument: %v", lats)
+		}
+	}
+	if s.P50 != 35 || s.Max != 50 {
+		t.Fatalf("digest wrong: %+v", s)
+	}
+	if want := (15.0 + 20 + 35 + 40 + 50) / 5; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	// p90/p99 agree with percentile() on the sorted copy: one sort feeds
+	// every quantile.
+	if s.P90 != 46.0 || s.P99 != 49.6 {
+		t.Fatalf("p90/p99 = %v/%v, want 46/49.6", s.P90, s.P99)
+	}
+}
+
 func TestThinSeries(t *testing.T) {
 	series := make([]Sample, 200)
 	for i := range series {

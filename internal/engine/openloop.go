@@ -96,16 +96,18 @@ func runOpen(c counter.Async, gen workload.Generator, cfg Config, vf *verifier) 
 		return nil, src.err
 	}
 
+	hint := opsHint(cfg, gen)
 	var (
-		recs        []opRec
-		recOf       = make(map[sim.OpID]int)
+		recs        = make([]opRec, 0, hint)
+		recOf       = make(map[sim.OpID]int, n)
 		busy        = make([]bool, n+1)  // one op per initiator in flight
 		queued      = make([][]int, n+1) // rec indices waiting per initiator
 		totalQueued = 0
 		inFlight    = 0
-		m           = newRunMetrics(cfg.Warmup)
+		m           = newRunMetrics(cfg.Warmup, hint)
 		drain       = drainFor(c, vf)
 	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
 
 	sampleEvery, thinAfter := resolveStride(cfg, gen)
 

@@ -72,14 +72,16 @@ func runWallClosed(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifi
 		return nil, src.err
 	}
 
+	hint := opsHint(cfg, gen)
 	var (
 		busy     = make([]bool, n+1)
-		timesOf  = make(map[sim.OpID]opTimes)
+		timesOf  = make(map[sim.OpID]opTimes, cfg.InFlight)
 		inFlight = 0
 		wedged   = false
-		m        = newWallMetrics(cfg.Warmup)
+		m        = newWallMetrics(cfg.Warmup, hint)
 		comp     = completionsFor(r)
 	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
 	defer r.Close()
 	sampleEvery, thinAfter := resolveStride(cfg, gen)
 
@@ -206,17 +208,19 @@ func runWallOpen(r *rt.Runtime, gen workload.Generator, cfg Config, vf *verifier
 		return nil, src.err
 	}
 
+	hint := opsHint(cfg, gen)
 	var (
-		recs        []opRec
-		recOf       = make(map[sim.OpID]int)
+		recs        = make([]opRec, 0, hint)
+		recOf       = make(map[sim.OpID]int, n)
 		busy        = make([]bool, n+1)
 		queued      = make([][]int, n+1)
 		totalQueued = 0
 		inFlight    = 0
 		wedged      = false
-		m           = newWallMetrics(cfg.Warmup)
+		m           = newWallMetrics(cfg.Warmup, hint)
 		comp        = completionsFor(r)
 	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
 	defer r.Close()
 	sampleEvery, thinAfter := resolveStride(cfg, gen)
 
@@ -372,8 +376,18 @@ type wallMetrics struct {
 	serviceLats        []int64
 }
 
-func newWallMetrics(warmup int) *wallMetrics {
-	return &wallMetrics{measureBegan: warmup == 0}
+// newWallMetrics mirrors newRunMetrics' hint-based preallocation.
+func newWallMetrics(warmup, hint int) *wallMetrics {
+	m := &wallMetrics{measureBegan: warmup == 0}
+	if hint > 0 {
+		m.opStarts = make([]int64, 0, hint)
+		m.opDones = make([]int64, 0, hint)
+		if meas := hint - warmup; meas > 0 {
+			m.queueDelays = make([]int64, 0, meas)
+			m.serviceLats = make([]int64, 0, meas)
+		}
+	}
+	return m
 }
 
 func (m *wallMetrics) onDone(res *Result, r *rt.Runtime, warmup int, doneNs int64, tm opTimes) {

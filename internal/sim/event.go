@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // event is a queued occurrence: either a message delivery or an operation
 // start (start != nil). Events are ordered by (at, seq); seq is a strictly
 // increasing tie-breaker that makes simulations fully deterministic.
@@ -74,10 +76,152 @@ func (h *eventHeap) siftDown(i int) {
 	}
 }
 
-// clone returns a deep copy of the heap (the slice is copied; events are
+// ringWindow is the span, in ticks, of the near-future bucket ring: events
+// scheduled within ringWindow ticks of the last delivery bypass the binary
+// heap. It must be exactly 64 so one machine word can index bucket
+// occupancy. Unit-latency sends, same-tick timers, and service-slot
+// deferrals — the simulator's dominant event population — all land inside
+// the window; only far timers and scheduled future operations pay for the
+// heap.
+const ringWindow = 64
+
+// eventQueue is the simulator's pending-event set: a bucket ring over the
+// next ringWindow ticks backed by a binary min-heap for everything further
+// out. Ordering is exactly (at, seq) — identical to a pure heap, which the
+// property test in event_test.go pins — but the common push/pop pair costs
+// O(1) appends instead of O(log n) sift chains.
+//
+// Invariants:
+//   - base only advances, and never past the earliest queued event, so
+//     every ring event's timestamp stays inside [base, base+ringWindow):
+//     ticks map 1:1 onto buckets (bucket = at mod ringWindow).
+//   - within a bucket, events from heads[b] on are sorted by seq. Pushes
+//     carry fresh, increasing seqs except service-slot and crash-freeze
+//     re-entries, which keep or renew their seq and binary-insert.
+//   - occ bit b is set iff bucket b has undelivered events; nearLen counts
+//     them, so emptiness checks and peeks never scan the ring.
+type eventQueue struct {
+	far     eventHeap
+	near    [ringWindow][]event
+	heads   [ringWindow]int // per-bucket pop cursor into near[b]
+	occ     uint64          // bucket-occupancy bitmask
+	base    int64           // ring window start (last delivered timestamp)
+	nearLen int
+}
+
+func (q *eventQueue) len() int { return q.nearLen + q.far.len() }
+
+// push enqueues e, routing it to the ring when its timestamp falls inside
+// the current window and to the heap otherwise.
+func (q *eventQueue) push(e event) {
+	d := e.at - q.base
+	if uint64(d) >= ringWindow { // also catches a (never expected) past event
+		q.far.push(e)
+		return
+	}
+	b := int(e.at) & (ringWindow - 1)
+	bucket := q.near[b]
+	if n := len(bucket); n == q.heads[b] || bucket[n-1].seq < e.seq {
+		// The overwhelmingly common case: a fresh seq, larger than
+		// everything already queued for the tick.
+		q.near[b] = append(bucket, e)
+	} else {
+		// A service-slot or freeze re-entry overtaken by newer sends to the
+		// same tick: binary-insert by seq behind the pop cursor.
+		lo, hi := q.heads[b], n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if bucket[mid].seq < e.seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bucket = append(bucket, event{})
+		copy(bucket[lo+1:], bucket[lo:])
+		bucket[lo] = e
+		q.near[b] = bucket
+	}
+	q.occ |= 1 << b
+	q.nearLen++
+}
+
+// nearMin returns the ring's earliest pending event. Must not be called on
+// an empty ring.
+func (q *eventQueue) nearMin() *event {
+	// Rotate the occupancy mask so bit k corresponds to tick base+k; the
+	// lowest set bit is the earliest occupied tick in the window.
+	r := bits.RotateLeft64(q.occ, -int(q.base&(ringWindow-1)))
+	t := q.base + int64(bits.TrailingZeros64(r))
+	b := int(t) & (ringWindow - 1)
+	return &q.near[b][q.heads[b]]
+}
+
+// peekAt returns the timestamp of the earliest queued event; ok is false
+// when the queue is empty.
+func (q *eventQueue) peekAt() (int64, bool) {
+	switch {
+	case q.nearLen == 0 && q.far.len() == 0:
+		return 0, false
+	case q.nearLen == 0:
+		return q.far.evs[0].at, true
+	case q.far.len() == 0:
+		return q.nearMin().at, true
+	}
+	at := q.nearMin().at
+	if h := q.far.evs[0].at; h < at {
+		return h, true
+	}
+	return at, true
+}
+
+// pop removes and returns the (at, seq)-smallest queued event, advancing
+// the ring window to its timestamp. Must not be called on an empty queue.
+func (q *eventQueue) pop() event {
+	var e event
+	switch {
+	case q.nearLen == 0:
+		e = q.far.pop()
+	default:
+		cand := q.nearMin()
+		if q.far.len() > 0 {
+			if h := &q.far.evs[0]; h.at < cand.at || (h.at == cand.at && h.seq < cand.seq) {
+				e = q.far.pop()
+				q.base = e.at
+				return e
+			}
+		}
+		e = *cand
+		b := int(e.at) & (ringWindow - 1)
+		q.heads[b]++
+		q.nearLen--
+		if q.heads[b] == len(q.near[b]) {
+			// Bucket drained: recycle its backing array for the tick that
+			// will claim this slot ringWindow ticks from now.
+			q.near[b] = q.near[b][:0]
+			q.heads[b] = 0
+			q.occ &^= 1 << b
+		}
+	}
+	q.base = e.at
+	return e
+}
+
+// clone returns a deep copy of the queue (slices are copied; events are
 // value types, payloads are immutable by contract).
-func (h *eventHeap) clone() eventHeap {
-	evs := make([]event, len(h.evs))
-	copy(evs, h.evs)
-	return eventHeap{evs: evs}
+func (q *eventQueue) clone() eventQueue {
+	out := eventQueue{
+		heads:   q.heads,
+		occ:     q.occ,
+		base:    q.base,
+		nearLen: q.nearLen,
+	}
+	out.far.evs = make([]event, len(q.far.evs))
+	copy(out.far.evs, q.far.evs)
+	for b, bucket := range q.near {
+		if len(bucket) > 0 {
+			out.near[b] = append([]event(nil), bucket...)
+		}
+	}
+	return out
 }

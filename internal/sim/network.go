@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"distcount/internal/loadstat"
 	"distcount/internal/rng"
@@ -24,59 +23,6 @@ var (
 	ErrNotCloneable = errors.New("sim: protocol does not implement CloneableProtocol")
 )
 
-// OpStats aggregates what happened during one operation.
-type OpStats struct {
-	ID        OpID
-	Initiator ProcID
-	// StartedAt and DoneAt are the simulated times of the initiation event
-	// and of the last event attributed to the operation.
-	StartedAt, DoneAt int64
-	// Messages is the number of network messages sent during the operation.
-	Messages int64
-	// DAG is the communication DAG of the operation; nil unless tracing
-	// was enabled when the operation ran.
-	DAG *trace.DAG
-
-	participants map[int]struct{}
-	// pending counts the queued events (messages, timers, the initiation
-	// itself) still belonging to the operation; the operation is complete
-	// exactly when pending returns to zero.
-	pending int
-	// killed counts events of the operation destroyed by injected faults
-	// (lost messages, deliveries drained at a crashed processor, cancelled
-	// timers). A killed event is never delivered, so pending can no longer
-	// reach zero: the operation is wedged, visibly, rather than completing
-	// with a silent gap.
-	killed int
-}
-
-// Killed returns the number of the operation's events destroyed by injected
-// faults.
-func (s *OpStats) Killed() int { return s.killed }
-
-// Wedged reports whether the operation can no longer complete because an
-// injected fault destroyed at least one of its events.
-func (s *OpStats) Wedged() bool { return s.pending > 0 && s.killed > 0 }
-
-// Done reports whether the operation has completed: no queued event belongs
-// to it anymore.
-func (s *OpStats) Done() bool { return s.pending == 0 }
-
-// Participants returns the sorted set I_p of processors that sent or
-// received a message during the operation, always including the initiator.
-func (s *OpStats) Participants() []int {
-	out := make([]int, 0, len(s.participants))
-	for p := range s.participants {
-		out = append(out, p)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// ParticipantSet returns I_p as a set. The returned map must not be
-// modified.
-func (s *OpStats) ParticipantSet() map[int]struct{} { return s.participants }
-
 // ctx is the execution context while a Deliver or start callback runs.
 type ctx struct {
 	op        OpID
@@ -94,7 +40,7 @@ type Network struct {
 
 	now   int64
 	seq   uint64
-	queue eventHeap
+	queue eventQueue
 
 	sent, recv []int64 // indexed by ProcID; slot 0 unused
 	// tracker maintains the running maximum load (the paper's bottleneck
@@ -120,7 +66,7 @@ type Network struct {
 	nextSlot   []int64
 
 	nextOp   OpID
-	ops      map[OpID]*OpStats
+	ops      opTable
 	trackOps bool
 	tracing  bool
 	onOpDone func(*OpStats)
@@ -244,7 +190,6 @@ func New(n int, proto Protocol, opts ...Option) *Network {
 		freeAt:    make([]int64, n+1),
 		nextSlot:  make([]int64, n+1),
 		maxEvents: 500_000_000,
-		ops:       make(map[OpID]*OpStats),
 		trackOps:  true,
 	}
 	for _, opt := range opts {
@@ -365,15 +310,12 @@ func (nw *Network) svcOf(p ProcID) int64 {
 // false when the queue is empty. The open-loop workload engine peeks it to
 // interleave request admission with event delivery in timestamp order.
 func (nw *Network) NextAt() (int64, bool) {
-	if nw.queue.len() == 0 {
-		return 0, false
-	}
-	return nw.queue.evs[0].at, true
+	return nw.queue.peekAt()
 }
 
 // OpStats returns the statistics of an operation, or nil if unknown (or if
 // op tracking is disabled).
-func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops[id] }
+func (nw *Network) OpStats(id OpID) *OpStats { return nw.ops.get(id) }
 
 // FaultsActive reports whether a fault plan is installed.
 func (nw *Network) FaultsActive() bool { return nw.faults != nil }
@@ -427,12 +369,18 @@ func (nw *Network) OnOpDone(fn func(*OpStats)) {
 // operation is wedged (an injected fault destroyed one of its events, so
 // its completion is already lost), in which case forgetting is the only
 // way to reclaim it.
+//
+// The forgotten record is recycled: the next operation start may reuse it.
+// Callers must therefore not retain the *OpStats of a forgotten operation
+// across a subsequent StartOp/ScheduleOp (reading it within the same
+// completion callback, after ForgetOp but before scheduling anything new,
+// remains safe — the workload engine does exactly that).
 func (nw *Network) ForgetOp(id OpID) {
-	if st, ok := nw.ops[id]; ok {
+	if st := nw.ops.get(id); st != nil {
 		if st.pending != 0 && st.killed == 0 {
 			panic(fmt.Sprintf("sim: ForgetOp(%d): operation still has %d pending events", id, st.pending))
 		}
-		delete(nw.ops, id)
+		nw.ops.forget(id)
 	}
 }
 
@@ -459,18 +407,12 @@ func (nw *Network) ScheduleOp(at int64, p ProcID, start func(nw Transport, p Pro
 	nw.nextOp++
 	id := nw.nextOp
 	if nw.trackOps {
-		st := &OpStats{
-			ID:           id,
-			Initiator:    p,
-			StartedAt:    at,
-			DoneAt:       at,
-			participants: map[int]struct{}{int(p): {}},
-			pending:      1,
-		}
+		st := nw.ops.alloc(id, p, at, nw.n)
+		st.participants.add(int(p))
 		if nw.tracing {
 			st.DAG = trace.NewDAG(int(p))
 		}
-		nw.ops[id] = st
+		nw.ops.put(id, st)
 	}
 	nw.seq++
 	nw.queue.push(event{
@@ -494,12 +436,14 @@ func (nw *Network) Send(to ProcID, pl Payload) {
 	nw.enqueueSend(to, pl, nw.cur.op, nw.cur.traceNode, true)
 }
 
-// enqueueSend is the shared body of Send and SendAs: load accounting,
-// per-op statistics, and the queue push, attributed to the given operation
-// and DAG parent. countPending adds the queued event to the operation's
-// pending count (Send); SendAs instead converts an existing hold.
-func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, countPending bool) {
-	from := nw.cur.proc
+// accountSend charges one physical transmission to the sender's load
+// counters and, when the operation is tracked, to the operation: message
+// count, participant bits, and — when the queued delivery belongs to the
+// operation — one more pending event. It is the single accounting body
+// shared by the first copy of a send and a fault-injected duplicate, so the
+// two cannot drift (a duplicate is a genuine second transmission: full load
+// accounting and its own pending delivery).
+func (nw *Network) accountSend(from, to ProcID, pl Payload, st *OpStats, countPending bool) {
 	nw.sent[from]++
 	nw.tracker.Add(int(from), 1)
 	nw.msgTotal++
@@ -510,15 +454,36 @@ func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, count
 			nw.maxMsgBits = bits
 		}
 	}
-	st := nw.ops[op]
 	if st != nil {
 		st.Messages++
-		st.participants[int(from)] = struct{}{}
-		st.participants[int(to)] = struct{}{}
+		st.participants.add(int(from))
+		st.participants.add(int(to))
 		if countPending {
 			st.pending++
 		}
 	}
+}
+
+// pushSend enqueues one transmission of msg with a fresh latency draw.
+func (nw *Network) pushSend(msg Message, op OpID, parent int) {
+	nw.seq++
+	nw.queue.push(event{
+		at:     nw.now + nw.latency.Delay(msg, nw.rand),
+		seq:    nw.seq,
+		msg:    msg,
+		op:     op,
+		parent: parent,
+	})
+}
+
+// enqueueSend is the shared body of Send and SendAs: load accounting,
+// per-op statistics, and the queue push, attributed to the given operation
+// and DAG parent. countPending adds the queued event to the operation's
+// pending count (Send); SendAs instead converts an existing hold.
+func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, countPending bool) {
+	from := nw.cur.proc
+	st := nw.ops.get(op)
+	nw.accountSend(from, to, pl, st, countPending)
 	var dup bool
 	if nw.faults != nil {
 		var drop bool
@@ -535,36 +500,12 @@ func (nw *Network) enqueueSend(to ProcID, pl Payload, op OpID, parent int, count
 		}
 	}
 	msg := Message{From: from, To: to, Payload: pl}
-	nw.seq++
-	nw.queue.push(event{
-		at:     nw.now + nw.latency.Delay(msg, nw.rand),
-		seq:    nw.seq,
-		msg:    msg,
-		op:     op,
-		parent: parent,
-	})
+	nw.pushSend(msg, op, parent)
 	if dup {
-		// A duplicated message is a genuine second transmission: full load
-		// accounting, its own latency draw, one more pending delivery for
-		// the operation. Duplicate copies are not fed back through SendFate.
-		nw.sent[from]++
-		nw.tracker.Add(int(from), 1)
-		nw.msgTotal++
-		if sized, ok := pl.(BitSized); ok {
-			nw.bitsTotal += int64(sized.Bits())
-		}
-		if st != nil {
-			st.Messages++
-			st.pending++
-		}
-		nw.seq++
-		nw.queue.push(event{
-			at:     nw.now + nw.latency.Delay(msg, nw.rand),
-			seq:    nw.seq,
-			msg:    msg,
-			op:     op,
-			parent: parent,
-		})
+		// A duplicated message repeats the whole accounting and gets its own
+		// latency draw. Duplicate copies are not fed back through SendFate.
+		nw.accountSend(from, to, pl, st, true)
+		nw.pushSend(msg, op, parent)
 	}
 }
 
@@ -601,7 +542,7 @@ func (nw *Network) Adopt() OpToken {
 	if !nw.inCallback {
 		panic("sim: Adopt called outside a delivery context")
 	}
-	if st := nw.ops[nw.cur.op]; st != nil {
+	if st := nw.ops.get(nw.cur.op); st != nil {
 		st.pending++
 	}
 	return OpToken{op: nw.cur.op, node: nw.cur.traceNode}
@@ -635,7 +576,7 @@ func (nw *Network) Release(tok OpToken) {
 	if !tok.Valid() {
 		panic("sim: Release of an invalid token")
 	}
-	st := nw.ops[tok.op]
+	st := nw.ops.get(tok.op)
 	if st == nil {
 		return
 	}
@@ -659,7 +600,7 @@ func (nw *Network) After(delay int64, pl Payload) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: After called with negative delay %d", delay))
 	}
-	if st := nw.ops[nw.cur.op]; st != nil {
+	if st := nw.ops.get(nw.cur.op); st != nil {
 		st.pending++
 	}
 	p := nw.cur.proc
@@ -720,12 +661,12 @@ func (nw *Network) Step() (bool, error) {
 	// Receiver-side service: a network message reaching a processor that
 	// is still busy — or that has outstanding slot reservations, which
 	// means earlier arrivals are still waiting — reserves the receiver's
-	// next free service slot and re-enters the heap at that time, marked
+	// next free service slot and re-enters the queue at that time, marked
 	// reserved. Slots are reserved in first-pop order — i.e. arrival order
 	// (at, seq), which is deterministic — and a reserved event is never
 	// deferred again (an unreserved event popping at the same tick as an
 	// outstanding slot defers rather than stealing it), so a backlog of k
-	// messages costs O(k) extra heap operations, not O(k²), and drains
+	// messages costs O(k) extra queue operations, not O(k²), and drains
 	// FIFO with no starvation.
 	if e.start == nil && !e.msg.Local && !e.reserved {
 		to := e.msg.To
@@ -745,7 +686,7 @@ func (nw *Network) Step() (bool, error) {
 	}
 	nw.now = e.at
 
-	st := nw.ops[e.op]
+	st := nw.ops.get(e.op)
 	if st != nil && e.at > st.DoneAt {
 		st.DoneAt = e.at
 	}
@@ -808,7 +749,7 @@ func (nw *Network) faultIntercept(e *event) bool {
 	if !down {
 		return false
 	}
-	st := nw.ops[e.op]
+	st := nw.ops.get(e.op)
 	if e.msg.Local {
 		// A crash loses soft state: local timers at a down processor are
 		// cancelled outright, even under Freeze.
@@ -820,7 +761,7 @@ func (nw *Network) faultIntercept(e *event) bool {
 	}
 	if nw.faults.Plan().Freeze && !forever {
 		// Frozen mailbox: the delivery waits out the downtime and re-enters
-		// the heap at recovery, where it competes for service slots again.
+		// the queue at recovery, where it competes for service slots again.
 		nw.faults.NoteCrashDeferred()
 		nw.seq++
 		e.at = until
@@ -886,7 +827,7 @@ func (nw *Network) Clone() (*Network, error) {
 		freeAt:     make([]int64, len(nw.freeAt)),
 		nextSlot:   make([]int64, len(nw.nextSlot)),
 		nextOp:     nw.nextOp,
-		ops:        make(map[OpID]*OpStats),
+		ops:        opTable{floor: nw.nextOp, top: nw.nextOp},
 		trackOps:   nw.trackOps,
 		tracing:    nw.tracing,
 		faults:     nw.faults.Clone(),

@@ -57,7 +57,7 @@ func HotSpot(net *sim.Network, res *counter.RunResult) error {
 		if prev == nil || cur == nil {
 			return fmt.Errorf("verify: op stats missing (op tracking disabled?)")
 		}
-		if !intersect(prev.ParticipantSet(), cur.ParticipantSet()) {
+		if !prev.SharesParticipant(cur) {
 			return fmt.Errorf("verify: hot spot violation between op %d (initiator %v, I=%v) and op %d (initiator %v, I=%v)",
 				i-1, res.Order[i-1], prev.Participants(), i, res.Order[i], cur.Participants())
 		}
