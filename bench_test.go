@@ -20,6 +20,7 @@ import (
 	"distcount/internal/bound"
 	"distcount/internal/core"
 	"distcount/internal/counter"
+	"distcount/internal/countersvc"
 	"distcount/internal/engine"
 	"distcount/internal/experiments"
 	"distcount/internal/loadstat"
@@ -253,6 +254,80 @@ func BenchmarkInc(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(c.Net().MessagesTotal())/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkIncSharded measures the service layer's dispatch cost: one keyed
+// increment hashed to its home shard and run to quiescence, against the
+// single-counter BenchmarkInc baseline. The delta between shard counts is
+// the routing table's own overhead — the per-op cost of removing the
+// one-counter assumption.
+func BenchmarkIncSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("central/shards=%d/n=64", shards), func(b *testing.B) {
+			svc, err := countersvc.New(countersvc.Config{
+				Keys: 64, N: 64, Shards: shards, Algo: "central",
+				Registry: registry.Concurrent(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Initiators 2..64: proc 1 hosts every central shard.
+				svc.Start(svc.Now(), i%64, sim.ProcID(i%63+2))
+				if err := svc.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(svc.MessagesTotal())/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkWorkloadEngineKeyed runs the keyed closed-loop driver end to end
+// over the sharded service — the skew study's cell shape — for the three
+// compared assignments: all-central homes, all-counting-network homes, and
+// adaptive (central homes, hot-key migration to a counting-network shard).
+func BenchmarkWorkloadEngineKeyed(b *testing.B) {
+	const ops = 2000
+	for _, cfg := range []struct {
+		label string
+		algo  string
+		mig   *countersvc.Migration
+	}{
+		{"central[4]", "central", nil},
+		{"cnet[4]", "cnet", nil},
+		{"adaptive", "central", &countersvc.Migration{To: "cnet", HotShare: 0.25, CheckEvery: 256}},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s/keys=64/n=64", cfg.label), func(b *testing.B) {
+			var rep *engine.Result
+			for i := 0; i < b.N; i++ {
+				svc, err := countersvc.New(countersvc.Config{
+					Keys: 64, N: 64, Shards: 4, Algo: cfg.algo, Migration: cfg.mig,
+					Registry: registry.Concurrent(sim.WithServiceTime(3)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err := workload.New("uniform", workload.Config{
+					N: svc.N(), Ops: ops, Seed: 1, MeanGap: 1,
+					Keys: 64, KeyDist: "zipf", KeyZipfS: 1.2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = engine.RunKeyed(svc, sc, engine.Config{InFlight: 32, Warmup: ops / 10, Ops: ops})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Throughput, "ops/tick")
+			b.ReportMetric(float64(len(rep.Migrations)), "migrations")
 		})
 	}
 }

@@ -18,6 +18,9 @@
 //	loadgen -backend rt -algo central -n 8 -ops 2000 -service 1 -verify -format text
 //	loadgen -study simvsreal -format text
 //	loadgen -baseline diff old.json new.json
+//	loadgen -algo central -keys 1024 -shards 4 -key-zipf-s 1.2 -verify -format text
+//	loadgen -keys 64 -shards 4 -shard-algo central -migrate cnet@hot=0.25 -verify -format text
+//	loadgen -study skew -format text
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -94,6 +97,19 @@
 // saturation knee predicts the measured hardware knee
 // (docs/EXPERIMENTS.md §8).
 //
+// With -keys > 1 (or -shards, -shard-algo, -migrate) the run routes
+// through the sharded service layer (internal/countersvc): requests
+// additionally draw a key from -key-dist, keys hash onto -shards home
+// shards — each an independent counter instance built from -shard-algo —
+// and -migrate adds a dedicated hot shard of the given algorithm that a
+// detected hot key drains to and cuts over to mid-run. The report gains
+// per-key stats, migration events, and a per-shard keyed verification
+// that partitions each key's history by routing epoch. -study skew
+// packages the headline experiment: a closed-loop zipf-exponent ladder
+// comparing static shard assignments (all-central, all-counting-network)
+// against adaptive hot-key migration, with a machine-checkable verdict
+// line per skew level (docs/EXPERIMENTS.md §11).
+//
 // -service-dist selects a heterogeneous per-processor service-cost
 // profile (flat, halfslow, straggler) on top of -service; it applies on
 // both backends.
@@ -155,8 +171,20 @@ type options struct {
 	window      int64 // combining/diffraction merge window
 	kneeBuckets int   // open-loop rate buckets (0 = engine default)
 	verify      bool
-	faults      string          // fault-injection spec (see faults.go); "" = no faults
+	faults      string // fault-injection spec (see faults.go); "" = no faults
+	keys        int    // keyed mode: independent counter keys (1 = classic single counter)
+	keyDist     string // key-popularity distribution (uniform/zipf)
+	keyZipfS    float64
+	shards      int             // keyed mode: home shards keys hash onto
+	shardAlgo   string          // home-shard algorithm(s): one name, or one per shard
+	migrate     string          // hot-key migration spec (see keyed.go); "" = static assignment
 	wcfg        workload.Config // scenario knobs (Zipf, hotspot, burst, rates)
+}
+
+// keyed reports whether the options select the sharded service layer
+// (countersvc + engine.RunKeyed) instead of a single counter instance.
+func (o options) keyed() bool {
+	return o.keys > 1 || o.shards > 1 || o.shardAlgo != "" || o.migrate != ""
 }
 
 func run(args []string, out io.Writer) error {
@@ -181,6 +209,12 @@ func run(args []string, out io.Writer) error {
 		verify   = fs.Bool("verify", false, "check delivered values against the algorithm's claimed consistency level")
 		faults   = fs.String("faults", "", `deterministic fault-injection spec, comma-separated clauses: "loss:0.01" / "dup:0.01" (i.i.d. per-send probabilities), "dropnth:2@every=5" / "dupnth:2@every=5" (deterministic per-sender rules; proc 0 = all), "crash:1@t=500" / "crash:1@t=500-900" (crash/recover windows), "churn:2@every=400/down=100" (rotating membership churn), "freeze" (crashed processors buffer instead of drop), "seed:7" (fault RNG seed). Applies on both backends`)
 		format   = fs.String("format", "json", "output format: json, text, csv")
+		keys     = fs.Int("keys", 1, "independent counter keys requests address (1 = the classic single counter; > 1 routes through the sharded service layer)")
+		keyDist  = fs.String("key-dist", "zipf", "key-popularity distribution for -keys > 1: "+strings.Join(workload.KeyDists(), ", "))
+		keyZipfS = fs.Float64("key-zipf-s", 1.2, "zipf exponent of -key-dist zipf (key 0 is the hottest)")
+		shards   = fs.Int("shards", 1, "home shards keys hash onto; each shard is an independent counter instance")
+		shardAlg = fs.String("shard-algo", "", "home-shard algorithm: one name for all shards, or a comma-separated list with one entry per shard (default: -algo)")
+		migrate  = fs.String("migrate", "", `hot-key migration spec: a target algorithm, optionally tuned — "combining" or "combining@hot=0.2/every=256/max=1" (hot = completion share that marks a key hot, every = completions per detection window, max = keys that may migrate). Adds a dedicated hot shard of the target algorithm; hot keys drain and cut over to it mid-run`)
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (scenario zipf)")
 		hotFrac  = fs.Float64("hot-frac", 0.1, "hot-set fraction (scenario hotspot)")
 		hotProb  = fs.Float64("hot-prob", 0.9, "hot-set probability (scenario hotspot)")
@@ -188,7 +222,7 @@ func run(args []string, out io.Writer) error {
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps x -ns grid into one merged report")
-		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap, heterogeneous-service and straggler knees, scaling class) for the baseline gate; "simvsreal" runs the same ramprate grid on the sim and rt backends and reports where the simulator's knee predicts the hardware knee`)
+		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap, heterogeneous-service and straggler knees, scaling class) for the baseline gate; "simvsreal" runs the same ramprate grid on the sim and rt backends and reports where the simulator's knee predicts the hardware knee; "skew" runs the keyed closed-loop grid over zipf exponents comparing static shard assignments against adaptive hot-key migration and reports where adaptive placement wins`)
 		baseline = fs.String("baseline", "", `with -study regression: "record" writes the measured fingerprints to the baseline file given as the positional argument; "check" compares against it and exits non-zero when any metric leaves its tolerance band. Standalone: "diff" compares two recorded baseline files (base, current) without re-measuring — the PR-to-PR review form`)
 		artdir   = fs.String("artifacts", "", "with -study regression: directory to additionally write the study's JSON/CSV artifacts into (created if missing)")
 		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep/-study, or \"all\" for every registered algorithm (-study default: all)")
@@ -233,6 +267,12 @@ func run(args []string, out io.Writer) error {
 	if *service < 0 {
 		return fmt.Errorf("need -service >= 0 (got %d)", *service)
 	}
+	if *keys < 1 {
+		return fmt.Errorf("need -keys >= 1 (got %d)", *keys)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("need -shards >= 1 (got %d)", *shards)
+	}
 	// A measurement tool must not silently ignore an explicit selection:
 	// the single-run, sweep, and study flag families are mutually exclusive.
 	set := map[string]bool{}
@@ -243,6 +283,10 @@ func run(args []string, out io.Writer) error {
 	if *parallel < 1 {
 		return fmt.Errorf("need -parallel >= 1 (got %d)", *parallel)
 	}
+	// The keyed (sharded service) flag family; sweeps and the pre-existing
+	// studies drive single counters, so these compose only with single runs
+	// and the skew study's pinned grid.
+	keyedFlags := []string{"keys", "key-dist", "key-zipf-s", "shards", "shard-algo", "migrate"}
 	switch {
 	case *sweep && *study != "":
 		return fmt.Errorf("-sweep and -study are mutually exclusive")
@@ -252,14 +296,19 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("-%s is ignored by -sweep; use -algos/-scenarios", name)
 			}
 		}
+		for _, name := range keyedFlags {
+			if set[name] {
+				return fmt.Errorf("-%s does not compose with -sweep (keyed runs are single runs, or -study skew)", name)
+			}
+		}
 		if m == engine.Open && set["windows"] {
 			return fmt.Errorf("-windows only applies to closed-loop sweeps (open loop has no admission window)")
 		}
 	case *study != "":
 		switch *study {
-		case "scaling", "regression", "simvsreal", "faults":
+		case "scaling", "regression", "simvsreal", "faults", "skew":
 		default:
-			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal, faults)", *study)
+			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal, faults, skew)", *study)
 		}
 		// Studies pin their own backends and fault plans: scaling and
 		// regression are sim experiments (the committed baselines are sim
@@ -288,15 +337,38 @@ func run(args []string, out io.Writer) error {
 			// are pinned so every run of the study is the same measurement.
 			banned = append(banned, "ns", "windows", "service-dist", "queue-cap", "rate-from", "verify")
 		}
+		if *study == "skew" {
+			// The skew study's grid — network size, key space, shard count,
+			// admission window, service cost, arrival gap, the assignment
+			// policies themselves — is the experiment; only ops, seed, the
+			// merge window and parallelism stay free.
+			banned = append(banned, "algos", "ns", "windows", "service-dist", "queue-cap", "rate-from",
+				"mean-gap", "warmup", "verify", "n", "inflight", "service")
+			banned = append(banned, keyedFlags...)
+		}
 		for _, name := range banned {
 			if set[name] {
-				return fmt.Errorf("-%s is ignored by -study %s (always open-loop ramprate over -algos)", name, *study)
+				return fmt.Errorf("-%s is ignored by -study %s (the study pins its own grid)", name, *study)
 			}
 		}
-		if set["mode"] && m != engine.Open {
-			return fmt.Errorf("-study %s is an open-loop experiment; drop -mode %s", *study, m)
+		if *study == "skew" {
+			// Skew is the one closed-loop study: the question is how a fixed
+			// admission window's throughput degrades with key skew.
+			if set["mode"] && m != engine.Closed {
+				return fmt.Errorf("-study skew is a closed-loop experiment; drop -mode %s", m)
+			}
+			m = engine.Closed
+		} else {
+			if set["mode"] && m != engine.Open {
+				return fmt.Errorf("-study %s is an open-loop experiment; drop -mode %s", *study, m)
+			}
+			m = engine.Open
 		}
-		m = engine.Open
+		for _, name := range keyedFlags {
+			if *study != "skew" && set[name] {
+				return fmt.Errorf("-%s does not compose with -study %s (keyed runs are single runs, or -study skew)", name, *study)
+			}
+		}
 	default:
 		for _, name := range []string{"algos", "scenarios", "windows", "gaps", "ns", "parallel"} {
 			if set[name] {
@@ -345,6 +417,20 @@ func run(args []string, out io.Writer) error {
 		// Same early validation for the fault spec.
 		return err
 	}
+	if _, err := parseMigrateSpec(*migrate); err != nil {
+		// And for the migration spec.
+		return err
+	}
+	if *keys > 1 || *shards > 1 || *shardAlg != "" || *migrate != "" {
+		// The service layer shares one fate across its shards; fault plans
+		// and the adversarial replay both assume a single counter instance.
+		if *faults != "" {
+			return fmt.Errorf("-faults does not compose with -keys/-shards (the service layer does not inject faults)")
+		}
+		if *scenario == "adversarial" {
+			return fmt.Errorf("scenario adversarial drives a single counter; it does not compose with -keys/-shards")
+		}
+	}
 	stopProfiles, err := startProfiles(*cpuprof, *memprof)
 	if err != nil {
 		return err
@@ -368,6 +454,12 @@ func run(args []string, out io.Writer) error {
 		kneeBuckets: *kneeBk,
 		verify:      *verify,
 		faults:      *faults,
+		keys:        *keys,
+		keyDist:     *keyDist,
+		keyZipfS:    *keyZipfS,
+		shards:      *shards,
+		shardAlgo:   *shardAlg,
+		migrate:     *migrate,
 		wcfg: workload.Config{
 			Ops:      *ops,
 			Seed:     *seed,
@@ -411,6 +503,8 @@ func run(args []string, out io.Writer) error {
 			return runSimVsRealStudy(out, opt, *format, scfg)
 		case "faults":
 			return runFaultStudy(out, opt, *format, scfg)
+		case "skew":
+			return runSkewStudy(out, opt, *format, scfg)
 		}
 		return runScalingStudy(out, opt, *format, scfg)
 	}
@@ -482,8 +576,12 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 
 // runOne builds a fresh counter and scenario and executes a single engine
 // run on the selected backend: the discrete-event simulator (engine.Run)
-// or the goroutine-per-processor rt runtime (engine.RunWall).
+// or the goroutine-per-processor rt runtime (engine.RunWall). Keyed options
+// route through the sharded service layer instead (keyed.go).
 func runOne(opt options, algo, scenario string) (*engine.Result, error) {
+	if opt.keyed() {
+		return runOneKeyed(opt, algo, scenario)
+	}
 	var simOpts []sim.Option
 	svcOpt, err := serviceSimOpt(opt.service, opt.svcDist)
 	if err != nil {
@@ -634,6 +732,14 @@ type sweepCell struct {
 	backend    string
 	faults     string
 	verify     bool
+	// Keyed-cell overrides (the skew study): keys > 0 routes the cell
+	// through the sharded service layer with these knobs.
+	keys      int
+	keyDist   string
+	keyZipfS  float64
+	shards    int
+	shardAlgo string
+	migrate   string
 }
 
 // runSweep executes the grid — cells spread over a worker pool, each cell
@@ -803,10 +909,31 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 	if cl.verify {
 		cell.verify = true
 	}
+	if cl.keys > 0 {
+		cell.keys = cl.keys
+		cell.keyDist = cl.keyDist
+		cell.keyZipfS = cl.keyZipfS
+		cell.shards = cl.shards
+		cell.shardAlgo = cl.shardAlgo
+		cell.migrate = cl.migrate
+	}
 	dist := distLabel(cell.service, cell.svcDist)
 	back := ""
 	if cell.backend == "rt" {
 		back = "rt"
+	}
+	// keyedRow stamps the keyed-cell coordinates on a row so the skew
+	// analysis can label the assignment policy even for skipped cells.
+	keyedRow := func(row *report.SweepRow) {
+		if cl.keys == 0 {
+			return
+		}
+		row.KeyDist = cell.keyDist
+		row.KeyZipfS = cell.keyZipfS
+		row.ShardAlgo = cell.shardAlgo
+		if cell.migrate != "" {
+			row.Migrate = migrateTarget(cell.migrate)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -815,6 +942,7 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 			row.ServiceDist = dist
 			row.Backend = back
 			row.FaultSpec = cell.faults
+			keyedRow(&row)
 		}
 	}()
 	res, err := runOne(cell, cl.algo, cl.scen)
@@ -823,9 +951,12 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 		row.ServiceDist = dist
 		row.Backend = back
 		row.FaultSpec = cell.faults
+		keyedRow(&row)
 		return row
 	}
-	return report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Backend: back, FaultSpec: cell.faults, Result: res}
+	row = report.SweepRow{MeanGap: cl.gap, MergeWindow: cl.mwin, ServiceTime: cell.service, ServiceDist: dist, Backend: back, FaultSpec: cell.faults, Result: res}
+	keyedRow(&row)
+	return row
 }
 
 // expandAlgos splits an -algos flag value, expanding the "all" sentinel to

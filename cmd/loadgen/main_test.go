@@ -181,7 +181,8 @@ func TestRunSweepCSVGolden(t *testing.T) {
 		"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 		"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
 		"verify_property,verify_violations,verify_duplicates,verify_excused," +
-		"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped,skipped"
+		"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped," +
+		"keys,key_dist,key_zipf_s,shards,shard_algo,migrate,migrations,skipped"
 	if lines[0] != wantHeader {
 		t.Fatalf("header drifted:\ngot  %q\nwant %q", lines[0], wantHeader)
 	}

@@ -5,6 +5,7 @@ import (
 	"distcount/internal/bound"
 	"distcount/internal/core"
 	"distcount/internal/counter"
+	"distcount/internal/countersvc"
 	"distcount/internal/engine"
 	"distcount/internal/experiments"
 	"distcount/internal/ext/distpq"
@@ -99,6 +100,29 @@ type (
 	// the total violation count against the claimed consistency level.
 	// Attached to WorkloadReport when WorkloadConfig.Verify is set.
 	VerificationReport = verify.Report
+	// CountingService is the multi-key service layer: keys hash onto home
+	// shards, each shard an independent counter instance, with optional
+	// hotspot migration to a dedicated hot shard. Built by
+	// NewCountingService, driven by RunKeyedWorkload.
+	CountingService = countersvc.Service
+	// ServiceConfig parameterizes a CountingService: key count, per-shard
+	// processor count, shard count, per-shard algorithms, and the optional
+	// migration policy.
+	ServiceConfig = countersvc.Config
+	// HotspotMigration configures a service's hotspot detector and the
+	// dedicated hot shard a hot key drains to and cuts over onto.
+	HotspotMigration = countersvc.Migration
+	// MigrationEvent records one completed hot-key cutover, reported on
+	// WorkloadReport.Migrations.
+	MigrationEvent = countersvc.MigrationEvent
+	// KeyStat is one key's aggregate outcome in a keyed run: final shard,
+	// completed operations, mean latency.
+	KeyStat = engine.KeyStat
+	// KeyedVerificationReport is the service-layer verification: every
+	// shard history checked at its own claimed consistency level, every
+	// (key, epoch) segment partitioned so a migrated key verifies cleanly
+	// on both sides of its cutover.
+	KeyedVerificationReport = verify.KeyedReport
 )
 
 // Admission disciplines for WorkloadConfig.Mode.
@@ -195,6 +219,31 @@ func NewScenario(name string, cfg ScenarioConfig) (Scenario, error) {
 // VerificationReport is attached to the result.
 func RunWorkload(c AsyncCounter, sc Scenario, cfg WorkloadConfig) (*WorkloadReport, error) {
 	return engine.Run(c, sc, cfg)
+}
+
+// KeyDists returns the supported key-popularity distribution names for
+// ScenarioConfig.KeyDist (uniform, zipf).
+func KeyDists() []string { return workload.KeyDists() }
+
+// NewCountingService builds the sharded multi-key service: every home
+// shard (plus the hot shard when migration is configured) is one counter
+// instance built through the registry, and keys hash onto home shards
+// deterministically. The paper's Ω(k) bottleneck applies per counter;
+// the service is the layer that decides how many counters back a keyed
+// workload and which algorithm each one runs.
+func NewCountingService(cfg ServiceConfig) (*CountingService, error) {
+	return countersvc.New(cfg)
+}
+
+// RunKeyedWorkload drives the service with a keyed scenario
+// (ScenarioConfig.Keys > 1) through the concurrent engine — the
+// service-layer analog of RunWorkload. The report carries the aggregate
+// metrics plus per-key stats, migration events, and — with Verify set —
+// the keyed verification that checks every shard history at its own
+// claimed consistency level, partitioned by (key, epoch) across any
+// mid-run cutover.
+func RunKeyedWorkload(svc *CountingService, sc Scenario, cfg WorkloadConfig) (*WorkloadReport, error) {
+	return engine.RunKeyed(svc, sc, cfg)
 }
 
 // RunSequence executes the operations in order, each running to quiescence

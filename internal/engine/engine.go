@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"distcount/internal/counter"
+	"distcount/internal/countersvc"
 	"distcount/internal/loadstat"
 	"distcount/internal/sim"
 	"distcount/internal/verify"
@@ -284,6 +285,26 @@ type Result struct {
 	// Faults reports the injected-fault events that fired during the run
 	// (nil when no fault plan was installed).
 	Faults *sim.FaultStats `json:"faults,omitempty"`
+	// Keys and Shards describe a keyed (multi-counter service) run driven
+	// through RunKeyed: the number of keys the workload addressed and the
+	// number of shards (counter instances) serving them, dedicated hot
+	// shard included. Both are zero on single-counter runs. ShardAlgos
+	// lists each shard's algorithm, indexed by shard.
+	Keys       int      `json:"keys,omitempty"`
+	Shards     int      `json:"shards,omitempty"`
+	ShardAlgos []string `json:"shard_algos,omitempty"`
+	// PerKey breaks the run down by key: final shard routing, completed
+	// operations, and mean end-to-end latency over the measured window.
+	PerKey []KeyStat `json:"per_key,omitempty"`
+	// Migrations lists the hot-key cutovers the service performed, in
+	// order (nil without migration or when none triggered).
+	Migrations []countersvc.MigrationEvent `json:"migrations,omitempty"`
+	// KeyedVerification is the full sharded verification report of a keyed
+	// run (nil unless Config.Verify): per-shard histories evaluated at each
+	// shard's claimed level plus per-(key, epoch) segment checks. Its
+	// Summary is also attached as Verification so existing gates and
+	// renderers treat keyed runs uniformly.
+	KeyedVerification *verify.KeyedReport `json:"keyed_verification,omitempty"`
 	// Wall reports that the run executed on the real-hardware rt backend
 	// (RunWall). In wall mode every time-valued field — SimTime,
 	// MeasureStart, the latency digests, Series times, bucket spans — is in
@@ -336,6 +357,7 @@ func Run(c counter.Async, gen workload.Generator, cfg Config) (*Result, error) {
 type source struct {
 	gen     workload.Generator
 	n       int
+	keys    int // key-space bound for keyed runs; 0 = unkeyed, keys ignored
 	head    workload.Request
 	have    bool
 	arrival int64 // absolute arrival time of head
@@ -344,6 +366,14 @@ type source struct {
 
 func newSource(gen workload.Generator, n int) *source {
 	s := &source{gen: gen, n: n}
+	s.pull()
+	return s
+}
+
+// newKeyedSource additionally validates each request's key against the
+// service's key space.
+func newKeyedSource(gen workload.Generator, n, keys int) *source {
+	s := &source{gen: gen, n: n, keys: keys}
 	s.pull()
 	return s
 }
@@ -357,6 +387,12 @@ func (s *source) pull() {
 	if req.Proc < 1 || int(req.Proc) > s.n {
 		s.err = fmt.Errorf("engine: scenario %q targets processor %v outside [1,%d]",
 			s.gen.Name(), req.Proc, s.n)
+		s.have = false
+		return
+	}
+	if s.keys > 0 && (req.Key < 0 || req.Key >= s.keys) {
+		s.err = fmt.Errorf("engine: scenario %q addresses key %d outside [0,%d)",
+			s.gen.Name(), req.Key, s.keys)
 		s.have = false
 		return
 	}

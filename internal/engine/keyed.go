@@ -1,0 +1,556 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"distcount/internal/counter"
+	"distcount/internal/countersvc"
+	"distcount/internal/loadstat"
+	"distcount/internal/sim"
+	"distcount/internal/verify"
+	"distcount/internal/workload"
+)
+
+// KeyStat is one key's aggregate outcome in a keyed run.
+type KeyStat struct {
+	Key int `json:"key"`
+	// Shard is the key's final routing (post-migration for a migrated key).
+	Shard int `json:"shard"`
+	// Ops is the key's completed-operation count over the whole run.
+	Ops int `json:"ops"`
+	// MeanLatency is the mean end-to-end latency of the key's measured
+	// operations (0 when none fell inside the measure window).
+	MeanLatency float64 `json:"mean_latency"`
+}
+
+// RunKeyed drives a multi-key counting service with a keyed scenario until
+// the generator is exhausted and every admitted operation has completed —
+// the service-layer analog of Run/RunWall. The admission discipline is
+// cfg.Mode's, with one addition: a key frozen for migration drain is held
+// at admission (closed loop: head-of-line; open loop: in its initiator's
+// queue) until the cutover reopens it. The backend follows the service's:
+// shards built on the rt backend are driven in real time and the result is
+// reported in wall units (Result.Wall), sim-backed shards run on the merged
+// deterministic event loop.
+func RunKeyed(svc *countersvc.Service, gen workload.Generator, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	var kvf *keyedVerifier
+	if cfg.Verify {
+		kvf = &keyedVerifier{svc: svc}
+	}
+	if svc.RT(0) != nil {
+		if cfg.Mode == Open {
+			return runKeyedWallOpen(svc, gen, cfg, kvf)
+		}
+		return runKeyedWallClosed(svc, gen, cfg, kvf)
+	}
+	if svc.Now() != 0 || len(svc.Migrations()) != 0 {
+		return nil, fmt.Errorf("engine: service has already run (t=%d); build a fresh service per run", svc.Now())
+	}
+	if cfg.Mode == Open {
+		return runKeyedOpen(svc, gen, cfg, kvf)
+	}
+	return runKeyedClosed(svc, gen, cfg, kvf)
+}
+
+// serviceLabel names a keyed run's "algorithm": the home-shard algorithm(s)
+// plus the hot shard's, e.g. "svc(central[4]+combining)".
+func serviceLabel(svc *countersvc.Service) string {
+	homes := svc.Algo(0)
+	uniform := true
+	for s := 1; s < svc.BaseShards(); s++ {
+		if svc.Algo(s) != homes {
+			uniform = false
+			break
+		}
+	}
+	var b strings.Builder
+	b.WriteString("svc(")
+	if uniform {
+		fmt.Fprintf(&b, "%s[%d]", homes, svc.BaseShards())
+	} else {
+		for s := 0; s < svc.BaseShards(); s++ {
+			if s > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(svc.Algo(s))
+		}
+	}
+	if hot := svc.HotShard(); hot >= 0 {
+		fmt.Fprintf(&b, "+%s", svc.Algo(hot))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// shardAlgoList copies the per-shard algorithm names out of the service.
+func shardAlgoList(svc *countersvc.Service) []string {
+	algos := make([]string, svc.Shards())
+	for s := range algos {
+		algos[s] = svc.Algo(s)
+	}
+	return algos
+}
+
+// shardOp identifies an operation of a keyed run: shard-local ids restart
+// at 1 per shard, so the shard index is part of the identity.
+type shardOp struct {
+	shard int
+	id    sim.OpID
+}
+
+// keyedVerifier collects each completed operation's delivered value tagged
+// with its (shard, key, epoch) so the post-run verify.EvaluateKeyed can
+// check every shard history at its own claimed level and every (key, epoch)
+// segment across migration.
+type keyedVerifier struct {
+	svc     *countersvc.Service
+	vals    []verify.KeyedValue
+	missing int
+}
+
+// observe consumes the value of a completed operation; it must run before
+// the driver forgets the op.
+func (v *keyedVerifier) observe(shard, key, epoch int, id sim.OpID, start, end int64) {
+	val, ok := v.svc.Counter(shard).OpValue(id)
+	if !ok {
+		v.missing++
+		return
+	}
+	v.vals = append(v.vals, verify.KeyedValue{
+		Op: id, Shard: shard, Key: key, Epoch: epoch,
+		Value: val, Start: start, End: end,
+	})
+}
+
+// attach evaluates the collected values and wires both the full keyed
+// report and its aggregate Summary into the result, so existing render and
+// gate paths treat a keyed run like any other. The service layer rejects
+// fault plans, so the fault context is always clean.
+func (v *keyedVerifier) attach(res *Result) {
+	svc := v.svc
+	levels := make([]counter.Consistency, svc.Shards())
+	for s := range levels {
+		levels[s] = svc.Counter(s).Consistency()
+	}
+	rep := verify.EvaluateKeyed(levels, shardAlgoList(svc), v.vals, v.missing, verify.FaultContext{})
+	res.KeyedVerification = &rep
+	res.Verification = &rep.Summary
+}
+
+// keyedMetrics is runMetrics for the keyed drivers: the same accumulation
+// discipline with the service's merged clock and summed loads standing in
+// for the single network's, plus the per-key breakdown. One type serves
+// all four drivers; wall selects the clock (NowNs) and the ops/sec rate
+// unit.
+type keyedMetrics struct {
+	svc                *countersvc.Service
+	wall               bool
+	completed          int
+	opStarts, opDones  []int64
+	lastDone           int64
+	measureBegan       bool
+	baseSent, baseRecv []int64
+	queueDelays        []int64
+	serviceLats        []int64
+	keyLatSum          []int64 // measured end-to-end latency sum per key
+	keyMeasured        []int
+}
+
+func newKeyedMetrics(svc *countersvc.Service, wall bool, warmup, hint int) *keyedMetrics {
+	m := &keyedMetrics{
+		svc:          svc,
+		wall:         wall,
+		measureBegan: warmup == 0,
+		keyLatSum:    make([]int64, svc.Keys()),
+		keyMeasured:  make([]int, svc.Keys()),
+	}
+	if hint > 0 {
+		m.opStarts = make([]int64, 0, hint)
+		m.opDones = make([]int64, 0, hint)
+		if meas := hint - warmup; meas > 0 {
+			m.queueDelays = make([]int64, 0, meas)
+			m.serviceLats = make([]int64, 0, meas)
+		}
+	}
+	return m
+}
+
+// now is the measure-window clock: merged simulated time, or the merged
+// wall clock on the rt backend.
+func (m *keyedMetrics) now() int64 {
+	if m.wall {
+		return m.svc.NowNs()
+	}
+	return m.svc.Now()
+}
+
+// onDone records one completion, splitting its latency exactly as
+// runMetrics does and additionally attributing it to its key.
+func (m *keyedMetrics) onDone(res *Result, warmup, key int, doneAt int64, tm opTimes) {
+	m.completed++
+	m.opStarts = append(m.opStarts, tm.start)
+	m.opDones = append(m.opDones, doneAt)
+	if doneAt > m.lastDone {
+		m.lastDone = doneAt
+	}
+	if m.completed > warmup {
+		if !m.measureBegan {
+			m.measureBegan = true
+			res.MeasureStart = m.now()
+			m.baseSent, m.baseRecv = m.svc.Loads()
+		}
+		lat := doneAt - tm.arrival
+		res.Latencies = append(res.Latencies, lat)
+		m.queueDelays = append(m.queueDelays, tm.start-tm.arrival)
+		m.serviceLats = append(m.serviceLats, doneAt-tm.start)
+		m.keyLatSum[key] += lat
+		m.keyMeasured[key]++
+	}
+}
+
+// finalize derives the aggregate fields plus the keyed extras: per-key
+// stats and the migration record.
+func (m *keyedMetrics) finalize(res *Result, warmup int, thinAfter bool) error {
+	svc := m.svc
+	res.Ops = m.completed
+	res.Measured = len(res.Latencies)
+	if res.Measured == 0 {
+		return fmt.Errorf("engine: warmup %d consumed all %d operations", warmup, m.completed)
+	}
+	res.SimTime = m.lastDone
+	res.Messages = svc.MessagesTotal()
+	res.PeakInFlight = peakConcurrency(m.opStarts, m.opDones)
+	if thinAfter {
+		res.Series = thinSeries(res.Series, 64)
+	}
+	sent, recv := svc.Loads()
+	if m.baseSent != nil {
+		for p := range sent {
+			sent[p] -= m.baseSent[p]
+			recv[p] -= m.baseRecv[p]
+		}
+	}
+	res.Loads = loadstat.Summarize(sent, recv)
+	res.MessagesPerOp = float64(res.Loads.TotalMessages) / float64(res.Measured)
+	res.Arrivals = res.Ops + res.Dropped
+	if res.Arrivals > 0 {
+		res.DropRate = float64(res.Dropped) / float64(res.Arrivals)
+	}
+
+	window := res.SimTime - res.MeasureStart
+	if window < 1 {
+		window = 1
+	}
+	res.Throughput = float64(res.Measured) / float64(window)
+	if m.wall {
+		res.Throughput *= 1e9 // ops/sec
+	}
+	res.Latency = summarizeLatencies(res.Latencies)
+	res.QueueDelay = summarizeLatencies(m.queueDelays)
+	res.ServiceLatency = summarizeLatencies(m.serviceLats)
+
+	res.PerKey = make([]KeyStat, svc.Keys())
+	for k := range res.PerKey {
+		shard, _ := svc.RouteFor(k)
+		st := KeyStat{Key: k, Shard: shard, Ops: svc.KeyOps(k)}
+		if m.keyMeasured[k] > 0 {
+			st.MeanLatency = float64(m.keyLatSum[k]) / float64(m.keyMeasured[k])
+		}
+		res.PerKey[k] = st
+	}
+	if evs := svc.Migrations(); len(evs) > 0 {
+		res.Migrations = append([]countersvc.MigrationEvent(nil), evs...)
+	}
+	return nil
+}
+
+// keyedSample takes one bottleneck-series point from the summed per-shard
+// loads. Unlike the single-network O(1) tracker this is an O(n·shards)
+// scan, but keyed runs sample at the same thinned stride.
+func keyedSample(m *keyedMetrics, completed, inFlight, queueDepth int) Sample {
+	sent, recv := m.svc.Loads()
+	var (
+		bottleneck int
+		maxLoad    int64
+		sum        int64
+	)
+	for p := 1; p < len(sent); p++ {
+		l := sent[p] + recv[p]
+		sum += l
+		if l > maxLoad {
+			maxLoad, bottleneck = l, p
+		}
+	}
+	return Sample{
+		SimTime:        m.now(),
+		Completed:      completed,
+		Bottleneck:     bottleneck,
+		BottleneckLoad: maxLoad,
+		MeanLoad:       float64(sum) / float64(m.svc.N()),
+		InFlight:       inFlight,
+		QueueDepth:     queueDepth,
+	}
+}
+
+// keyedResult builds the result shell common to all four keyed drivers.
+func keyedResult(svc *countersvc.Service, gen workload.Generator, cfg Config, mode Mode) *Result {
+	res := &Result{
+		Algorithm:  serviceLabel(svc),
+		Scenario:   gen.Name(),
+		Mode:       mode.String(),
+		N:          svc.N(),
+		Warmup:     cfg.Warmup,
+		Keys:       svc.Keys(),
+		Shards:     svc.Shards(),
+		ShardAlgos: shardAlgoList(svc),
+	}
+	if mode == Closed {
+		res.InFlight = cfg.InFlight
+	} else {
+		res.QueueCap = cfg.QueueCap
+	}
+	return res
+}
+
+// runKeyedClosed is the closed-loop keyed driver on the sim backend.
+func runKeyedClosed(svc *countersvc.Service, gen workload.Generator, cfg Config, kvf *keyedVerifier) (*Result, error) {
+	n := svc.N()
+	res := keyedResult(svc, gen, cfg, Closed)
+
+	src := newKeyedSource(gen, n, svc.Keys())
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	hint := opsHint(cfg, gen)
+	var (
+		busy     = make([]bool, n+1) // one op per initiator, across all shards
+		timesOf  = make(map[shardOp]opTimes, cfg.InFlight)
+		inFlight = 0
+		m        = newKeyedMetrics(svc, false, cfg.Warmup, hint)
+	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	// admit starts requests in arrival order while a window slot is free and
+	// the head-of-line initiator is idle. A head whose key is frozen for
+	// migration drain holds the line: the freeze implies in-flight
+	// operations of that key, whose completions both drive the drain to its
+	// cutover and re-trigger admission, so the hold always resolves.
+	admit := func() {
+		for inFlight < cfg.InFlight && src.have && !busy[src.head.Proc] {
+			if _, open := svc.RouteFor(src.head.Key); !open {
+				break
+			}
+			at := src.arrival
+			if now := svc.Now(); at < now {
+				at = now
+			}
+			shard, id := svc.Start(at, src.head.Key, src.head.Proc)
+			timesOf[shardOp{shard, id}] = opTimes{arrival: src.arrival, start: at}
+			busy[src.head.Proc] = true
+			inFlight++
+			src.pull()
+		}
+	}
+
+	svc.OnOpDone(func(shard, key, epoch int, st *sim.OpStats) {
+		inFlight--
+		busy[st.Initiator] = false
+		k := shardOp{shard, st.ID}
+		tm := timesOf[k]
+		delete(timesOf, k)
+		if kvf != nil {
+			kvf.observe(shard, key, epoch, st.ID, st.StartedAt, st.DoneAt)
+		} else {
+			svc.Counter(shard).OpValue(st.ID) // drain the value table
+		}
+		svc.Net(shard).ForgetOp(st.ID)
+		m.onDone(res, cfg.Warmup, key, st.DoneAt, tm)
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, keyedSample(m, m.completed, inFlight, 0))
+		}
+		admit()
+	})
+	defer svc.OnOpDone(nil)
+
+	admit()
+	if err := svc.Run(); err != nil {
+		return nil, fmt.Errorf("engine: %s/%s: %w", res.Algorithm, res.Scenario, err)
+	}
+	if src.err != nil {
+		return nil, src.err
+	}
+	if src.have || inFlight != 0 {
+		// The service layer rejects fault plans, so a stalled keyed run is
+		// always a driver error (quiescence resolves every frozen-key hold:
+		// no in-flight ops means every drain cut over and reopened its key).
+		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight",
+			res.Algorithm, res.Scenario, inFlight)
+	}
+	if err := m.finalize(res, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	if kvf != nil {
+		kvf.attach(res)
+	}
+	return res, nil
+}
+
+// runKeyedOpen is the open-loop keyed driver on the sim backend: requests
+// are admitted at their arrival instants, queueing (bounded) when their
+// initiator is busy or their key is frozen for migration drain.
+func runKeyedOpen(svc *countersvc.Service, gen workload.Generator, cfg Config, kvf *keyedVerifier) (*Result, error) {
+	n := svc.N()
+	res := keyedResult(svc, gen, cfg, Open)
+
+	src := newKeyedSource(gen, n, svc.Keys())
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	hint := opsHint(cfg, gen)
+	var (
+		recs        = make([]opRec, 0, hint)
+		recKeys     = make([]int, 0, hint)
+		recOf       = make(map[shardOp]int, n)
+		busy        = make([]bool, n+1)
+		queued      = make([][]int, n+1)
+		totalQueued = 0
+		inFlight    = 0
+		m           = newKeyedMetrics(svc, false, cfg.Warmup, hint)
+	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	inject := func(idx int, p sim.ProcID, at int64) {
+		recs[idx].start = at
+		shard, id := svc.Start(at, recKeys[idx], p)
+		recOf[shardOp{shard, id}] = idx
+		busy[p] = true
+		inFlight++
+	}
+
+	// admit decides the head request's fate at its arrival instant; a
+	// frozen key queues exactly like a busy initiator (the hold is the
+	// migration protocol's admission cost, charged as queueing delay).
+	admit := func() {
+		rec := opRec{
+			arrival:    src.arrival,
+			start:      -1,
+			done:       -1,
+			queueDepth: totalQueued,
+			backlog:    inFlight + totalQueued,
+		}
+		p := src.head.Proc
+		_, open := svc.RouteFor(src.head.Key)
+		switch {
+		case !busy[p] && open:
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+			inject(len(recs)-1, p, src.arrival)
+		case totalQueued >= cfg.QueueCap:
+			rec.dropped = true
+			res.Dropped++
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+		default:
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+			queued[p] = append(queued[p], len(recs)-1)
+			totalQueued++
+			if totalQueued > res.PeakQueueDepth {
+				res.PeakQueueDepth = totalQueued
+			}
+		}
+	}
+
+	// feed hands an idle initiator its oldest queued request, unless that
+	// request's key is frozen — per-initiator FIFO holds the line until the
+	// cutover reopens it.
+	feed := func(p sim.ProcID, at int64) {
+		if busy[p] {
+			return
+		}
+		q := queued[p]
+		if len(q) == 0 {
+			return
+		}
+		idx := q[0]
+		if _, open := svc.RouteFor(recKeys[idx]); !open {
+			return
+		}
+		queued[p] = q[1:]
+		totalQueued--
+		inject(idx, p, at)
+	}
+
+	// A cutover reopens the migrated key: initiators holding its requests
+	// at their queue heads can move again.
+	svc.OnMigrate(func(ev countersvc.MigrationEvent) {
+		for p := sim.ProcID(1); int(p) <= n; p++ {
+			feed(p, svc.Now())
+		}
+	})
+	defer svc.OnMigrate(nil)
+
+	svc.OnOpDone(func(shard, key, epoch int, st *sim.OpStats) {
+		inFlight--
+		busy[st.Initiator] = false
+		k := shardOp{shard, st.ID}
+		idx := recOf[k]
+		delete(recOf, k)
+		if kvf != nil {
+			kvf.observe(shard, key, epoch, st.ID, st.StartedAt, st.DoneAt)
+		} else {
+			svc.Counter(shard).OpValue(st.ID)
+		}
+		svc.Net(shard).ForgetOp(st.ID)
+		rec := &recs[idx]
+		rec.done = st.DoneAt
+		m.onDone(res, cfg.Warmup, key, st.DoneAt, opTimes{arrival: rec.arrival, start: rec.start})
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, keyedSample(m, m.completed, inFlight, totalQueued))
+		}
+		feed(st.Initiator, svc.Now())
+	})
+	defer svc.OnOpDone(nil)
+
+	// The main loop merges scenario arrivals with the service's merged
+	// event stream in timestamp order; arrivals win ties, as in runOpen.
+	for {
+		for src.have {
+			if na, ok := svc.NextAt(); ok && na < src.arrival {
+				break
+			}
+			admit()
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		ok, err := svc.Step()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s/%s: %w", res.Algorithm, res.Scenario, err)
+		}
+		if !ok && !src.have {
+			break
+		}
+	}
+	if totalQueued != 0 || inFlight != 0 {
+		return nil, fmt.Errorf("engine: %s/%s: driver stalled with %d ops in flight, %d queued",
+			res.Algorithm, res.Scenario, inFlight, totalQueued)
+	}
+
+	if err := m.finalize(res, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	res.Buckets = bucketize(recs, cfg.KneeBuckets)
+	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
+	if kvf != nil {
+		kvf.attach(res)
+	}
+	return res, nil
+}

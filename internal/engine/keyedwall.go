@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"distcount/internal/countersvc"
+	"distcount/internal/sim"
+	"distcount/internal/workload"
+)
+
+// runKeyedWallClosed is the closed-loop keyed driver on the rt backend: the
+// wall-clock analog of runKeyedClosed, draining the service's merged
+// completion channel. A head-of-line key frozen for migration drain is a
+// wait-for-completion condition like a busy initiator: the freeze implies
+// in-flight operations whose completions drive the drain to its cutover.
+func runKeyedWallClosed(svc *countersvc.Service, gen workload.Generator, cfg Config, kvf *keyedVerifier) (*Result, error) {
+	n := svc.N()
+	tickNs := svc.RT(0).Tick().Nanoseconds()
+	res := keyedResult(svc, gen, cfg, Closed)
+	res.Wall = true
+	res.TickNs = tickNs
+
+	src := newKeyedSource(gen, n, svc.Keys())
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	hint := opsHint(cfg, gen)
+	var (
+		busy     = make([]bool, n+1)
+		timesOf  = make(map[shardOp]opTimes, cfg.InFlight)
+		inFlight = 0
+		m        = newKeyedMetrics(svc, true, cfg.Warmup, hint)
+		comp     = svc.Completions()
+	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
+	defer svc.Close()
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	handle := func(d countersvc.RTDone) {
+		key, epoch := svc.CompleteRT(d)
+		inFlight--
+		busy[d.Done.Initiator] = false
+		k := shardOp{d.Shard, d.Done.ID}
+		tm := timesOf[k]
+		delete(timesOf, k)
+		if kvf != nil {
+			kvf.observe(d.Shard, key, epoch, d.Done.ID, d.Done.StartNs, d.Done.DoneNs)
+		} else {
+			svc.Counter(d.Shard).OpValue(d.Done.ID) // drain the value table
+		}
+		m.onDone(res, cfg.Warmup, key, d.Done.DoneNs, tm)
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, keyedSample(m, m.completed, inFlight, 0))
+		}
+	}
+
+	for {
+		// Admit while a window slot is free, the head-of-line initiator is
+		// idle, the head's key is open, and its arrival time has come.
+		for inFlight < cfg.InFlight && src.have && !busy[src.head.Proc] {
+			if _, open := svc.RouteFor(src.head.Key); !open {
+				break
+			}
+			at := src.arrival * tickNs
+			now := svc.NowNs()
+			if at > now {
+				break
+			}
+			start := now
+			if at > start {
+				start = at
+			}
+			shard, id := svc.Start(0, src.head.Key, src.head.Proc)
+			timesOf[shardOp{shard, id}] = opTimes{arrival: at, start: start}
+			busy[src.head.Proc] = true
+			inFlight++
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		if !src.have && inFlight == 0 {
+			break
+		}
+		// Blocked on a future arrival only: sleep until it, waking early
+		// for completions. A busy initiator, a full window, or a frozen key
+		// can only be unblocked by a completion.
+		headOpen := false
+		if src.have {
+			_, headOpen = svc.RouteFor(src.head.Key)
+		}
+		if src.have && inFlight < cfg.InFlight && !busy[src.head.Proc] && headOpen {
+			wait := time.Duration(src.arrival*tickNs - svc.NowNs())
+			if wait <= 0 {
+				continue
+			}
+			select {
+			case d := <-comp:
+				handle(d)
+			case <-time.After(wait):
+			}
+			continue
+		}
+		// The service layer rejects fault plans, so a silent system is
+		// always a driver error, never a wedge.
+		select {
+		case d := <-comp:
+			handle(d)
+		case <-time.After(wallStall):
+			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight",
+				res.Algorithm, res.Scenario, wallStall, inFlight)
+		}
+	}
+	if err := m.finalize(res, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	if kvf != nil {
+		kvf.attach(res)
+	}
+	return res, nil
+}
+
+// runKeyedWallOpen is the open-loop keyed driver on the rt backend:
+// requests are admitted at their (tick-scaled) arrival instants, queueing
+// boundedly when their initiator is busy or their key is frozen.
+func runKeyedWallOpen(svc *countersvc.Service, gen workload.Generator, cfg Config, kvf *keyedVerifier) (*Result, error) {
+	n := svc.N()
+	tickNs := svc.RT(0).Tick().Nanoseconds()
+	res := keyedResult(svc, gen, cfg, Open)
+	res.Wall = true
+	res.TickNs = tickNs
+
+	src := newKeyedSource(gen, n, svc.Keys())
+	if src.err != nil {
+		return nil, src.err
+	}
+
+	hint := opsHint(cfg, gen)
+	var (
+		recs        = make([]opRec, 0, hint)
+		recKeys     = make([]int, 0, hint)
+		recOf       = make(map[shardOp]int, n)
+		busy        = make([]bool, n+1)
+		queued      = make([][]int, n+1)
+		totalQueued = 0
+		inFlight    = 0
+		m           = newKeyedMetrics(svc, true, cfg.Warmup, hint)
+		comp        = svc.Completions()
+	)
+	res.Latencies = preallocLatencies(hint, cfg.Warmup)
+	defer svc.Close()
+	sampleEvery, thinAfter := resolveStride(cfg, gen)
+
+	inject := func(idx int, p sim.ProcID) {
+		recs[idx].start = svc.NowNs()
+		shard, id := svc.Start(0, recKeys[idx], p)
+		recOf[shardOp{shard, id}] = idx
+		busy[p] = true
+		inFlight++
+	}
+
+	admit := func() {
+		rec := opRec{
+			arrival:    src.arrival * tickNs,
+			start:      -1,
+			done:       -1,
+			queueDepth: totalQueued,
+			backlog:    inFlight + totalQueued,
+		}
+		p := src.head.Proc
+		_, open := svc.RouteFor(src.head.Key)
+		switch {
+		case !busy[p] && open:
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+			inject(len(recs)-1, p)
+		case totalQueued >= cfg.QueueCap:
+			rec.dropped = true
+			res.Dropped++
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+		default:
+			recs = append(recs, rec)
+			recKeys = append(recKeys, src.head.Key)
+			queued[p] = append(queued[p], len(recs)-1)
+			totalQueued++
+			if totalQueued > res.PeakQueueDepth {
+				res.PeakQueueDepth = totalQueued
+			}
+		}
+	}
+
+	feed := func(p sim.ProcID) {
+		if busy[p] {
+			return
+		}
+		q := queued[p]
+		if len(q) == 0 {
+			return
+		}
+		idx := q[0]
+		if _, open := svc.RouteFor(recKeys[idx]); !open {
+			return
+		}
+		queued[p] = q[1:]
+		totalQueued--
+		inject(idx, p)
+	}
+
+	// Cutovers happen inside CompleteRT on this goroutine, so the feed
+	// callback needs no synchronization.
+	svc.OnMigrate(func(ev countersvc.MigrationEvent) {
+		for p := sim.ProcID(1); int(p) <= n; p++ {
+			feed(p)
+		}
+	})
+	defer svc.OnMigrate(nil)
+
+	handle := func(d countersvc.RTDone) {
+		key, epoch := svc.CompleteRT(d)
+		inFlight--
+		busy[d.Done.Initiator] = false
+		k := shardOp{d.Shard, d.Done.ID}
+		idx := recOf[k]
+		delete(recOf, k)
+		if kvf != nil {
+			kvf.observe(d.Shard, key, epoch, d.Done.ID, d.Done.StartNs, d.Done.DoneNs)
+		} else {
+			svc.Counter(d.Shard).OpValue(d.Done.ID)
+		}
+		rec := &recs[idx]
+		rec.done = d.Done.DoneNs
+		m.onDone(res, cfg.Warmup, key, d.Done.DoneNs, opTimes{arrival: rec.arrival, start: rec.start})
+		if m.completed%sampleEvery == 0 {
+			res.Series = append(res.Series, keyedSample(m, m.completed, inFlight, totalQueued))
+		}
+		feed(d.Done.Initiator)
+	}
+
+	for {
+		now := svc.NowNs()
+		for src.have && src.arrival*tickNs <= now {
+			admit()
+			src.pull()
+		}
+		if src.err != nil {
+			return nil, src.err
+		}
+		if !src.have && inFlight == 0 && totalQueued == 0 {
+			break
+		}
+		if src.have {
+			wait := time.Duration(src.arrival*tickNs - svc.NowNs())
+			if wait <= 0 {
+				select {
+				case d := <-comp:
+					handle(d)
+				default:
+				}
+				continue
+			}
+			select {
+			case d := <-comp:
+				handle(d)
+			case <-time.After(wait):
+			}
+			continue
+		}
+		select {
+		case d := <-comp:
+			handle(d)
+		case <-time.After(wallStall):
+			return nil, fmt.Errorf("engine: %s/%s: no completion for %v with %d ops in flight, %d queued",
+				res.Algorithm, res.Scenario, wallStall, inFlight, totalQueued)
+		}
+	}
+
+	if err := m.finalize(res, cfg.Warmup, thinAfter); err != nil {
+		return nil, err
+	}
+	res.Buckets = bucketize(recs, cfg.KneeBuckets)
+	res.Knee = detectKnee(res.Buckets, cfg.KneeFactor)
+	for i := range res.Buckets {
+		res.Buckets[i].OfferedRate *= 1e9
+	}
+	if res.Knee != nil {
+		res.Knee.OfferedRate *= 1e9
+	}
+	if kvf != nil {
+		kvf.attach(res)
+	}
+	return res, nil
+}

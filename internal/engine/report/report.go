@@ -57,6 +57,18 @@ func Render(res *engine.Result) string {
 	}
 	fmt.Fprintf(&b, "  ops        %d (%d warmup + %d measured), window %d (peak in flight %d)\n",
 		res.Ops, res.Warmup, res.Measured, res.InFlight, res.PeakInFlight)
+	if res.Keys > 0 {
+		fmt.Fprintf(&b, "  service    %d keys over %d shards (%s)\n",
+			res.Keys, res.Shards, strings.Join(res.ShardAlgos, ", "))
+		for _, ev := range res.Migrations {
+			fmt.Fprintf(&b, "    migrated key %d: shard %d -> %d after %d completions\n",
+				ev.Key, ev.From, ev.To, ev.AtCompleted)
+		}
+		if hot := hottestKey(res.PerKey); hot != nil {
+			fmt.Fprintf(&b, "    hottest key %d: %d ops on shard %d, mean latency %.1f %s\n",
+				hot.Key, hot.Ops, hot.Shard, hot.MeanLatency, tickU)
+		}
+	}
 	if res.Mode == engine.Open.String() {
 		fmt.Fprintf(&b, "  admission  queue cap %d, peak depth %d, dropped %d of %d arrivals (drop rate %.3f)\n",
 			res.QueueCap, res.PeakQueueDepth, res.Dropped, res.Arrivals, res.DropRate)
@@ -101,7 +113,23 @@ func Render(res *engine.Result) string {
 			fmt.Fprintf(&b, "    first violation: %s\n", v.First)
 		}
 	}
+	if kv := res.KeyedVerification; kv != nil {
+		fmt.Fprintf(&b, "  keyed verification: %d shards, %d keys, %d (key, epoch) segments, %d migrated\n",
+			len(kv.Shards), kv.Keys, kv.Segments, kv.MigratedKeys)
+	}
 	return b.String()
+}
+
+// hottestKey returns the per-key stat with the most completed operations
+// (nil for an empty breakdown).
+func hottestKey(perKey []engine.KeyStat) *engine.KeyStat {
+	var hot *engine.KeyStat
+	for i := range perKey {
+		if hot == nil || perKey[i].Ops > hot.Ops {
+			hot = &perKey[i]
+		}
+	}
+	return hot
 }
 
 // SweepRow is one cell of a sweep grid: the run's result plus the grid
@@ -134,6 +162,16 @@ type SweepRow struct {
 	// (whose own Faults field would collide with a field named Faults here,
 	// hence the distinct name).
 	FaultSpec string `json:"fault_spec,omitempty"`
+	// KeyDist and KeyZipfS describe a keyed cell's key-popularity draw
+	// (workload.Config.KeyDist/KeyZipfS); empty/zero on single-counter
+	// cells. The key and shard counts themselves live on the embedded
+	// Result (Keys, Shards).
+	KeyDist  string  `json:"key_dist,omitempty"`
+	KeyZipfS float64 `json:"key_zipf_s,omitempty"`
+	// ShardAlgo is a keyed cell's home-shard algorithm and Migrate the
+	// hot-shard algorithm its migration targets ("" = static assignment).
+	ShardAlgo string `json:"shard_algo,omitempty"`
+	Migrate   string `json:"migrate,omitempty"`
 	// Skipped is the reason this cell could not run (empty for completed
 	// cells); its Result carries coordinates but no measurements.
 	Skipped string `json:"skipped,omitempty"`
@@ -164,7 +202,8 @@ const SweepCSVHeader = "algo,scenario,mode,backend,n,ops,inflight,merge_window,m
 	"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 	"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
 	"verify_property,verify_violations,verify_duplicates,verify_excused," +
-	"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped,skipped"
+	"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped," +
+	"keys,key_dist,key_zipf_s,shards,shard_algo,migrate,migrations,skipped"
 
 // WriteSweepCSV writes the sweep as one merged CSV, a row per run, with
 // the SweepCSVHeader columns. Runs that never saturate leave knee_rate and
@@ -195,13 +234,23 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			fDup = fmt.Sprintf("%d", f.Duplicated)
 			fCrash = fmt.Sprintf("%d", f.CrashDropped)
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%s,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s\n",
+		keys, zipfS, shards, migrations := "", "", "", ""
+		if r.Keys > 0 {
+			keys = fmt.Sprintf("%d", r.Keys)
+			shards = fmt.Sprintf("%d", r.Shards)
+			migrations = fmt.Sprintf("%d", len(r.Result.Migrations))
+			if r.KeyZipfS > 0 {
+				zipfS = fmt.Sprintf("%.2f", r.KeyZipfS)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%s,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.Algorithm, r.Scenario, r.Mode, backendLabel(r.Backend), r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap, csvField(r.FaultSpec),
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Arrivals, r.Dropped, r.DropRate, r.PeakQueueDepth,
 			r.Messages, r.MessagesPerOp, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
 			kneeRate, kneeReason, vProp, vViol, vDup, vExc,
-			r.Wedged, r.Unserved, fLost, fDup, fCrash, csvField(r.Skipped)); err != nil {
+			r.Wedged, r.Unserved, fLost, fDup, fCrash,
+			keys, r.KeyDist, zipfS, shards, r.ShardAlgo, r.Migrate, migrations, csvField(r.Skipped)); err != nil {
 			return err
 		}
 	}

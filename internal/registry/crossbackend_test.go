@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"distcount/internal/countersvc"
 	"distcount/internal/engine"
 	"distcount/internal/registry"
 	"distcount/internal/rt"
@@ -84,6 +85,90 @@ func TestCrossBackendEquivalence(t *testing.T) {
 				}
 			}
 			// Both backends claim the same property for the same machine.
+			if simRes.Verification.Property != rtRes.Verification.Property {
+				t.Errorf("claimed property differs: sim %q, rt %q",
+					simRes.Verification.Property, rtRes.Verification.Property)
+			}
+		})
+	}
+}
+
+// TestCrossBackendKeyedEquivalence runs the same seeded keyed sequence
+// through the sharded service layer on both backends — every registered
+// algorithm as the uniform home-shard algorithm — and checks that the
+// per-key outcomes are identical: same final routing (the hash is
+// platform- and backend-independent), same per-key completed-operation
+// count (the key's final counter value), and a clean keyed verification
+// on both. The sim run fixes the expected values on a deterministic
+// interleaving; the rt run must reproduce them under real concurrency
+// (run under -race in CI's rt smoke job).
+func TestCrossBackendKeyedEquivalence(t *testing.T) {
+	const (
+		ops    = 160
+		keys   = 8
+		shards = 2
+		n      = 8
+	)
+	for _, name := range registry.Names() {
+		t.Run(name, func(t *testing.T) {
+			runOnce := func(backend string) *engine.Result {
+				rcfg := registry.Concurrent()
+				rcfg.Backend = backend
+				svc, err := countersvc.New(countersvc.Config{
+					Keys: keys, N: n, Shards: shards, Algo: name, Registry: rcfg,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A zipf key draw makes the per-key counts unequal, so the
+				// equivalence check is not satisfied by symmetry.
+				gen, err := workload.New("uniform", workload.Config{
+					N: svc.N(), Ops: ops, Seed: 7, MeanGap: 4,
+					Keys: keys, KeyDist: "zipf", KeyZipfS: 1.1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := engine.RunKeyed(svc, gen, engine.Config{InFlight: svc.N(), Verify: true})
+				if err != nil {
+					t.Fatalf("%q run: %v", backend, err)
+				}
+				return res
+			}
+			simRes := runOnce("")
+			rtRes := runOnce("rt")
+
+			if simRes.Ops != ops || rtRes.Ops != ops {
+				t.Fatalf("completed ops differ: sim %d, rt %d, want %d", simRes.Ops, rtRes.Ops, ops)
+			}
+			if len(simRes.PerKey) != keys || len(rtRes.PerKey) != keys {
+				t.Fatalf("per-key stats: sim %d keys, rt %d keys, want %d",
+					len(simRes.PerKey), len(rtRes.PerKey), keys)
+			}
+			total := 0
+			for k := 0; k < keys; k++ {
+				s, r := simRes.PerKey[k], rtRes.PerKey[k]
+				if s.Shard != r.Shard {
+					t.Errorf("key %d routed to shard %d on sim, %d on rt", k, s.Shard, r.Shard)
+				}
+				if s.Ops != r.Ops {
+					t.Errorf("key %d final value differs: sim %d, rt %d", k, s.Ops, r.Ops)
+				}
+				total += s.Ops
+			}
+			if total != ops {
+				t.Errorf("per-key values sum to %d, want %d", total, ops)
+			}
+			for backend, res := range map[string]*engine.Result{"sim": simRes, "rt": rtRes} {
+				v := res.Verification
+				if v == nil {
+					t.Fatalf("%s: no verification report", backend)
+				}
+				if v.Ops != ops || v.Missing != 0 || v.Violations != 0 {
+					t.Errorf("%s: keyed verification ops=%d missing=%d violations=%d (first: %s)",
+						backend, v.Ops, v.Missing, v.Violations, v.First)
+				}
+			}
 			if simRes.Verification.Property != rtRes.Verification.Property {
 				t.Errorf("claimed property differs: sim %q, rt %q",
 					simRes.Verification.Property, rtRes.Verification.Property)

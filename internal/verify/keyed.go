@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// KeyedValue is one completed operation of a keyed (multi-counter) run:
+// which shard executed it, which key it addressed, and the key's routing
+// epoch when it started. The drain-before-cutover migration protocol
+// guarantees every operation ran entirely within one (key, epoch) segment.
+type KeyedValue struct {
+	Op         sim.OpID
+	Shard      int
+	Key        int
+	Epoch      int
+	Value      int
+	Start, End int64
+}
+
+// ShardReport is one shard's history evaluated at its algorithm's claimed
+// consistency level.
+type ShardReport struct {
+	Shard     int    `json:"shard"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Report
+}
+
+// KeyedReport is the verification result of a keyed run.
+//
+// Histories partition two ways. By SHARD: a shard is one counter instance
+// handing out its own 0,1,2,... sequence to all keys routed to it, so the
+// shard history is the unit on which the claimed consistency level is
+// meaningful — it gets the full Evaluate (duplicates, gaps, real-time
+// order). This stays true across a migration: the migrated key's operations
+// simply stop appearing in the old shard's history and start appearing in
+// the new one's; both shard histories remain contiguous value spaces. By
+// (KEY, EPOCH): within a segment all operations belong to one key on one
+// shard, so any duplicate or real-time-order inversion among them is
+// attributable to that key — the per-key counters localize which key an
+// anomaly hit. Operations of the same key in different epochs ran on
+// different shards with independent value sequences, which is exactly why
+// they must NOT be compared against each other — the partition by epoch is
+// what keeps verification clean across a migration.
+//
+// Summary aggregates the shard reports into one Report so the existing
+// render/gate paths treat a keyed run like any other; the per-key counters
+// are measurements (subsets of the shard-level counts), not added again.
+type KeyedReport struct {
+	Shards []ShardReport `json:"shards"`
+	// Keys is the number of distinct keys observed; Segments the number of
+	// (key, epoch) segments checked.
+	Keys     int `json:"keys"`
+	Segments int `json:"segments"`
+	// KeyDuplicates and KeyOrderViolations count anomalies localized
+	// within a single (key, epoch) segment, evaluated at the owning
+	// shard's claimed level (0 for sequential-only shards, order included
+	// only for linearizable shards).
+	KeyDuplicates      int `json:"key_duplicates"`
+	KeyOrderViolations int `json:"key_order_violations"`
+	// MigratedKeys counts keys observed in more than one epoch.
+	MigratedKeys int    `json:"migrated_keys,omitempty"`
+	Summary      Report `json:"summary"`
+}
+
+// EvaluateKeyed checks a keyed run: each shard's history against its own
+// claimed consistency level (levels and algos are indexed by shard), plus
+// the per-(key, epoch) segment checks. missing is the number of completed
+// operations whose value could not be read back (counted in the summary).
+func EvaluateKeyed(levels []counter.Consistency, algos []string, vals []KeyedValue, missing int, fc FaultContext) KeyedReport {
+	rep := KeyedReport{}
+
+	perShard := make([][]TimedValue, len(levels))
+	for _, v := range vals {
+		perShard[v.Shard] = append(perShard[v.Shard], TimedValue{Op: v.Op, Value: v.Value, Start: v.Start, End: v.End})
+	}
+	allSame := true
+	for s, level := range levels {
+		sr := ShardReport{Shard: s, Report: EvaluateWithFaults(level, perShard[s], 0, fc)}
+		if s < len(algos) {
+			sr.Algorithm = algos[s]
+		}
+		rep.Shards = append(rep.Shards, sr)
+		if level != levels[0] {
+			allSame = false
+		}
+	}
+
+	// (key, epoch) segments: group, then run the duplicate + real-time
+	// order sweeps within each, at the owning shard's level.
+	type segKey struct{ key, epoch int }
+	segs := map[segKey][]KeyedValue{}
+	keysSeen := map[int]bool{}
+	epochsOf := map[int]map[int]bool{}
+	for _, v := range vals {
+		sk := segKey{v.Key, v.Epoch}
+		segs[sk] = append(segs[sk], v)
+		keysSeen[v.Key] = true
+		if epochsOf[v.Key] == nil {
+			epochsOf[v.Key] = map[int]bool{}
+		}
+		epochsOf[v.Key][v.Epoch] = true
+	}
+	rep.Keys = len(keysSeen)
+	rep.Segments = len(segs)
+	for _, es := range epochsOf {
+		if len(es) > 1 {
+			rep.MigratedKeys++
+		}
+	}
+	for _, seg := range segs {
+		level := levels[seg[0].Shard]
+		if level == counter.SequentialOnly {
+			continue
+		}
+		seen := make(map[int]bool, len(seg))
+		for _, v := range seg {
+			if seen[v.Value] {
+				rep.KeyDuplicates++
+			}
+			seen[v.Value] = true
+		}
+		if level == counter.Linearizable {
+			rep.KeyOrderViolations += segmentOrderViolations(seg)
+		}
+	}
+
+	// Summary: shard reports aggregated into one Report so keyed results
+	// render and gate through the single-counter paths unchanged.
+	sum := &rep.Summary
+	sum.Missing = missing
+	sum.Wedged = fc.Wedged
+	sum.FaultsFired = fc.Fired
+	for _, sr := range rep.Shards {
+		sum.Ops += sr.Ops
+		sum.Duplicates += sr.Duplicates
+		sum.Gaps += sr.Gaps
+		sum.OrderViolations += sr.OrderViolations
+		sum.Violations += sr.Violations
+		sum.Excused += sr.Excused
+		if sum.First == "" && sr.First != "" {
+			sum.First = fmt.Sprintf("shard %d (%s): %s", sr.Shard, sr.Algorithm, sr.First)
+		}
+	}
+	sum.Violations += missing
+	if missing > 0 && sum.First == "" {
+		sum.First = fmt.Sprintf("%d operations completed without delivering a value", missing)
+	}
+	if allSame && len(levels) > 0 {
+		sum.Property = levels[0].String() + "/sharded"
+	} else {
+		sum.Property = "mixed/sharded"
+	}
+	return rep
+}
+
+// segmentOrderViolations runs the real-time order sweep of Evaluate within
+// one (key, epoch) segment: an operation whose value is not larger than
+// that of some segment operation completed before it started.
+func segmentOrderViolations(seg []KeyedValue) int {
+	byEnd := append([]KeyedValue(nil), seg...)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+	byStart := append([]KeyedValue(nil), seg...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+	violations, maxDone, ei := 0, -1, 0
+	for _, b := range byStart {
+		for ei < len(byEnd) && byEnd[ei].End < b.Start {
+			if byEnd[ei].Value > maxDone {
+				maxDone = byEnd[ei].Value
+			}
+			ei++
+		}
+		if maxDone >= b.Value {
+			violations++
+		}
+	}
+	return violations
+}

@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// kv builds one keyed completion.
+func kv(op, shard, key, epoch, value int, start, end int64) KeyedValue {
+	return KeyedValue{Op: sim.OpID(op), Shard: shard, Key: key, Epoch: epoch, Value: value, Start: start, End: end}
+}
+
+// TestEvaluateKeyedClean: two shards, interleaved keys, each shard handing
+// out its own contiguous sequence — no violations anywhere.
+func TestEvaluateKeyedClean(t *testing.T) {
+	vals := []KeyedValue{
+		kv(1, 0, 0, 0, 0, 0, 2),
+		kv(2, 0, 2, 0, 1, 3, 5),
+		kv(1, 1, 1, 0, 0, 0, 2),
+		kv(2, 1, 3, 0, 1, 3, 5),
+		kv(3, 0, 0, 0, 2, 6, 8),
+	}
+	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable, counter.Linearizable},
+		[]string{"central", "central"}, vals, 0, FaultContext{})
+	if rep.Summary.Violations != 0 {
+		t.Fatalf("clean history reported %d violations: %+v", rep.Summary.Violations, rep.Summary)
+	}
+	if rep.Keys != 4 || rep.Segments != 4 {
+		t.Fatalf("keys/segments = %d/%d, want 4/4", rep.Keys, rep.Segments)
+	}
+	if rep.Summary.Ops != 5 {
+		t.Fatalf("summary ops = %d, want 5", rep.Summary.Ops)
+	}
+	if rep.Summary.Property != "linearizable/sharded" {
+		t.Fatalf("property = %q", rep.Summary.Property)
+	}
+	if rep.MigratedKeys != 0 {
+		t.Fatalf("migrated keys = %d, want 0", rep.MigratedKeys)
+	}
+}
+
+// TestEvaluateKeyedShardViolationLocalized: a duplicate inside one shard is
+// a violation of that shard and of the summary, and when both duplicated
+// ops belong to one key it is localized as a key duplicate too.
+func TestEvaluateKeyedShardViolationLocalized(t *testing.T) {
+	vals := []KeyedValue{
+		kv(1, 0, 5, 0, 0, 0, 2),
+		kv(2, 0, 5, 0, 0, 3, 5), // duplicate value 0, same key
+		kv(1, 1, 6, 0, 0, 0, 2),
+		kv(2, 1, 7, 0, 1, 3, 5),
+	}
+	rep := EvaluateKeyed([]counter.Consistency{counter.Quiescent, counter.Quiescent},
+		[]string{"difftree", "difftree"}, vals, 0, FaultContext{})
+	if rep.Shards[0].Violations == 0 {
+		t.Fatal("shard 0 duplicate not flagged")
+	}
+	if rep.Shards[1].Violations != 0 {
+		t.Fatalf("clean shard 1 flagged: %+v", rep.Shards[1].Report)
+	}
+	if rep.Summary.Violations != rep.Shards[0].Violations {
+		t.Fatalf("summary violations %d != shard 0 violations %d", rep.Summary.Violations, rep.Shards[0].Violations)
+	}
+	if rep.KeyDuplicates != 1 {
+		t.Fatalf("key duplicates = %d, want 1", rep.KeyDuplicates)
+	}
+	if !strings.Contains(rep.Summary.First, "shard 0") {
+		t.Fatalf("first violation does not name the shard: %q", rep.Summary.First)
+	}
+}
+
+// TestEvaluateKeyedMigrationEpochsNotCompared: a migrated key's operations
+// restart at a small value on the new shard; because epochs partition the
+// key's history, the restart is not an order violation — while the same
+// restart WOULD be flagged if the epochs were (wrongly) merged.
+func TestEvaluateKeyedMigrationEpochsNotCompared(t *testing.T) {
+	vals := []KeyedValue{
+		// Shard 0, monotone sequential history: key 1 takes 0..4, then
+		// key 9 (epoch 0) takes 5 and 6, then key 1 takes 7.
+		kv(3, 0, 1, 0, 0, 0, 2), kv(4, 0, 1, 0, 1, 3, 5), kv(5, 0, 1, 0, 2, 6, 8),
+		kv(6, 0, 1, 0, 3, 9, 11), kv(7, 0, 1, 0, 4, 12, 14),
+		kv(1, 0, 9, 0, 5, 15, 17),
+		kv(2, 0, 9, 0, 6, 18, 20),
+		kv(8, 0, 1, 0, 7, 21, 23),
+		// Epoch 1 on shard 1 (post-migration): key 9 restarts at value 0,
+		// strictly after its epoch-0 ops completed — an inversion if the
+		// epochs were wrongly merged.
+		kv(1, 1, 9, 1, 0, 30, 32),
+		kv(2, 1, 9, 1, 1, 33, 35),
+	}
+	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable, counter.Linearizable},
+		[]string{"central", "combining"}, vals, 0, FaultContext{})
+	if rep.Summary.Violations != 0 {
+		t.Fatalf("migration history reported %d violations (first: %s)", rep.Summary.Violations, rep.Summary.First)
+	}
+	if rep.KeyOrderViolations != 0 {
+		t.Fatalf("epoch partition leaked: %d key order violations", rep.KeyOrderViolations)
+	}
+	if rep.MigratedKeys != 1 {
+		t.Fatalf("migrated keys = %d, want 1", rep.MigratedKeys)
+	}
+	if rep.Segments != 3 {
+		t.Fatalf("segments = %d, want 3", rep.Segments)
+	}
+}
+
+// TestEvaluateKeyedOrderViolationWithinSegment: a real-time order inversion
+// between two ops of the same key in the same epoch is flagged both at the
+// shard level and as a key-localized order violation.
+func TestEvaluateKeyedOrderViolationWithinSegment(t *testing.T) {
+	vals := []KeyedValue{
+		kv(1, 0, 2, 0, 1, 0, 2),
+		kv(2, 0, 2, 0, 0, 5, 7), // starts after value 1 completed, gets 0
+	}
+	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable},
+		[]string{"central"}, vals, 0, FaultContext{})
+	if rep.Shards[0].OrderViolations != 1 {
+		t.Fatalf("shard order violations = %d, want 1", rep.Shards[0].OrderViolations)
+	}
+	if rep.KeyOrderViolations != 1 {
+		t.Fatalf("key order violations = %d, want 1", rep.KeyOrderViolations)
+	}
+	if rep.Summary.Violations == 0 {
+		t.Fatal("summary missed the order violation")
+	}
+}
+
+// TestEvaluateKeyedMissingCountsOnce: missing values land in the summary
+// exactly once and surface in First.
+func TestEvaluateKeyedMissingCountsOnce(t *testing.T) {
+	vals := []KeyedValue{kv(1, 0, 0, 0, 0, 0, 2)}
+	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable},
+		[]string{"central"}, vals, 2, FaultContext{})
+	if rep.Summary.Violations != 2 || rep.Summary.Missing != 2 {
+		t.Fatalf("summary violations/missing = %d/%d, want 2/2", rep.Summary.Violations, rep.Summary.Missing)
+	}
+	if rep.Summary.First == "" {
+		t.Fatal("missing values not surfaced in First")
+	}
+}

@@ -25,12 +25,15 @@ import (
 	"distcount/internal/sim"
 )
 
-// Request is one operation request: which processor initiates, and how long
+// Request is one operation request: which processor initiates, how long
 // after the previous request's arrival it arrives (its interarrival gap, in
-// simulated ticks; 0 means simultaneous arrival).
+// simulated ticks; 0 means simultaneous arrival), and which counter key the
+// operation addresses. Key is always 0 in single-counter configs (Keys <= 1)
+// — the compatibility path every pre-keyed caller rides.
 type Request struct {
 	Proc sim.ProcID
 	Gap  int64
+	Key  int
 }
 
 // Generator produces a finite, deterministic stream of requests.
@@ -74,6 +77,20 @@ type Config struct {
 	// of the "ramp" scenario (defaults 8*MeanGap and max(1, MeanGap/4)):
 	// traffic accelerates over the run.
 	RampFrom, RampTo int64
+	// Keys is the number of independent counter keys requests address
+	// (default 1: the single-counter compatibility path, in which every
+	// Request carries Key 0 and the stream is byte-identical to the
+	// pre-keyed generators). When Keys > 1 each request additionally draws
+	// a Key from KeyDist; the key draw uses its own seeded stream, so the
+	// arrival process of every scenario is unchanged by keying.
+	Keys int
+	// KeyDist selects the key-popularity distribution when Keys > 1:
+	// "zipf" (default; key 0 is the hottest) or "uniform".
+	KeyDist string
+	// KeyZipfS is the Zipf exponent for KeyDist "zipf" (default 1.2);
+	// larger means a hotter hot key.
+	KeyZipfS float64
+
 	// RateFrom and RateTo are the offered rates, in operations per tick,
 	// at the start and end of the "ramprate" scenario (defaults
 	// 1/(8*MeanGap) and DefaultRateTo). Unlike the gap-based "ramp", rates
@@ -85,12 +102,30 @@ type Config struct {
 	RateFrom, RateTo float64
 }
 
+// withDefaults validates the config and fills in defaults. Its errors carry
+// no scenario name — New wraps them with the scenario so sweep-cell failures
+// are attributable to the cell that produced them.
 func (c Config) withDefaults() (Config, error) {
 	if c.N < 1 {
-		return c, fmt.Errorf("workload: config needs N >= 1 (got %d)", c.N)
+		return c, fmt.Errorf("config needs N >= 1 (got %d)", c.N)
 	}
 	if c.Ops < 1 {
-		return c, fmt.Errorf("workload: config needs Ops >= 1 (got %d)", c.Ops)
+		return c, fmt.Errorf("config needs Ops >= 1 (got %d)", c.Ops)
+	}
+	if c.Keys < 0 {
+		return c, fmt.Errorf("config needs Keys >= 1 (got %d)", c.Keys)
+	}
+	if c.Keys == 0 {
+		c.Keys = 1
+	}
+	if c.KeyDist == "" {
+		c.KeyDist = "zipf"
+	}
+	if _, ok := keyDists[c.KeyDist]; !ok {
+		return c, fmt.Errorf("config has unknown KeyDist %q (have %v)", c.KeyDist, KeyDists())
+	}
+	if c.KeyZipfS <= 0 {
+		c.KeyZipfS = 1.2
 	}
 	if c.MeanGap <= 0 {
 		c.MeanGap = 4
@@ -130,7 +165,7 @@ func (c Config) withDefaults() (Config, error) {
 		// (baseline first, divergence later); a descending sweep would make
 		// it report the recovery point as the knee. Reject rather than
 		// silently mismeasure.
-		return c, fmt.Errorf("workload: descending rate ramp (RateFrom %.4f > RateTo %.4f); knee detection assumes a non-decreasing offered rate — swap the bounds", c.RateFrom, c.RateTo)
+		return c, fmt.Errorf("descending rate ramp (RateFrom %.4f > RateTo %.4f); knee detection assumes a non-decreasing offered rate — swap the bounds", c.RateFrom, c.RateTo)
 	}
 	return c, nil
 }
@@ -180,7 +215,9 @@ func Names() []string {
 	return out
 }
 
-// New builds the named scenario from the config.
+// New builds the named scenario from the config. When cfg.Keys > 1 the
+// scenario is additionally keyed: every request carries a Key drawn from
+// cfg.KeyDist, composable with every arrival process.
 func New(name string, cfg Config) (Generator, error) {
 	b, ok := builders()[name]
 	if !ok {
@@ -188,9 +225,13 @@ func New(name string, cfg Config) (Generator, error) {
 	}
 	full, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: scenario %q: %w", name, err)
 	}
-	return b(full), nil
+	g := b(full)
+	if full.Keys > 1 {
+		g = keyed(g, full)
+	}
+	return g, nil
 }
 
 // expGap draws an exponentially distributed interarrival gap with the given

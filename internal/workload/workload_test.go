@@ -278,6 +278,175 @@ func TestRampRateDefaults(t *testing.T) {
 	}
 }
 
+// TestValidationErrorNamesScenario: a config error surfacing out of New
+// must name the scenario, so a failing sweep cell is attributable from the
+// error string alone (regression: errors used to name only the field).
+func TestValidationErrorNamesScenario(t *testing.T) {
+	cases := []struct {
+		scenario string
+		cfg      Config
+	}{
+		{"zipf", Config{N: 0, Ops: 5}},
+		{"hotspot", Config{N: 4, Ops: 0}},
+		{"ramprate", Config{N: 8, Ops: 10, RateFrom: 2, RateTo: 0.5}},
+		{"uniform", Config{N: 8, Ops: 10, Keys: -3}},
+		{"bursty", Config{N: 8, Ops: 10, Keys: 4, KeyDist: "nope"}},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.scenario, tc.cfg)
+		if err == nil {
+			t.Fatalf("%s: invalid config accepted: %+v", tc.scenario, tc.cfg)
+		}
+		if !strings.Contains(err.Error(), `scenario "`+tc.scenario+`"`) {
+			t.Fatalf("error does not name scenario %q: %v", tc.scenario, err)
+		}
+	}
+}
+
+// TestKeyedCompatibility: Keys=1 (and Keys=0, the zero value) is the
+// single-counter path — the stream must be byte-identical to an unkeyed
+// config, with every Key equal to 0.
+func TestKeyedCompatibility(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func(keys int) []Request {
+				cfg := baseCfg()
+				cfg.Keys = keys
+				g, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return drain(t, g)
+			}
+			plain, one := mk(0), mk(1)
+			for i := range plain {
+				if plain[i] != one[i] {
+					t.Fatalf("Keys=1 diverges from unkeyed at %d: %v vs %v", i, plain[i], one[i])
+				}
+				if plain[i].Key != 0 {
+					t.Fatalf("unkeyed request %d carries Key %d", i, plain[i].Key)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyedArrivalsUnchanged: turning keying on must not disturb any
+// scenario's arrival process — (Proc, Gap) streams are byte-identical with
+// and without keys, and keys are in range.
+func TestKeyedArrivalsUnchanged(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := baseCfg()
+			plainG, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Keys = 16
+			keyedG, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if keyedG.Name() != name {
+				t.Fatalf("keyed Name() = %q, want %q", keyedG.Name(), name)
+			}
+			plain, kreqs := drain(t, plainG), drain(t, keyedG)
+			if len(plain) != len(kreqs) {
+				t.Fatalf("keyed stream length %d, unkeyed %d", len(kreqs), len(plain))
+			}
+			sawNonZero := false
+			for i := range plain {
+				if plain[i].Proc != kreqs[i].Proc || plain[i].Gap != kreqs[i].Gap {
+					t.Fatalf("arrival %d changed under keying: %v vs %v", i, plain[i], kreqs[i])
+				}
+				if kreqs[i].Key < 0 || kreqs[i].Key >= 16 {
+					t.Fatalf("request %d has key %d, out of [0,16)", i, kreqs[i].Key)
+				}
+				if kreqs[i].Key != 0 {
+					sawNonZero = true
+				}
+			}
+			if !sawNonZero {
+				t.Fatal("keyed stream never drew a non-zero key")
+			}
+		})
+	}
+}
+
+// TestKeyedZipfSkew: under the default zipf key distribution, key 0 is the
+// hottest by construction and carries far more than the uniform share,
+// while "uniform" keying spreads keys evenly.
+func TestKeyedZipfSkew(t *testing.T) {
+	cfg := Config{N: 8, Ops: 8000, Seed: 11, Keys: 32, KeyZipfS: 1.2}
+	g, err := New("uniform", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Keys)
+	top := 0
+	for _, req := range drain(t, g) {
+		counts[req.Key]++
+	}
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	uniformShare := cfg.Ops / cfg.Keys
+	if counts[0] != top {
+		t.Fatalf("key 0 is not the hottest: counts[0]=%d, max=%d", counts[0], top)
+	}
+	if counts[0] < 4*uniformShare {
+		t.Fatalf("zipf hot key got %d ops, want >= %d (4x uniform share)", counts[0], 4*uniformShare)
+	}
+
+	cfg.KeyDist = "uniform"
+	g, err = New("uniform", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts = make([]int, cfg.Keys)
+	for _, req := range drain(t, g) {
+		counts[req.Key]++
+	}
+	for k, c := range counts {
+		if c < uniformShare/2 || c > 2*uniformShare {
+			t.Fatalf("uniform keying: key %d got %d ops, want within 2x of %d", k, c, uniformShare)
+		}
+	}
+}
+
+// TestKeyedDeterminism: keyed streams are a pure function of the Config;
+// a different seed moves the key draws too.
+func TestKeyedDeterminism(t *testing.T) {
+	mk := func(seed uint64) []Request {
+		g, err := New("bursty", Config{N: 16, Ops: 400, Seed: seed, Keys: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, g)
+	}
+	a, b := mk(3), mk(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("keyed streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := mk(4)
+	same := true
+	for i := range a {
+		if a[i].Key != c[i].Key {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical key streams")
+	}
+}
+
 // TestRampRateDescendingRejected: the open-loop knee scan assumes a
 // non-decreasing offered rate, so a descending sweep must be rejected with
 // a clear error — not silently mismeasured. This includes the half-set
