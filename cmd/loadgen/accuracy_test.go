@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"distcount/internal/engine/report"
+)
+
+// TestAccuracyStudy: the packaged exact-vs-approx study passes its own
+// verdict, verifies every cell, and is deterministic run to run.
+func TestAccuracyStudy(t *testing.T) {
+	text := func() string {
+		var b strings.Builder
+		if err := run([]string{"-study", "accuracy", "-format", "text"}, &b); err != nil {
+			t.Fatalf("accuracy study failed: %v\n%s", err, b.String())
+		}
+		return b.String()
+	}
+	out := text()
+	for _, frag := range []string{
+		"verdict exact-vs-approx: PASS",
+		"gxu-threshold    ε=0.05*",
+		"css-sample       ε=0.25*",
+		"central          exact",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("accuracy study missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "SKIPPED") {
+		t.Fatalf("accuracy study has skipped cells:\n%s", out)
+	}
+	if again := text(); again != out {
+		t.Fatal("identical accuracy-study invocations produced different reports")
+	}
+
+	// The CSV form is the full grid with the epsilon column filled in on
+	// every approximate cell.
+	var b strings.Builder
+	if err := run([]string{"-study", "accuracy", "-format", "csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 10 { // header + 3 exact refs + 2 algos x 3 epsilons
+		t.Fatalf("accuracy CSV has %d lines, want 10", len(lines))
+	}
+	if lines[0] != report.SweepCSVHeader {
+		t.Fatalf("accuracy CSV header drifted: %q", lines[0])
+	}
+	// Approximate cells verify with zero violations (repeated estimates do
+	// count as duplicates, which the approximate property permits).
+	for _, frag := range []string{"approximate(0.05),0,", "approximate(0.25),0,"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Fatalf("accuracy CSV missing verified approximate cell %q:\n%s", frag, b.String())
+		}
+	}
+}
+
+// TestEpsilonFlag: -epsilon threads a claimed bound into a single verified
+// run, defaults to the algorithm's own claim when zero, and is inert on
+// exact algorithms.
+func TestEpsilonFlag(t *testing.T) {
+	runText := func(args ...string) string {
+		var b strings.Builder
+		if err := run(append(args, "-format", "text"), &b); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return b.String()
+	}
+	out := runText("-algo", "gxu-threshold", "-n", "8", "-ops", "3000", "-epsilon", "0.1", "-verify")
+	if !strings.Contains(out, "approximate(0.1)") {
+		t.Fatalf("-epsilon 0.1 not threaded into verification:\n%s", out)
+	}
+	out = runText("-algo", "css-sample", "-n", "8", "-ops", "3000", "-verify")
+	if !strings.Contains(out, "approximate(0.25)") {
+		t.Fatalf("css-sample default ε missing from verification:\n%s", out)
+	}
+	out = runText("-algo", "central", "-n", "8", "-ops", "500", "-epsilon", "0.1", "-verify")
+	if !strings.Contains(out, "linearizable") || strings.Contains(out, "approximate") {
+		t.Fatalf("-epsilon must be inert on an exact algorithm:\n%s", out)
+	}
+}
+
+// TestApproximateShardAlgo: the ε-approximate counters compose with the
+// sharded service layer — every shard claims the same ε bracket and the
+// keyed verification checks it per shard.
+func TestApproximateShardAlgo(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-algo", "gxu-threshold", "-keys", "32", "-shards", "2",
+		"-n", "8", "-ops", "1500", "-verify", "-format", "text"}, &b)
+	if err != nil {
+		t.Fatalf("keyed approximate run failed: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "approximate(0.05)/sharded") {
+		t.Fatalf("keyed verification property missing the shared ε claim:\n%s", b.String())
+	}
+}
+
+// TestAccuracyStudyBadArgs: the accuracy study pins its grid, so grid flags
+// are rejected, and the unknown-study error advertises it.
+func TestAccuracyStudyBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-study", "accuracy", "-algos", "central"},
+		{"-study", "accuracy", "-n", "8"},
+		{"-study", "accuracy", "-epsilon", "0.1"},
+		{"-study", "accuracy", "-verify"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil || !strings.Contains(err.Error(), "-study accuracy") {
+			t.Errorf("run %v: want a pinned-grid error naming the study, got %v", args, err)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-study", "nope"}, &b); err == nil || !strings.Contains(err.Error(), "accuracy") {
+		t.Errorf("unknown-study error must list accuracy, got %v", err)
+	}
+}

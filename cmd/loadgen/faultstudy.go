@@ -42,7 +42,10 @@ var faultStudyPlans = []string{
 func runFaultStudy(out io.Writer, opt options, format string, cfg studyConfig) error {
 	algoList := expandAlgos(cfg.algos)
 	if !cfg.algosSet {
-		algoList = registry.Names() // the study's default scope is everything
+		// Default scope: every exact algorithm. The fault anomaly accounting
+		// (lost/duplicated values) presumes exact value assignment; the
+		// ε-approximate family is measured by -study accuracy instead.
+		algoList = registry.ExactNames()
 	}
 	if len(algoList) == 0 {
 		return fmt.Errorf("-study needs a non-empty -algos")

@@ -38,6 +38,7 @@ func runOneKeyed(opt options, algo, scenario string) (*engine.Result, error) {
 	}
 	rcfg := registry.Concurrent(simOpts...)
 	rcfg.Window = opt.window
+	rcfg.Epsilon = opt.epsilon
 	rcfg.Backend = opt.backend
 	if opt.backend == "rt" {
 		if rcfg.RTService, err = serviceCost(opt.service, opt.svcDist); err != nil {

@@ -21,6 +21,8 @@
 //	loadgen -algo central -keys 1024 -shards 4 -key-zipf-s 1.2 -verify -format text
 //	loadgen -keys 64 -shards 4 -shard-algo central -migrate cnet@hot=0.25 -verify -format text
 //	loadgen -study skew -format text
+//	loadgen -algo gxu-threshold -scenario ramprate -mode open -service 1 -epsilon 0.1 -verify -format text
+//	loadgen -study accuracy -format text
 //	loadgen -list
 //
 // The default output is an indented JSON report on stdout; -format text
@@ -39,10 +41,20 @@
 //
 // With -verify the engine additionally collects every operation's
 // delivered value and checks it against the algorithm's claimed
-// consistency level: linearizability for central/ctree/combining,
-// quiescent consistency for the counting and diffracting networks, and
+// consistency guarantee: linearizability for central/ctree/combining,
+// quiescent consistency for the counting and diffracting networks,
 // duplicate-value accounting for the protocols that are only sequentially
-// correct (tokenring, quorum-*).
+// correct (tokenring, quorum-*), and the ε error bracket for the
+// approximate algorithms (gxu-threshold, css-sample) — every value must
+// stay within a factor 1±ε of the true count's concurrency bracket.
+// -epsilon overrides an approximate algorithm's default claimed bound;
+// tightening it makes the protocol synchronize more (and the verifier
+// demand more). -study accuracy packages the exact-vs-approximate
+// experiment: exact references and every ε-approximate algorithm over an
+// ε ladder on the same open-loop ramp, verification on everywhere, with a
+// machine-checkable "exact-vs-approx" verdict demanding that each
+// approximate algorithm at its default ε sustain at least 2x the best
+// exact knee (docs/EXPERIMENTS.md §12).
 //
 // With -faults the run executes under a deterministic, seeded
 // fault-injection plan — message loss and duplication (probabilistic or
@@ -168,8 +180,9 @@ type options struct {
 	service     int64
 	svcDist     string // per-processor service-cost distribution (flat/halfslow/straggler)
 	sample      int
-	window      int64 // combining/diffraction merge window
-	kneeBuckets int   // open-loop rate buckets (0 = engine default)
+	window      int64   // combining/diffraction merge window
+	epsilon     float64 // approximate-algorithm error bound override (0 = algorithm default)
+	kneeBuckets int     // open-loop rate buckets (0 = engine default)
 	verify      bool
 	faults      string // fault-injection spec (see faults.go); "" = no faults
 	keys        int    // keyed mode: independent counter keys (1 = classic single counter)
@@ -205,6 +218,7 @@ func run(args []string, out io.Writer) error {
 		svcDist  = fs.String("service-dist", "", "per-processor distribution of -service: flat (uniform, the default), halfslow (every second processor 4x slower), straggler (processor 1 8x slower)")
 		sample   = fs.Int("sample", 0, "bottleneck series stride in completions (0 = auto)")
 		window   = fs.Int64("window", registry.DefaultWindow, "combining/diffraction merge window in ticks (request-merging algorithms only)")
+		epsilon  = fs.Float64("epsilon", 0, "claimed relative error bound for the ε-approximate algorithms (0 = the algorithm's default; exact algorithms ignore it)")
 		kneeBk   = fs.Int("knee-buckets", 0, "open-loop rate buckets for the saturation analysis (0 = engine default; more buckets = finer knee resolution)")
 		verify   = fs.Bool("verify", false, "check delivered values against the algorithm's claimed consistency level")
 		faults   = fs.String("faults", "", `deterministic fault-injection spec, comma-separated clauses: "loss:0.01" / "dup:0.01" (i.i.d. per-send probabilities), "dropnth:2@every=5" / "dupnth:2@every=5" (deterministic per-sender rules; proc 0 = all), "crash:1@t=500" / "crash:1@t=500-900" (crash/recover windows), "churn:2@every=400/down=100" (rotating membership churn), "freeze" (crashed processors buffer instead of drop), "seed:7" (fault RNG seed). Applies on both backends`)
@@ -222,7 +236,7 @@ func run(args []string, out io.Writer) error {
 		rateFrom = fs.Float64("rate-from", 0, "starting offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		rateTo   = fs.Float64("rate-to", 0, "final offered rate in ops/tick (scenario ramprate; 0 = auto)")
 		sweep    = fs.Bool("sweep", false, "run the -algos x -scenarios x -windows x -gaps x -ns grid into one merged report")
-		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap, heterogeneous-service and straggler knees, scaling class) for the baseline gate; "simvsreal" runs the same ramprate grid on the sim and rt backends and reports where the simulator's knee predicts the hardware knee; "skew" runs the keyed closed-loop grid over zipf exponents comparing static shard assignments against adaptive hot-key migration and reports where adaptive placement wins`)
+		study    = fs.String("study", "", `packaged experiment: "scaling" runs the knee-vs-n study (open-loop ramprate over -algos x -ns, plus a merge-window sub-sweep at the largest n) and reports per-algorithm scaling verdicts; "regression" measures each algorithm's multi-metric performance fingerprint (knee, sub-knee latency, messages/op, bottleneck share, queue-cap, heterogeneous-service and straggler knees, scaling class) for the baseline gate; "simvsreal" runs the same ramprate grid on the sim and rt backends and reports where the simulator's knee predicts the hardware knee; "skew" runs the keyed closed-loop grid over zipf exponents comparing static shard assignments against adaptive hot-key migration and reports where adaptive placement wins; "accuracy" runs the exact-vs-approximate ramp (exact references plus every ε-approximate algorithm over an ε ladder, verification on) and reports the measured price of exactness`)
 		baseline = fs.String("baseline", "", `with -study regression: "record" writes the measured fingerprints to the baseline file given as the positional argument; "check" compares against it and exits non-zero when any metric leaves its tolerance band. Standalone: "diff" compares two recorded baseline files (base, current) without re-measuring — the PR-to-PR review form`)
 		artdir   = fs.String("artifacts", "", "with -study regression: directory to additionally write the study's JSON/CSV artifacts into (created if missing)")
 		algos    = fs.String("algos", "central,ctree", "comma-separated algorithms for -sweep/-study, or \"all\" for every registered algorithm (-study default: all)")
@@ -306,9 +320,9 @@ func run(args []string, out io.Writer) error {
 		}
 	case *study != "":
 		switch *study {
-		case "scaling", "regression", "simvsreal", "faults", "skew":
+		case "scaling", "regression", "simvsreal", "faults", "skew", "accuracy":
 		default:
-			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal, faults, skew)", *study)
+			return fmt.Errorf("unknown study %q (have scaling, regression, simvsreal, faults, skew, accuracy)", *study)
 		}
 		// Studies pin their own backends and fault plans: scaling and
 		// regression are sim experiments (the committed baselines are sim
@@ -336,6 +350,14 @@ func run(args []string, out io.Writer) error {
 			// The fault grid is the experiment: plans, n, and verification
 			// are pinned so every run of the study is the same measurement.
 			banned = append(banned, "ns", "windows", "service-dist", "queue-cap", "rate-from", "verify")
+		}
+		if *study == "accuracy" {
+			// The accuracy grid — the exact reference set, the ε ladder,
+			// network size, service cost, verification — is the experiment;
+			// ops, seed, the rate ceiling, buckets and parallelism stay
+			// free, as in the regression study.
+			banned = append(banned, "algos", "ns", "windows", "service-dist", "queue-cap", "rate-from",
+				"mean-gap", "warmup", "verify", "n", "inflight", "service", "epsilon")
 		}
 		if *study == "skew" {
 			// The skew study's grid — network size, key space, shard count,
@@ -451,6 +473,7 @@ func run(args []string, out io.Writer) error {
 		svcDist:     *svcDist,
 		sample:      *sample,
 		window:      *window,
+		epsilon:     *epsilon,
 		kneeBuckets: *kneeBk,
 		verify:      *verify,
 		faults:      *faults,
@@ -505,6 +528,8 @@ func run(args []string, out io.Writer) error {
 			return runFaultStudy(out, opt, *format, scfg)
 		case "skew":
 			return runSkewStudy(out, opt, *format, scfg)
+		case "accuracy":
+			return runAccuracyStudy(out, opt, *format, scfg)
 		}
 		return runScalingStudy(out, opt, *format, scfg)
 	}
@@ -592,6 +617,7 @@ func runOne(opt options, algo, scenario string) (*engine.Result, error) {
 	}
 	rcfg := registry.Concurrent(simOpts...)
 	rcfg.Window = opt.window
+	rcfg.Epsilon = opt.epsilon
 	rcfg.Backend = opt.backend
 	if rcfg.Faults, err = parseFaultSpec(opt.faults); err != nil {
 		return nil, err
@@ -725,6 +751,7 @@ type sweepCell struct {
 	inflight   int
 	gap        int64
 	mwin       int64
+	epsilon    float64
 	dist       string
 	qcap       int
 	rateFrom   float64
@@ -888,6 +915,9 @@ func runCell(opt options, cl sweepCell) (row report.SweepRow) {
 	cell.inflight = cl.inflight
 	cell.meanGap = cl.gap
 	cell.window = cl.mwin
+	if cl.epsilon > 0 {
+		cell.epsilon = cl.epsilon
+	}
 	if cl.dist != "" {
 		cell.svcDist = cl.dist
 	}

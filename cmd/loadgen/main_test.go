@@ -180,7 +180,7 @@ func TestRunSweepCSVGolden(t *testing.T) {
 		"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 		"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 		"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
-		"verify_property,verify_violations,verify_duplicates,verify_excused," +
+		"verify_property,verify_violations,verify_duplicates,verify_excused,epsilon," +
 		"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped," +
 		"keys,key_dist,key_zipf_s,shards,shard_algo,migrate,migrations,skipped"
 	if lines[0] != wantHeader {
@@ -254,7 +254,7 @@ func TestRunSweepAllAlgos(t *testing.T) {
 	}
 	out := mk("-parallel", "4")
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if want := 1 + 12; len(lines) != want {
+	if want := 1 + 14; len(lines) != want {
 		t.Fatalf("-algos all produced %d lines, want %d (every registered algorithm):\n%s", len(lines), want, out)
 	}
 	for _, algo := range []string{"quorum-majority", "tokenring", "cnet-periodic", "difftree"} {

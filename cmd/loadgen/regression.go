@@ -93,7 +93,11 @@ var fpScalingNs = []int{8, 16, 32}
 func runRegressionStudy(out io.Writer, opt options, format string, cfg studyConfig, bmode, bpath, artdir string) error {
 	algoList := expandAlgos(cfg.algos)
 	if !cfg.algosSet {
-		algoList = registry.Names() // the gate's default scope is everything
+		// The gate's default scope is every exact algorithm: the committed
+		// fingerprints assert exact value assignment, which the
+		// ε-approximate family deliberately trades away — those are covered
+		// by -study accuracy instead.
+		algoList = registry.ExactNames()
 	}
 	if len(algoList) == 0 {
 		return fmt.Errorf("-study needs a non-empty -algos")

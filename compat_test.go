@@ -1,0 +1,53 @@
+package distcount
+
+// In-package coverage for the deprecated constructor wrappers: they must
+// keep building exactly what the options-based New builds, so pre-redesign
+// callers are unaffected. (In-package so the deprecation marks don't trip
+// staticcheck's SA1019 on our own tests.)
+
+import (
+	"testing"
+)
+
+func TestDeprecatedWrappersStillBuild(t *testing.T) {
+	c, err := NewCounter("central", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Inc(1); err != nil || v != 0 {
+		t.Fatalf("Inc = %d, %v", v, err)
+	}
+
+	tc, err := NewTracedCounter("ctree", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Net().Tracing() {
+		t.Fatal("NewTracedCounter did not enable tracing")
+	}
+
+	ac, err := NewAsyncCounter("combining", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.Start(0, 1)
+	ac.Start(1, 2)
+	if err := ac.Net().Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewAsyncCounterWithServiceTime("central", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Inc(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Net().ServiceTime(); got != 3 {
+		t.Fatalf("service time = %d, want 3", got)
+	}
+
+	if got, want := len(AsyncAlgorithms()), len(Algorithms()); got != want {
+		t.Fatalf("AsyncAlgorithms has %d entries, Algorithms %d; they must match", got, want)
+	}
+}

@@ -92,9 +92,15 @@ type (
 	ValuedCounter = counter.Valued
 	// ConsistencyLevel is the strongest value-correctness guarantee an
 	// algorithm claims under concurrent operation (sequential-only,
-	// quiescent, or linearizable); the engine's verification checks the
-	// claimed level.
+	// quiescent, linearizable, or approximate); the engine's verification
+	// checks the claimed level.
 	ConsistencyLevel = counter.Consistency
+	// Guarantee is an algorithm's full consistency contract: the level,
+	// plus — for ε-approximate algorithms — the claimed relative error
+	// bound. Exact algorithms carry Epsilon 0 and render as the bare level
+	// name; approximate ones render as "approximate(ε)". Read it from any
+	// built counter via ValuedCounter.Guarantee().
+	Guarantee = counter.Guarantee
 	// VerificationReport quantifies the value correctness of one
 	// concurrent run: duplicates, gaps, real-time order violations, and
 	// the total violation count against the claimed consistency level.
@@ -156,45 +162,146 @@ func NewFlipBit(k int) *FlipBit { return flipbit.New(k) }
 // delivers the matching O(k).
 func NewPriorityQueue(k int) *PriorityQueue { return distpq.New(k) }
 
-// Algorithms lists the registered counter algorithms usable with
-// NewCounter: central, tokenring, ctree, combining, cnet, cnet-periodic,
-// difftree, and quorum-{singleton,majority,grid,tree,wall}.
+// Algorithms lists the registered counter algorithms usable with New:
+// central, tokenring, ctree, combining, cnet, cnet-periodic, difftree,
+// quorum-{singleton,majority,grid,tree,wall}, and the ε-approximate
+// gxu-threshold and css-sample.
 func Algorithms() []string { return registry.Names() }
 
+// ExactAlgorithms lists the registered algorithms whose claimed guarantee
+// is exact (everything but the ε-approximate family), sorted.
+func ExactAlgorithms() []string { return registry.ExactNames() }
+
+// ApproximateAlgorithms lists the registered ε-approximate algorithms,
+// sorted. Their values are only promised to stay within a relative error
+// bound of the true count; DefaultEpsilon reports each algorithm's default
+// bound and WithEpsilon overrides it.
+func ApproximateAlgorithms() []string { return registry.ApproximateNames() }
+
+// DefaultEpsilon returns the relative error bound the named approximate
+// algorithm claims when built without WithEpsilon, and false for exact or
+// unknown algorithms.
+func DefaultEpsilon(algorithm string) (float64, bool) { return registry.DefaultEpsilon(algorithm) }
+
+// Option configures a counter built by New.
+type Option func(*buildSpec)
+
+type buildSpec struct {
+	concurrent bool
+	window     int64
+	epsilon    float64
+	backend    string
+	simOpts    []sim.Option
+}
+
+// WithTracing records the full communication DAG of the run, as required
+// by RunAdversary and the Hot Spot checks.
+func WithTracing() Option {
+	return func(s *buildSpec) { s.simOpts = append(s.simOpts, sim.WithTracing()) }
+}
+
+// InConcurrentRegime configures the counter for concurrent operation:
+// increments may be injected while earlier ones are still in flight, as
+// RunWorkload does. Every initiator owns its operation state, so any
+// algorithm works; the combining and diffracting trees are built with
+// their merge windows open, and the paper's tree without its
+// sequential-only instrumentation.
+func InConcurrentRegime() Option {
+	return func(s *buildSpec) { s.concurrent = true }
+}
+
+// WithServiceTime makes every processor take service simulated ticks to
+// process each incoming message. Under this model a processor's message
+// load m_p is also time spent, so the paper's bottleneck caps throughput —
+// combine with InConcurrentRegime and an open-loop ramp (scenario
+// "ramprate", WorkloadConfig.Mode = OpenLoop) to measure the resulting
+// saturation knee.
+func WithServiceTime(service int64) Option {
+	return func(s *buildSpec) { s.simOpts = append(s.simOpts, sim.WithServiceTime(service)) }
+}
+
+// WithEpsilon overrides the relative error bound claimed — and exploited —
+// by an ε-approximate algorithm (see ApproximateAlgorithms). Values
+// outside (0, 1] and exact algorithms ignore the override.
+func WithEpsilon(eps float64) Option {
+	return func(s *buildSpec) { s.epsilon = eps }
+}
+
+// WithWindow sets the merge window, in simulated ticks, of the
+// window-sensitive algorithms (combining, difftree) in the concurrent
+// regime. Zero keeps the regime default.
+func WithWindow(ticks int64) Option {
+	return func(s *buildSpec) { s.window = ticks }
+}
+
+// WithBackend selects the execution backend: "sim" (the default) runs on
+// the deterministic simulated network, "rt" on real goroutines over
+// channels in wall-clock time.
+func WithBackend(name string) Option {
+	return func(s *buildSpec) { s.backend = name }
+}
+
+// New builds the named counter over (at least) n processors. With no
+// options it is configured for the sequential regime of the paper's model
+// (each operation running to quiescence before the next, windows closed,
+// instrumentation on); pass InConcurrentRegime for workload-driven
+// concurrent operation. The returned counter always supports both Inc and
+// Start, and exposes its consistency contract via
+// ValuedCounter.Guarantee().
+func New(algorithm string, n int, opts ...Option) (AsyncCounter, error) {
+	var s buildSpec
+	for _, o := range opts {
+		o(&s)
+	}
+	var cfg registry.Config
+	if s.concurrent {
+		cfg = registry.Concurrent(s.simOpts...)
+	} else {
+		cfg = registry.Sequential(s.simOpts...)
+	}
+	if s.window != 0 {
+		cfg.Window = s.window
+	}
+	cfg.Epsilon = s.epsilon
+	cfg.Backend = s.backend
+	return registry.NewWith(algorithm, n, cfg)
+}
+
 // NewCounter builds the named counter over (at least) n processors.
+//
+// Deprecated: Use New(algorithm, n).
 func NewCounter(algorithm string, n int) (Counter, error) {
-	return registry.New(algorithm, n)
+	return New(algorithm, n)
 }
 
-// NewTracedCounter is NewCounter with communication-DAG tracing enabled,
-// as required by RunAdversary and the Hot Spot checks.
+// NewTracedCounter is NewCounter with communication-DAG tracing enabled.
+//
+// Deprecated: Use New(algorithm, n, WithTracing()).
 func NewTracedCounter(algorithm string, n int) (Counter, error) {
-	return registry.New(algorithm, n, sim.WithTracing())
+	return New(algorithm, n, WithTracing())
 }
 
-// AsyncAlgorithms lists the algorithms that support concurrent operation
-// and are therefore usable with NewAsyncCounter and RunWorkload. Since the
-// per-initiator op-state refactor this is every registered algorithm —
-// identical to Algorithms().
+// AsyncAlgorithms lists the algorithms that support concurrent operation.
+// Since the per-initiator op-state refactor this is every registered
+// algorithm — identical to Algorithms().
+//
+// Deprecated: Use Algorithms().
 func AsyncAlgorithms() []string { return registry.Names() }
 
 // NewAsyncCounter builds the named counter configured for concurrent
-// operation: increments may be injected while earlier ones are still in
-// flight. Every initiator owns its operation state, so any algorithm works;
-// the combining and diffracting trees are built with their merge windows
-// open, and the paper's tree without its sequential-only instrumentation.
+// operation.
+//
+// Deprecated: Use New(algorithm, n, InConcurrentRegime()).
 func NewAsyncCounter(algorithm string, n int) (AsyncCounter, error) {
-	return registry.NewWith(algorithm, n, registry.Concurrent())
+	return New(algorithm, n, InConcurrentRegime())
 }
 
 // NewAsyncCounterWithServiceTime is NewAsyncCounter on a network where
-// every processor takes service ticks to process each incoming message
-// (sim.WithServiceTime). Under this model a processor's message load m_p
-// is also time spent, so the paper's bottleneck caps throughput — run an
-// open-loop ramp (scenario "ramprate", WorkloadConfig.Mode = OpenLoop) to
-// measure the resulting saturation knee.
+// every processor takes service ticks to process each incoming message.
+//
+// Deprecated: Use New(algorithm, n, InConcurrentRegime(), WithServiceTime(service)).
 func NewAsyncCounterWithServiceTime(algorithm string, n int, service int64) (AsyncCounter, error) {
-	return registry.NewWith(algorithm, n, registry.Concurrent(sim.WithServiceTime(service)))
+	return New(algorithm, n, InConcurrentRegime(), WithServiceTime(service))
 }
 
 // Scenarios lists the built-in workload scenario names usable with

@@ -32,22 +32,76 @@ func TestNewTreeCounterForSize(t *testing.T) {
 	}
 }
 
-func TestAlgorithmsAndNewCounter(t *testing.T) {
+func TestAlgorithmsAndNew(t *testing.T) {
 	algos := distcount.Algorithms()
-	if len(algos) != 12 {
+	if len(algos) != 14 {
 		t.Fatalf("algorithms = %v", algos)
 	}
+	if got := len(distcount.ExactAlgorithms()) + len(distcount.ApproximateAlgorithms()); got != len(algos) {
+		t.Fatalf("exact + approximate = %d, want %d", got, len(algos))
+	}
 	for _, a := range algos {
-		c, err := distcount.NewCounter(a, 8)
+		c, err := distcount.New(a, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
+		// Approximate algorithms pass the exact sequential check too: below
+		// their warmup count every operation takes the exact synchronous
+		// path.
 		if err := distcount.VerifyCounter(c, distcount.SequentialOrder(c.N())); err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
 	}
-	if _, err := distcount.NewCounter("bogus", 8); err == nil {
+	if _, err := distcount.New("bogus", 8); err == nil {
 		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+// TestNewOptions exercises the options surface of the redesigned
+// constructor: ε override and default, reported through the Guarantee
+// contract.
+func TestNewOptions(t *testing.T) {
+	c, err := distcount.New("gxu-threshold", 8, distcount.WithEpsilon(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.(distcount.ValuedCounter).Guarantee()
+	if g.Epsilon != 0.2 || g.String() != "approximate(0.2)" {
+		t.Fatalf("guarantee = %v, want approximate(0.2)", g)
+	}
+
+	d, err := distcount.New("css-sample", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, ok := distcount.DefaultEpsilon("css-sample")
+	if !ok || eps <= 0 {
+		t.Fatalf("DefaultEpsilon(css-sample) = %v, %v", eps, ok)
+	}
+	if g := d.(distcount.ValuedCounter).Guarantee(); g.Epsilon != eps {
+		t.Fatalf("default guarantee = %v, want ε=%v", g, eps)
+	}
+
+	// Exact algorithms ignore the override and keep their bare level.
+	e, err := distcount.New("central", 4, distcount.WithEpsilon(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := e.(distcount.ValuedCounter).Guarantee(); g.Epsilon != 0 || g.String() != "linearizable" {
+		t.Fatalf("central guarantee = %v, want linearizable", g)
+	}
+
+	if _, ok := distcount.DefaultEpsilon("central"); ok {
+		t.Fatal("central reported a default epsilon")
+	}
+
+	// Tracing arrives through the option, as the adversary requires.
+	tr, err := distcount.New("central", 8, distcount.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Net().Tracing() {
+		t.Fatal("WithTracing not forwarded")
 	}
 }
 
@@ -61,7 +115,7 @@ func TestBoundHelpers(t *testing.T) {
 }
 
 func TestAdversaryThroughFacade(t *testing.T) {
-	c, err := distcount.NewTracedCounter("central", 8)
+	c, err := distcount.New("central", 8, distcount.WithTracing())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +155,11 @@ func TestWorkloadFacade(t *testing.T) {
 	if len(distcount.Scenarios()) == 0 {
 		t.Fatal("no scenarios registered")
 	}
-	algos := distcount.AsyncAlgorithms()
+	algos := distcount.Algorithms()
 	if len(algos) < 3 {
-		t.Fatalf("async algorithms = %v, want at least 3", algos)
+		t.Fatalf("algorithms = %v, want at least 3", algos)
 	}
-	c, err := distcount.NewAsyncCounter("ctree", 27)
+	c, err := distcount.New("ctree", 27, distcount.InConcurrentRegime())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +180,7 @@ func TestWorkloadFacade(t *testing.T) {
 
 	// Every registered algorithm is async-capable since the per-initiator
 	// op-state refactor, including the quorum counters.
-	if got, want := len(algos), len(distcount.Algorithms()); got != want {
-		t.Fatalf("AsyncAlgorithms has %d entries, Algorithms %d; they must match", got, want)
-	}
-	qc, err := distcount.NewAsyncCounter("quorum-majority", 9)
+	qc, err := distcount.New("quorum-majority", 9, distcount.InConcurrentRegime())
 	if err != nil {
 		t.Fatalf("quorum-majority must build async: %v", err)
 	}

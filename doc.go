@@ -13,11 +13,15 @@
 //
 // The package exposes:
 //
-//   - the paper's communication-tree counter (NewTreeCounter) and eleven
-//     baseline counters from the surrounding literature (NewCounter):
-//     centralized, token ring, combining tree, bitonic and periodic
-//     counting networks, diffracting tree, and quorum-replicated counters
-//     over five quorum systems;
+//   - the paper's communication-tree counter (NewTreeCounter) and the
+//     baseline counters from the surrounding literature, built by name
+//     through the options-based constructor (New): centralized, token
+//     ring, combining tree, bitonic and periodic counting networks,
+//     diffracting tree, quorum-replicated counters over five quorum
+//     systems, and two ε-approximate counters (threshold broadcast and
+//     coordinated sampling) that trade a bounded relative error for
+//     sub-linear message cost — each carrying its consistency contract
+//     as a Guarantee (exact level, or "approximate(ε)");
 //   - the discrete-event simulator substrate they run on, with per-processor
 //     message-load accounting and communication-DAG tracing;
 //   - the lower-bound machinery: SolveK/SizeFor/KReal for the k·k^k = n

@@ -36,9 +36,9 @@ func ExampleSolveK() {
 	// k(279936) = 6
 }
 
-// NewCounter builds any of the eleven implemented counters by name.
-func ExampleNewCounter() {
-	c, err := distcount.NewCounter("central", 4)
+// New builds any of the implemented counters by name.
+func ExampleNew() {
+	c, err := distcount.New("central", 4)
 	if err != nil {
 		panic(err)
 	}
@@ -53,7 +53,7 @@ func ExampleNewCounter() {
 
 // RunAdversary executes the Lower Bound Theorem's constructive workload.
 func ExampleRunAdversary() {
-	c, err := distcount.NewTracedCounter("central", 8)
+	c, err := distcount.New("central", 8, distcount.WithTracing())
 	if err != nil {
 		panic(err)
 	}

@@ -16,7 +16,7 @@ import (
 func main() {
 	const n = 81
 	for _, algo := range []string{"central", "ctree"} {
-		c, err := distcount.NewTracedCounter(algo, n)
+		c, err := distcount.New(algo, n, distcount.WithTracing())
 		if err != nil {
 			log.Fatal(err)
 		}

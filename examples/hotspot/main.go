@@ -16,7 +16,7 @@ import (
 
 func main() {
 	for _, algo := range []string{"central", "ctree", "quorum-grid"} {
-		c, err := distcount.NewTracedCounter(algo, 8)
+		c, err := distcount.New(algo, 8, distcount.WithTracing())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -26,7 +26,7 @@ func main() {
 	}
 	rows := make([]row, 0, len(distcount.Algorithms()))
 	for _, algo := range distcount.Algorithms() {
-		c, err := distcount.NewCounter(algo, n)
+		c, err := distcount.New(algo, n)
 		if err != nil {
 			log.Fatal(err)
 		}

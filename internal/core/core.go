@@ -334,8 +334,8 @@ func NewMachine(n int) counter.Machine {
 			}
 			return reply.(int), true
 		},
-		Level:  counter.Linearizable,
-		Serial: true,
+		Guarantee: counter.Exact(counter.Linearizable),
+		Serial:    true,
 	}
 }
 
@@ -370,10 +370,10 @@ func (c *Counter) OpValue(id sim.OpID) (int, bool) {
 	return reply.(int), true
 }
 
-// Consistency implements counter.Valued: the root applies operations in
+// Guarantee implements counter.Valued: the root applies operations in
 // arrival order and replies directly to initiators, so values respect
 // real-time order under every schedule (experiment E13).
-func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.Linearizable) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

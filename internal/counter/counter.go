@@ -12,7 +12,11 @@
 // between any two inc requests".
 package counter
 
-import "distcount/internal/sim"
+import (
+	"fmt"
+
+	"distcount/internal/sim"
+)
 
 // Counter is a distributed counter implementation bound to a simulated
 // network.
@@ -87,19 +91,58 @@ const (
 	// within each operation's lifetime (the central holder, the paper's
 	// tree root, the combining tree's root).
 	Linearizable
+	// Approximate marks protocols that trade exactness for message cost:
+	// returned values track the true prefix count only within a declared
+	// relative error bound ε (carried by Guarantee.Epsilon). The paper's
+	// lower bound prices exact counting; these protocols sidestep it and
+	// verification checks the bound instead of exact value assignment.
+	Approximate
 )
 
 // String returns the level name used in reports ("sequential",
-// "quiescent", "linearizable").
+// "quiescent", "linearizable", "approximate").
 func (c Consistency) String() string {
 	switch c {
 	case Quiescent:
 		return "quiescent"
 	case Linearizable:
 		return "linearizable"
+	case Approximate:
+		return "approximate"
 	default:
 		return "sequential"
 	}
+}
+
+// Guarantee is the full value-correctness contract a counter claims under
+// concurrent operation: the consistency level plus, for Approximate
+// protocols, the relative error bound ε the values are promised to respect.
+// Exact levels carry Epsilon == 0, so a Guarantee wrapping an exact level
+// compares, renders, and verifies identically to the bare level it replaced.
+type Guarantee struct {
+	// Level is the consistency class (see Consistency).
+	Level Consistency
+	// Epsilon is the claimed relative error bound for Approximate
+	// protocols: every returned value v must satisfy
+	// (1-ε)·lo ≤ v ≤ (1+ε)·hi, where [lo, hi] brackets the true prefix
+	// count over the operation's lifetime. Zero for exact levels.
+	Epsilon float64
+}
+
+// Exact wraps an exact consistency level in a Guarantee (ε = 0).
+func Exact(level Consistency) Guarantee { return Guarantee{Level: level} }
+
+// Approx builds the guarantee of an ε-approximate protocol.
+func Approx(eps float64) Guarantee { return Guarantee{Level: Approximate, Epsilon: eps} }
+
+// String renders the contract for reports: exact levels keep their bare
+// level name ("linearizable"), approximate guarantees carry the bound —
+// "approximate(0.05)".
+func (g Guarantee) String() string {
+	if g.Level == Approximate {
+		return fmt.Sprintf("approximate(%g)", g.Epsilon)
+	}
+	return g.Level.String()
 }
 
 // Valued is an Async counter whose delivered values can be read back per
@@ -112,7 +155,8 @@ type Valued interface {
 	// forgets it (long workload runs must not accumulate per-op state). ok
 	// is false when the operation is unknown, unfinished, or already read.
 	OpValue(id sim.OpID) (int, bool)
-	// Consistency is the strongest guarantee the algorithm claims under
-	// concurrent operation; the engine verifies the claimed property.
-	Consistency() Consistency
+	// Guarantee is the strongest contract the algorithm claims under
+	// concurrent operation — consistency level plus error bound for
+	// approximate protocols; the engine verifies the claimed property.
+	Guarantee() Guarantee
 }

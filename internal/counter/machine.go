@@ -28,8 +28,9 @@ type Machine struct {
 	// Value returns the value delivered to a completed operation and
 	// forgets it; ok is false when unknown, unfinished, or already read.
 	Value func(id sim.OpID) (int, bool)
-	// Level is the consistency the algorithm claims under concurrency.
-	Level Consistency
+	// Guarantee is the contract the algorithm claims under concurrency:
+	// consistency level plus error bound for approximate protocols.
+	Guarantee Guarantee
 	// Serial marks protocols whose handlers touch state owned by other
 	// processors (the tree counter's role forwarding, the token ring's
 	// holder shortcut). The simulator is single-threaded, so they are safe

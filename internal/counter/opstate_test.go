@@ -242,7 +242,7 @@ func (c *echoCounter) Name() string                    { return "echo" }
 func (c *echoCounter) N() int                          { return c.net.N() }
 func (c *echoCounter) Net() *sim.Network               { return c.net }
 func (c *echoCounter) Inc(p sim.ProcID) (int, error)   { return RunInc(c, p) }
-func (c *echoCounter) Consistency() Consistency        { return Linearizable }
+func (c *echoCounter) Guarantee() Guarantee            { return Exact(Linearizable) }
 func (c *echoCounter) OpValue(id sim.OpID) (int, bool) { return c.pr.ops.Take(id) }
 func (c *echoCounter) Start(at int64, p sim.ProcID) sim.OpID {
 	return c.net.ScheduleOp(at, p, c.pr.initiate)

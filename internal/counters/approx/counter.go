@@ -1,0 +1,132 @@
+package approx
+
+import (
+	"distcount/internal/counter"
+	"distcount/internal/sim"
+)
+
+// defaultSeed seeds the css sampling streams when the caller does not
+// choose one: a fixed constant, so two identical runs are byte-identical —
+// the determinism the accuracy study's double-run CI check pins.
+const defaultSeed = 0x6a09e667f3bcc909
+
+// Option configures an approximate counter.
+type Option func(*config)
+
+type config struct {
+	eps     float64
+	warmup  int
+	seed    uint64
+	simOpts []sim.Option
+}
+
+func newConfig(defaultEps float64, opts []Option) config {
+	cfg := config{eps: defaultEps, seed: defaultSeed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithEpsilon sets the claimed relative error bound ε (> 0). Values
+// outside (0, 1] keep the protocol's default.
+func WithEpsilon(eps float64) Option {
+	return func(c *config) {
+		if eps > 0 && eps <= 1 {
+			c.eps = eps
+		}
+	}
+}
+
+// WithWarmup overrides the exact-phase length (the count below which
+// operations take the synchronous coordinator round trip). The default
+// ⌈4n/ε⌉ is the smallest count at which ε·C/4 covers one in-flight
+// increment per site; tests shrink it to reach the local phase quickly.
+func WithWarmup(count int) Option {
+	return func(c *config) { c.warmup = count }
+}
+
+// WithSeed seeds the css sampling streams (ignored by gxu-threshold).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithSimOptions forwards options to the underlying network.
+func WithSimOptions(opts ...sim.Option) Option {
+	return func(c *config) { c.simOpts = append(c.simOpts, opts...) }
+}
+
+// proto is what the sim-backed Counter wrapper needs from either protocol.
+type proto interface {
+	sim.Protocol
+	initiate(nw sim.Transport, p sim.ProcID)
+	table() *counter.Ops[struct{}, int]
+}
+
+func (c *core) table() *counter.Ops[struct{}, int] { return c.ops }
+
+// Counter binds either approximate protocol to a simulated network.
+type Counter struct {
+	name  string
+	eps   float64
+	net   *sim.Network
+	pr    proto
+	start func(sim.Transport, sim.ProcID)
+}
+
+var (
+	_ counter.Cloneable = (*Counter)(nil)
+	_ counter.Valued    = (*Counter)(nil)
+)
+
+func newCounter(name string, cfg config, n int, pr proto) *Counter {
+	return &Counter{
+		name: name,
+		eps:  cfg.eps,
+		net:  sim.New(n, pr, cfg.simOpts...),
+		pr:   pr,
+	}
+}
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return c.name }
+
+// N implements counter.Counter.
+func (c *Counter) N() int { return c.net.N() }
+
+// Net implements counter.Counter.
+func (c *Counter) Net() *sim.Network { return c.net }
+
+// Epsilon returns the claimed relative error bound.
+func (c *Counter) Epsilon() float64 { return c.eps }
+
+// Inc implements counter.Counter.
+func (c *Counter) Inc(p sim.ProcID) (int, error) {
+	return counter.RunInc(c, p)
+}
+
+// Start implements counter.Async.
+func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
+	if c.start == nil {
+		// Cache the bound method value: a fresh one per operation is a
+		// heap allocation on the hot path.
+		c.start = c.pr.initiate
+	}
+	return c.net.ScheduleOp(at, p, c.start)
+}
+
+// OpValue implements counter.Valued.
+func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.pr.table().Take(id) }
+
+// Guarantee implements counter.Valued: values are promised only to lie
+// within ±ε of the true prefix count.
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Approx(c.eps) }
+
+// Clone implements counter.Cloneable.
+func (c *Counter) Clone() (counter.Counter, error) {
+	net, err := c.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{name: c.name, eps: c.eps, net: net, pr: net.Protocol().(proto)}, nil
+}

@@ -122,12 +122,12 @@ func NewMachine(n int, opts ...Option) counter.Machine {
 	}
 	pr := &proto{holder: cfg.holder, ops: counter.NewOps[struct{}, int]()}
 	return counter.Machine{
-		Name:     "central",
-		N:        n,
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.Linearizable,
+		Name:      "central",
+		N:         n,
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.Linearizable),
 	}
 }
 
@@ -164,9 +164,9 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: the holder is a single
+// Guarantee implements counter.Valued: the holder is a single
 // serialization point, so values respect real-time order.
-func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.Linearizable) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -325,12 +325,12 @@ func NewMachine(n int, opts ...Option) counter.Machine {
 		name = "cnet-periodic"
 	}
 	return counter.Machine{
-		Name:     name,
-		N:        n,
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.Quiescent,
+		Name:      name,
+		N:         n,
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.Quiescent),
 	}
 }
 
@@ -400,9 +400,9 @@ func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: the step property guarantees
+// Guarantee implements counter.Valued: the step property guarantees
 // exactly-once values under any schedule, but not real-time order [HSW].
-func (c *Counter) Consistency() counter.Consistency { return counter.Quiescent }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.Quiescent) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -339,12 +339,12 @@ func NewMachine(n int, opts ...Option) counter.Machine {
 	}
 	pr := newProto(n, c.window)
 	return counter.Machine{
-		Name:     "combining",
-		N:        n,
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.Linearizable,
+		Name:      "combining",
+		N:         n,
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.Linearizable),
 	}
 }
 
@@ -396,11 +396,11 @@ func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: the root assigns value ranges to
+// Guarantee implements counter.Valued: the root assigns value ranges to
 // batches in arrival order, and an operation joins only batches that close
 // after it started, so values respect real-time order — combining keeps
 // linearizability while removing the root's message hot spot.
-func (c *Counter) Consistency() counter.Consistency { return counter.Linearizable }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.Linearizable) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

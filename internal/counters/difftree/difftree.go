@@ -305,12 +305,12 @@ func NewMachine(n int, opts ...Option) counter.Machine {
 	}
 	pr := newProto(n, c.width, c.window)
 	return counter.Machine{
-		Name:     "difftree",
-		N:        n,
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.Quiescent,
+		Name:      "difftree",
+		N:         n,
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.Quiescent),
 	}
 }
 
@@ -360,11 +360,11 @@ func (c *Counter) ValueOf(p sim.ProcID) (int, bool) {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: like the counting network, the
+// Guarantee implements counter.Valued: like the counting network, the
 // tree of toggles (with or without diffraction) preserves the step property
 // under any schedule but a token stalled before its leaf counter can be
 // overtaken, so real-time order is not guaranteed.
-func (c *Counter) Consistency() counter.Consistency { return counter.Quiescent }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.Quiescent) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -214,12 +214,12 @@ func NewMachine(sys quorum.System) counter.Machine {
 		ops:      counter.NewOps[opState, int](),
 	}
 	return counter.Machine{
-		Name:     "quorum-" + sys.Name(),
-		N:        sys.N(),
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.SequentialOnly,
+		Name:      "quorum-" + sys.Name(),
+		N:         sys.N(),
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.SequentialOnly),
 	}
 }
 
@@ -256,10 +256,10 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: replicated read/write quorums
+// Guarantee implements counter.Valued: replicated read/write quorums
 // cannot make the read-increment-write atomic, so overlapping operations
 // may duplicate values — the counter is sequentially correct only.
-func (c *Counter) Consistency() counter.Consistency { return counter.SequentialOnly }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.SequentialOnly) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -126,13 +126,13 @@ func New(n int, simOpts ...sim.Option) *Counter {
 func NewMachine(n int) counter.Machine {
 	pr := &proto{n: n, holder: 1, ops: counter.NewOps[struct{}, int]()}
 	return counter.Machine{
-		Name:     "tokenring",
-		N:        n,
-		Proto:    pr,
-		Initiate: pr.initiate,
-		Value:    pr.ops.Take,
-		Level:    counter.SequentialOnly,
-		Serial:   true,
+		Name:      "tokenring",
+		N:         n,
+		Proto:     pr,
+		Initiate:  pr.initiate,
+		Value:     pr.ops.Take,
+		Guarantee: counter.Exact(counter.SequentialOnly),
+		Serial:    true,
 	}
 }
 
@@ -171,10 +171,10 @@ func (c *Counter) Start(at int64, p sim.ProcID) sim.OpID {
 // OpValue implements counter.Valued.
 func (c *Counter) OpValue(id sim.OpID) (int, bool) { return c.proto.ops.Take(id) }
 
-// Consistency implements counter.Valued: the ring is correct only in the
+// Guarantee implements counter.Valued: the ring is correct only in the
 // sequential model — the engine's verification measures its duplicate
 // values under concurrency rather than claiming a property it lacks.
-func (c *Counter) Consistency() counter.Consistency { return counter.SequentialOnly }
+func (c *Counter) Guarantee() counter.Guarantee { return counter.Exact(counter.SequentialOnly) }
 
 // Clone implements counter.Cloneable.
 func (c *Counter) Clone() (counter.Counter, error) {

@@ -130,11 +130,11 @@ func (v *keyedVerifier) observe(shard, key, epoch int, id sim.OpID, start, end i
 // fault plans, so the fault context is always clean.
 func (v *keyedVerifier) attach(res *Result) {
 	svc := v.svc
-	levels := make([]counter.Consistency, svc.Shards())
-	for s := range levels {
-		levels[s] = svc.Counter(s).Consistency()
+	guarantees := make([]counter.Guarantee, svc.Shards())
+	for s := range guarantees {
+		guarantees[s] = svc.Counter(s).Guarantee()
 	}
-	rep := verify.EvaluateKeyed(levels, shardAlgoList(svc), v.vals, v.missing, verify.FaultContext{})
+	rep := verify.EvaluateKeyed(guarantees, shardAlgoList(svc), v.vals, v.missing, verify.FaultContext{})
 	res.KeyedVerification = &rep
 	res.Verification = &rep.Summary
 }

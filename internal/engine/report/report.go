@@ -201,7 +201,7 @@ const SweepCSVHeader = "algo,scenario,mode,backend,n,ops,inflight,merge_window,m
 	"throughput,latency_p50,latency_p90,latency_p99,latency_max," +
 	"queue_p50,queue_p99,arrivals,dropped,drop_rate,peak_queue_depth," +
 	"messages,msgs_per_op,bottleneck,max_load,mean_load,gini,knee_rate,knee_reason," +
-	"verify_property,verify_violations,verify_duplicates,verify_excused," +
+	"verify_property,verify_violations,verify_duplicates,verify_excused,epsilon," +
 	"wedged,unserved,fault_lost,fault_dup,fault_crash_dropped," +
 	"keys,key_dist,key_zipf_s,shards,shard_algo,migrate,migrations,skipped"
 
@@ -221,12 +221,15 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			kneeRate = fmt.Sprintf("%.4f", r.Knee.OfferedRate)
 			kneeReason = r.Knee.Reason
 		}
-		vProp, vViol, vDup, vExc := "", "", "", ""
+		vProp, vViol, vDup, vExc, vEps := "", "", "", "", ""
 		if v := r.Verification; v != nil {
 			vProp = v.Property
 			vViol = fmt.Sprintf("%d", v.Violations)
 			vDup = fmt.Sprintf("%d", v.Duplicates)
 			vExc = fmt.Sprintf("%d", v.Excused)
+			if v.Epsilon > 0 {
+				vEps = fmt.Sprintf("%g", v.Epsilon)
+			}
 		}
 		fLost, fDup, fCrash := "", "", ""
 		if f := r.Result.Faults; f != nil {
@@ -243,12 +246,12 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 				zipfS = fmt.Sprintf("%.2f", r.KeyZipfS)
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%s,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%s,%d,%s,%.4f,%.1f,%.1f,%.1f,%d,%.1f,%.1f,%d,%d,%.4f,%d,%d,%.3f,%d,%d,%.3f,%.4f,%s,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			r.Algorithm, r.Scenario, r.Mode, backendLabel(r.Backend), r.N, r.Ops, r.InFlight, r.MergeWindow, r.MeanGap, r.ServiceTime, r.ServiceDist, r.QueueCap, csvField(r.FaultSpec),
 			r.Throughput, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 			r.QueueDelay.P50, r.QueueDelay.P99, r.Arrivals, r.Dropped, r.DropRate, r.PeakQueueDepth,
 			r.Messages, r.MessagesPerOp, r.Loads.Bottleneck, r.Loads.MaxLoad, r.Loads.Mean, r.Loads.Gini,
-			kneeRate, kneeReason, vProp, vViol, vDup, vExc,
+			kneeRate, kneeReason, vProp, vViol, vDup, vExc, vEps,
 			r.Wedged, r.Unserved, fLost, fDup, fCrash,
 			keys, r.KeyDist, zipfS, shards, r.ShardAlgo, r.Migrate, migrations, csvField(r.Skipped)); err != nil {
 			return err

@@ -56,6 +56,6 @@ func (v *verifier) observeTimes(id sim.OpID, startNs, doneNs int64) {
 // level, excusing fault-attributable anomalies when the run's fault plan
 // actually fired (see verify.EvaluateWithFaults).
 func (v *verifier) report(fc verify.FaultContext) *verify.Report {
-	rep := verify.EvaluateWithFaults(v.c.Consistency(), v.vals, v.missing, fc)
+	rep := verify.EvaluateWithFaults(v.c.Guarantee(), v.vals, v.missing, fc)
 	return &rep
 }

@@ -31,10 +31,14 @@ func verifiedRun(t *testing.T, algo string, n, ops int, gap int64) *Result {
 	return res
 }
 
-// TestVerifyClaimedProperties: every algorithm's claimed consistency level
-// holds under concurrent load — zero violations across the whole registry —
+// TestVerifyClaimedProperties: every algorithm's claimed guarantee holds
+// under concurrent load — zero violations across the whole registry —
 // while the sequential-only protocols are allowed (and, for tokenring,
-// expected) to show duplicate values as a measurement.
+// expected) to show duplicate values as a measurement. The exactly-once
+// sweep applies only to the exact exactly-once classes: the sequential
+// class has its duplicates measured, and the approximate class hands out
+// repeated estimates by design (its violations are out-of-bracket values,
+// counted in Violations above).
 func TestVerifyClaimedProperties(t *testing.T) {
 	for _, algo := range registry.Names() {
 		algo := algo
@@ -48,7 +52,7 @@ func TestVerifyClaimedProperties(t *testing.T) {
 				t.Fatalf("%s violated its claimed %s property %d times (first: %s)",
 					algo, v.Property, v.Violations, v.First)
 			}
-			if v.Property != "sequential" && (v.Duplicates != 0 || v.Gaps != 0) {
+			if v.Property != "sequential" && v.Epsilon == 0 && (v.Duplicates != 0 || v.Gaps != 0) {
 				t.Fatalf("%s (%s): %d duplicates, %d gaps", algo, v.Property, v.Duplicates, v.Gaps)
 			}
 		})

@@ -20,6 +20,7 @@ import (
 
 	"distcount/internal/core"
 	"distcount/internal/counter"
+	"distcount/internal/counters/approx"
 	"distcount/internal/counters/central"
 	"distcount/internal/counters/cnet"
 	"distcount/internal/counters/combining"
@@ -68,6 +69,11 @@ type Config struct {
 	// of deterministic Nth rules produces the identical drop/duplicate
 	// schedule on either. Nil (or an empty plan) injects nothing.
 	Faults *sim.FaultPlan
+	// Epsilon overrides the claimed relative error bound of the
+	// approximate algorithms (gxu-threshold, css-sample). Zero keeps each
+	// algorithm's own default (see DefaultEpsilon); exact algorithms
+	// ignore it.
+	Epsilon float64
 }
 
 // Sequential returns the construction regime of the paper's model: windows
@@ -112,6 +118,11 @@ type algorithm struct {
 	// request-merging schemes, whose capacity is set by how many concurrent
 	// requests a node may merge rather than by a fixed per-op message count.
 	windowed bool
+	// approx marks ε-approximate algorithms (claimed guarantee is
+	// approximate(ε) rather than an exact level); defaultEps is the bound
+	// they claim when Config.Epsilon is zero.
+	approx     bool
+	defaultEps float64
 }
 
 // algorithms maps names to registry entries. Keep in sync with the
@@ -167,6 +178,18 @@ func algorithms() map[string]algorithm {
 		}, machine: func(n int, cfg Config) counter.Machine {
 			return difftree.NewMachine(n, difftree.WithWindow(cfg.Window))
 		}},
+		"gxu-threshold": {approx: true, defaultEps: approx.DefaultEpsilonThreshold,
+			build: func(n int, cfg Config) counter.Async {
+				return approx.NewThreshold(n, approx.WithEpsilon(cfg.Epsilon), approx.WithSimOptions(cfg.SimOpts...))
+			}, machine: func(n int, cfg Config) counter.Machine {
+				return approx.NewThresholdMachine(n, approx.WithEpsilon(cfg.Epsilon))
+			}},
+		"css-sample": {approx: true, defaultEps: approx.DefaultEpsilonSample,
+			build: func(n int, cfg Config) counter.Async {
+				return approx.NewSample(n, approx.WithEpsilon(cfg.Epsilon), approx.WithSimOptions(cfg.SimOpts...))
+			}, machine: func(n int, cfg Config) counter.Machine {
+				return approx.NewSampleMachine(n, approx.WithEpsilon(cfg.Epsilon))
+			}},
 		"quorum-singleton": quorumEntry(func(n int) quorum.System { return quorum.NewSingleton(n) }),
 		"quorum-majority":  quorumEntry(func(n int) quorum.System { return quorum.NewMajority(n) }),
 		"quorum-grid":      quorumEntry(func(n int) quorum.System { return quorum.NewGrid(n) }),
@@ -187,6 +210,47 @@ func Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ExactNames returns the registered algorithms with an exact consistency
+// claim (everything but the ε-approximate family), sorted. The regression
+// and fault studies default to this scope: their fingerprints assert exact
+// value assignment, which the approximate algorithms deliberately trade
+// away — those are covered by the accuracy study instead.
+func ExactNames() []string {
+	var out []string
+	for name, a := range algorithms() {
+		if !a.approx {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApproximateNames returns the registered ε-approximate algorithms, sorted.
+func ApproximateNames() []string {
+	var out []string
+	for name, a := range algorithms() {
+		if a.approx {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Approximate reports whether the named algorithm claims an approximate
+// guarantee. Unknown names report false.
+func Approximate(name string) bool {
+	return algorithms()[name].approx
+}
+
+// DefaultEpsilon returns the error bound the named algorithm claims when
+// Config.Epsilon is zero, and false for exact or unknown algorithms.
+func DefaultEpsilon(name string) (float64, bool) {
+	a := algorithms()[name]
+	return a.defaultEps, a.approx
 }
 
 // WindowSensitive reports whether the named algorithm's construction

@@ -11,12 +11,32 @@ import (
 
 func TestNamesStable(t *testing.T) {
 	names := Names()
-	if len(names) != 12 {
-		t.Fatalf("have %d algorithms, want 12: %v", len(names), names)
+	if len(names) != 14 {
+		t.Fatalf("have %d algorithms, want 14: %v", len(names), names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	// Exact + approximate partition the registry, and the approximate
+	// family carries a positive default ε.
+	if got := len(ExactNames()) + len(ApproximateNames()); got != len(names) {
+		t.Fatalf("exact (%d) + approximate (%d) != all (%d)",
+			len(ExactNames()), len(ApproximateNames()), len(names))
+	}
+	for _, name := range ApproximateNames() {
+		eps, ok := DefaultEpsilon(name)
+		if !ok || eps <= 0 || eps > 1 {
+			t.Fatalf("%s: default epsilon %v (ok=%v) out of range", name, eps, ok)
+		}
+		if !Approximate(name) {
+			t.Fatalf("%s listed approximate but Approximate() is false", name)
+		}
+	}
+	for _, name := range ExactNames() {
+		if Approximate(name) {
+			t.Fatalf("%s listed exact but Approximate() is true", name)
 		}
 	}
 }

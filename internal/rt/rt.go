@@ -409,8 +409,8 @@ func (r *Runtime) OpValue(id sim.OpID) (int, bool) {
 	return r.m.Value(id)
 }
 
-// Consistency implements counter.Valued: the machine's claimed level.
-func (r *Runtime) Consistency() counter.Consistency { return r.m.Level }
+// Guarantee implements counter.Valued: the machine's claimed level.
+func (r *Runtime) Guarantee() counter.Guarantee { return r.m.Guarantee }
 
 func (r *Runtime) startWith(p sim.ProcID, waiter chan<- OpDone) sim.OpID {
 	if atomic.LoadInt32(&r.closed) != 0 {

@@ -97,7 +97,7 @@ func TestConcurrentOps(t *testing.T) {
 			sort.Ints(vals)
 			for i, v := range vals[:len(vals)-1] {
 				if vals[i+1] == v {
-					t.Logf("duplicate value %d (claimed level %v)", v, m.Level)
+					t.Logf("duplicate value %d (claimed level %v)", v, m.Guarantee)
 					break
 				}
 			}

@@ -2,20 +2,21 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"distcount/internal/counter"
 )
 
 // Report quantifies the value correctness of one concurrent run against the
-// consistency level the algorithm claims (counter.Consistency). Unlike the
+// guarantee the algorithm claims (counter.Guarantee). Unlike the
 // boolean checks (Linearizable, QuiescentConsistent), which stop at the
 // first problem, the report counts everything, so the workload engine can
 // attach it to a result and a sweep can compare algorithms: tokenring's
 // duplicate count under load is a measurement, not a test failure.
 type Report struct {
-	// Property is the claimed consistency level being verified:
-	// "sequential", "quiescent", or "linearizable".
+	// Property is the claimed guarantee being verified:
+	// "sequential", "quiescent", "linearizable", or "approximate(ε)".
 	Property string `json:"property"`
 	// Ops is the number of completed operations whose values were checked;
 	// Missing counts completed operations that never received a value
@@ -34,10 +35,23 @@ type Report struct {
 	OrderViolations int `json:"order_violations"`
 	// Violations counts the failures of the claimed property: for
 	// "linearizable" duplicates + gaps + order violations, for "quiescent"
-	// duplicates + gaps, for "sequential" nothing (no concurrent claim is
-	// made; duplicates and gaps remain reported as measurements). Missing
-	// values always count as violations.
+	// duplicates + gaps, for "approximate(ε)" out-of-bound values, for
+	// "sequential" nothing (no concurrent claim is made; duplicates and
+	// gaps remain reported as measurements). Missing values always count
+	// as violations.
 	Violations int `json:"violations"`
+	// Epsilon is the claimed relative error bound when the property is
+	// approximate; OutOfBound counts operations whose value fell outside
+	// (1-ε)·lo .. (1+ε)·hi, where [lo, hi] brackets the true prefix count
+	// over the operation's lifetime (lo = increments certainly applied
+	// before it started, hi = increments possibly applied before it
+	// ended); MaxRelError is the largest observed relative excursion
+	// beyond that bracket (0 when every value was consistent with some
+	// exact execution). All three are zero — and absent from the JSON —
+	// for exact guarantees.
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	OutOfBound  int     `json:"out_of_bound,omitempty"`
+	MaxRelError float64 `json:"max_rel_error,omitempty"`
 	// Excused counts property failures attributed to injected faults: when
 	// the run's fault plan actually fired, anomalies a fault can legitimately
 	// cause — duplicates, gaps, order violations — are measured here instead
@@ -67,10 +81,10 @@ type FaultContext struct {
 }
 
 // Evaluate checks the values of a concurrent run against the claimed
-// consistency level and returns the quantitative report. missing is the
+// guarantee and returns the quantitative report. missing is the
 // number of completed operations whose value could not be read back.
-func Evaluate(level counter.Consistency, vals []TimedValue, missing int) Report {
-	return EvaluateWithFaults(level, vals, missing, FaultContext{})
+func Evaluate(g counter.Guarantee, vals []TimedValue, missing int) Report {
+	return EvaluateWithFaults(g, vals, missing, FaultContext{})
 }
 
 // EvaluateWithFaults is Evaluate for a run under fault injection: when the
@@ -83,15 +97,19 @@ func Evaluate(level counter.Consistency, vals []TimedValue, missing int) Report 
 // remains a hard violation under any fault plan. A linearizable scheme
 // therefore satisfies "stay correct or visibly stall" exactly when its
 // report shows Violations == 0.
-func EvaluateWithFaults(level counter.Consistency, vals []TimedValue, missing int, fc FaultContext) Report {
-	rep := Report{Property: level.String(), Ops: len(vals), Missing: missing, Wedged: fc.Wedged, FaultsFired: fc.Fired}
+func EvaluateWithFaults(g counter.Guarantee, vals []TimedValue, missing int, fc FaultContext) Report {
+	level := g.Level
+	exactClaim := level == counter.Quiescent || level == counter.Linearizable
+	rep := Report{Property: g.String(), Ops: len(vals), Missing: missing, Wedged: fc.Wedged, FaultsFired: fc.Fired}
 
 	// Exactly-once accounting: duplicates and gaps relative to {0..Ops-1}.
+	// For approximate guarantees these stay measurements (repeated values
+	// are the point of not paying for exactness), never violations.
 	seen := make(map[int]bool, len(vals))
 	for _, v := range vals {
 		if seen[v.Value] {
 			rep.Duplicates++
-			if rep.First == "" && level != counter.SequentialOnly {
+			if rep.First == "" && exactClaim {
 				rep.First = fmt.Sprintf("value %d handed out more than once", v.Value)
 			}
 			continue
@@ -101,7 +119,7 @@ func EvaluateWithFaults(level counter.Consistency, vals []TimedValue, missing in
 	for v := 0; v < len(vals); v++ {
 		if !seen[v] {
 			rep.Gaps++
-			if rep.First == "" && level != counter.SequentialOnly {
+			if rep.First == "" && exactClaim {
 				rep.First = fmt.Sprintf("value %d never handed out", v)
 			}
 		}
@@ -136,6 +154,10 @@ func EvaluateWithFaults(level counter.Consistency, vals []TimedValue, missing in
 		rep.Violations = rep.Duplicates + rep.Gaps + rep.OrderViolations
 	case counter.Quiescent:
 		rep.Violations = rep.Duplicates + rep.Gaps
+	case counter.Approximate:
+		rep.Epsilon = g.Epsilon
+		evaluateApproximate(&rep, g.Epsilon, vals)
+		rep.Violations = rep.OutOfBound
 	}
 	if fc.Fired {
 		rep.Excused = rep.Violations
@@ -147,4 +169,58 @@ func EvaluateWithFaults(level counter.Consistency, vals []TimedValue, missing in
 		rep.First = fmt.Sprintf("%d operations completed without delivering a value", rep.Missing)
 	}
 	return rep
+}
+
+// approxTolerance absorbs float rounding in the ε bound comparison so a
+// value sitting exactly on (1±ε) of the bracket edge passes.
+const approxTolerance = 1e-9
+
+// evaluateApproximate checks every value of an ε-approximate run against
+// the true prefix count. Exactness is unobservable under concurrency, but
+// the true count at the moment operation i read its value is bracketed:
+// at least lo_i = |{j : End_j < Start_i}| increments had certainly been
+// applied (those operations finished before i began), and at most
+// hi_i = |{j ≠ i : Start_j ≤ End_i}| could have been (no other increment
+// had started yet). A value is in bound iff
+// (1-ε)·lo_i ≤ v_i ≤ (1+ε)·hi_i; anything outside is inconsistent with
+// EVERY exact execution by more than the claimed ε and counts as a
+// violation. MaxRelError records the worst relative excursion beyond the
+// [lo, hi] bracket itself (ε plays no part in the measurement, so the
+// report shows the margin to the claim).
+func evaluateApproximate(rep *Report, eps float64, vals []TimedValue) {
+	starts := make([]int64, len(vals))
+	ends := make([]int64, len(vals))
+	for i, v := range vals {
+		starts[i] = v.Start
+		ends[i] = v.End
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	for _, v := range vals {
+		// Count of operations that ended strictly before this one started.
+		lo := sort.Search(len(ends), func(i int) bool { return ends[i] >= v.Start })
+		// Count of operations started by the time this one ended, minus
+		// the operation itself (its own start precedes its own end).
+		hi := sort.Search(len(starts), func(i int) bool { return starts[i] > v.End }) - 1
+
+		fv := float64(v.Value)
+		var relErr float64
+		switch {
+		case fv < float64(lo):
+			relErr = (float64(lo) - fv) / math.Max(float64(lo), 1)
+		case fv > float64(hi):
+			relErr = (fv - float64(hi)) / math.Max(float64(hi), 1)
+		}
+		if relErr > rep.MaxRelError {
+			rep.MaxRelError = relErr
+		}
+		if fv < (1-eps)*float64(lo)-approxTolerance || fv > (1+eps)*float64(hi)+approxTolerance {
+			rep.OutOfBound++
+			if rep.First == "" {
+				rep.First = fmt.Sprintf("op %d got value %d, outside ±%g of the true count bracket [%d, %d]",
+					v.Op, v.Value, eps, lo, hi)
+			}
+		}
+	}
 }

@@ -67,24 +67,24 @@ type KeyedReport struct {
 }
 
 // EvaluateKeyed checks a keyed run: each shard's history against its own
-// claimed consistency level (levels and algos are indexed by shard), plus
+// claimed guarantee (guarantees and algos are indexed by shard), plus
 // the per-(key, epoch) segment checks. missing is the number of completed
 // operations whose value could not be read back (counted in the summary).
-func EvaluateKeyed(levels []counter.Consistency, algos []string, vals []KeyedValue, missing int, fc FaultContext) KeyedReport {
+func EvaluateKeyed(guarantees []counter.Guarantee, algos []string, vals []KeyedValue, missing int, fc FaultContext) KeyedReport {
 	rep := KeyedReport{}
 
-	perShard := make([][]TimedValue, len(levels))
+	perShard := make([][]TimedValue, len(guarantees))
 	for _, v := range vals {
 		perShard[v.Shard] = append(perShard[v.Shard], TimedValue{Op: v.Op, Value: v.Value, Start: v.Start, End: v.End})
 	}
 	allSame := true
-	for s, level := range levels {
-		sr := ShardReport{Shard: s, Report: EvaluateWithFaults(level, perShard[s], 0, fc)}
+	for s, g := range guarantees {
+		sr := ShardReport{Shard: s, Report: EvaluateWithFaults(g, perShard[s], 0, fc)}
 		if s < len(algos) {
 			sr.Algorithm = algos[s]
 		}
 		rep.Shards = append(rep.Shards, sr)
-		if level != levels[0] {
+		if g != guarantees[0] {
 			allSame = false
 		}
 	}
@@ -112,8 +112,12 @@ func EvaluateKeyed(levels []counter.Consistency, algos []string, vals []KeyedVal
 		}
 	}
 	for _, seg := range segs {
-		level := levels[seg[0].Shard]
-		if level == counter.SequentialOnly {
+		level := guarantees[seg[0].Shard].Level
+		// Sequential-only shards make no concurrent claim; approximate
+		// shards legitimately repeat values within a key (the whole-shard ε
+		// bracket is the claim, checked above), so neither gets the
+		// exactness segment sweeps.
+		if level == counter.SequentialOnly || level == counter.Approximate {
 			continue
 		}
 		seen := make(map[int]bool, len(seg))
@@ -141,6 +145,10 @@ func EvaluateKeyed(levels []counter.Consistency, algos []string, vals []KeyedVal
 		sum.OrderViolations += sr.OrderViolations
 		sum.Violations += sr.Violations
 		sum.Excused += sr.Excused
+		sum.OutOfBound += sr.OutOfBound
+		if sr.MaxRelError > sum.MaxRelError {
+			sum.MaxRelError = sr.MaxRelError
+		}
 		if sum.First == "" && sr.First != "" {
 			sum.First = fmt.Sprintf("shard %d (%s): %s", sr.Shard, sr.Algorithm, sr.First)
 		}
@@ -149,8 +157,9 @@ func EvaluateKeyed(levels []counter.Consistency, algos []string, vals []KeyedVal
 	if missing > 0 && sum.First == "" {
 		sum.First = fmt.Sprintf("%d operations completed without delivering a value", missing)
 	}
-	if allSame && len(levels) > 0 {
-		sum.Property = levels[0].String() + "/sharded"
+	if allSame && len(guarantees) > 0 {
+		sum.Property = guarantees[0].String() + "/sharded"
+		sum.Epsilon = guarantees[0].Epsilon
 	} else {
 		sum.Property = "mixed/sharded"
 	}

@@ -23,7 +23,7 @@ func TestEvaluateKeyedClean(t *testing.T) {
 		kv(2, 1, 3, 0, 1, 3, 5),
 		kv(3, 0, 0, 0, 2, 6, 8),
 	}
-	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable, counter.Linearizable},
+	rep := EvaluateKeyed([]counter.Guarantee{counter.Exact(counter.Linearizable), counter.Exact(counter.Linearizable)},
 		[]string{"central", "central"}, vals, 0, FaultContext{})
 	if rep.Summary.Violations != 0 {
 		t.Fatalf("clean history reported %d violations: %+v", rep.Summary.Violations, rep.Summary)
@@ -52,7 +52,7 @@ func TestEvaluateKeyedShardViolationLocalized(t *testing.T) {
 		kv(1, 1, 6, 0, 0, 0, 2),
 		kv(2, 1, 7, 0, 1, 3, 5),
 	}
-	rep := EvaluateKeyed([]counter.Consistency{counter.Quiescent, counter.Quiescent},
+	rep := EvaluateKeyed([]counter.Guarantee{counter.Exact(counter.Quiescent), counter.Exact(counter.Quiescent)},
 		[]string{"difftree", "difftree"}, vals, 0, FaultContext{})
 	if rep.Shards[0].Violations == 0 {
 		t.Fatal("shard 0 duplicate not flagged")
@@ -90,7 +90,7 @@ func TestEvaluateKeyedMigrationEpochsNotCompared(t *testing.T) {
 		kv(1, 1, 9, 1, 0, 30, 32),
 		kv(2, 1, 9, 1, 1, 33, 35),
 	}
-	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable, counter.Linearizable},
+	rep := EvaluateKeyed([]counter.Guarantee{counter.Exact(counter.Linearizable), counter.Exact(counter.Linearizable)},
 		[]string{"central", "combining"}, vals, 0, FaultContext{})
 	if rep.Summary.Violations != 0 {
 		t.Fatalf("migration history reported %d violations (first: %s)", rep.Summary.Violations, rep.Summary.First)
@@ -114,7 +114,7 @@ func TestEvaluateKeyedOrderViolationWithinSegment(t *testing.T) {
 		kv(1, 0, 2, 0, 1, 0, 2),
 		kv(2, 0, 2, 0, 0, 5, 7), // starts after value 1 completed, gets 0
 	}
-	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable},
+	rep := EvaluateKeyed([]counter.Guarantee{counter.Exact(counter.Linearizable)},
 		[]string{"central"}, vals, 0, FaultContext{})
 	if rep.Shards[0].OrderViolations != 1 {
 		t.Fatalf("shard order violations = %d, want 1", rep.Shards[0].OrderViolations)
@@ -131,7 +131,7 @@ func TestEvaluateKeyedOrderViolationWithinSegment(t *testing.T) {
 // exactly once and surface in First.
 func TestEvaluateKeyedMissingCountsOnce(t *testing.T) {
 	vals := []KeyedValue{kv(1, 0, 0, 0, 0, 0, 2)}
-	rep := EvaluateKeyed([]counter.Consistency{counter.Linearizable},
+	rep := EvaluateKeyed([]counter.Guarantee{counter.Exact(counter.Linearizable)},
 		[]string{"central"}, vals, 2, FaultContext{})
 	if rep.Summary.Violations != 2 || rep.Summary.Missing != 2 {
 		t.Fatalf("summary violations/missing = %d/%d, want 2/2", rep.Summary.Violations, rep.Summary.Missing)
